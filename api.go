@@ -1,0 +1,338 @@
+package twoface
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"twoface/internal/baselines"
+	"twoface/internal/cluster"
+	"twoface/internal/core"
+)
+
+// Options configures a Two-Face system. Zero values take the paper's
+// defaults (Tables 2 and 3).
+type Options struct {
+	// Nodes is the simulated cluster size. Required.
+	Nodes int
+	// DenseColumns is K, the width of the dense operands. Required.
+	DenseColumns int
+	// StripeWidth is the sparse stripe width W. 0 picks a power of two near
+	// cols/512, the paper's Table 1 scaling rule.
+	StripeWidth int32
+	// Net overrides the simulated machine model. Nil uses DefaultNet scaled
+	// to the input matrix: fixed per-message and setup overheads shrink
+	// proportionally for matrices smaller than the paper's (~50M rows), so
+	// the overhead-to-payload ratios of the full-scale machine are
+	// preserved. Provide an explicit NetModel to disable the auto-scaling.
+	Net *NetModel
+	// Coefficients overrides the classifier's cost model. Nil derives it
+	// from the machine model, the ideal calibration outcome.
+	Coefficients *Coefficients
+	// MemBudgetElems caps each node's dense receive buffers, in float64
+	// elements. 0 uses the core default (48 Mi elements).
+	MemBudgetElems int64
+	// RowPanelHeight is the synchronous work unit height (default 32 rows).
+	RowPanelHeight int32
+	// Workers is the real goroutine parallelism per node (wall-clock only;
+	// modeled time uses the paper's thread counts). Default 4.
+	Workers int
+	// Verify keeps the arithmetic on (default). Setting TimingOnly skips
+	// the floating-point loops, which is how the experiment harness runs.
+	TimingOnly bool
+	// UseColumnClassifier switches from the paper's cost-model balancer to
+	// the column-popularity heuristic of its future-work discussion: dense
+	// stripes needed by at least ColumnSyncThreshold nodes go collective,
+	// everything else one-sided.
+	UseColumnClassifier bool
+	// ColumnSyncThreshold tunes the column classifier; 0 means max(2, Nodes/4).
+	ColumnSyncThreshold int
+}
+
+// System is a configured simulated cluster ready to preprocess and multiply.
+type System struct {
+	opts Options
+}
+
+// New validates options.
+func New(opts Options) (*System, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("twoface: Options.Nodes must be >= 1, got %d", opts.Nodes)
+	}
+	if opts.DenseColumns < 1 {
+		return nil, fmt.Errorf("twoface: Options.DenseColumns must be >= 1, got %d", opts.DenseColumns)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	return &System{opts: opts}, nil
+}
+
+// paperNativeRows is the matrix dimension at which DefaultNet's fixed
+// overheads are calibrated (the paper's mid-size matrices).
+const paperNativeRows = 50e6
+
+// netFor resolves the machine model for a matrix of the given dimension.
+func (s *System) netFor(rows int32) NetModel {
+	if s.opts.Net != nil {
+		return *s.opts.Net
+	}
+	f := paperNativeRows / float64(rows)
+	if f < 1 {
+		f = 1
+	}
+	return DefaultNet().Scaled(f)
+}
+
+// Net reports the machine model the system would use for a matrix with the
+// given number of rows.
+func (s *System) Net(rows int32) NetModel { return s.netFor(rows) }
+
+// DenseColumns reports the configured dense width K.
+func (s *System) DenseColumns() int { return s.opts.DenseColumns }
+
+// Plan is a preprocessed sparse matrix bound to a system: the stripe
+// classification, modified-COO matrices, and multicast metadata of the
+// paper's section 5.1, reusable across many Multiply calls.
+type Plan struct {
+	sys  *System
+	prep *core.Prep
+	clu  *cluster.Cluster
+}
+
+// autoWidth applies the Table 1 rule: a power of two near cols/512, floor 8.
+func autoWidth(cols int32) int32 {
+	w := float64(cols) / 512
+	if w < 8 {
+		return 8
+	}
+	return int32(1) << int32(math.Round(math.Log2(w)))
+}
+
+func (s *System) params(net NetModel) core.Params {
+	p := core.Params{
+		P: s.opts.Nodes, K: s.opts.DenseColumns, W: s.opts.StripeWidth,
+		RowPanelHeight: s.opts.RowPanelHeight,
+		MemBudgetElems: s.opts.MemBudgetElems,
+	}
+	if s.opts.Coefficients != nil {
+		p.Coef = *s.opts.Coefficients
+	} else {
+		p.Coef = DeriveCoefficients(net)
+	}
+	if s.opts.UseColumnClassifier {
+		p.Classifier = core.ClassifierColumn
+		p.ColumnSyncThreshold = s.opts.ColumnSyncThreshold
+	}
+	return p
+}
+
+// Preprocess classifies the matrix's stripes and builds the runtime state.
+// The plan is valid for any dense input with a.NumCols rows and the
+// configured DenseColumns width.
+func (s *System) Preprocess(a *SparseMatrix) (*Plan, error) {
+	net := s.netFor(a.NumRows)
+	params := s.params(net)
+	if params.W == 0 {
+		params.W = autoWidth(a.NumCols)
+	}
+	prep, err := core.Preprocess(a, params)
+	if err != nil {
+		return nil, err
+	}
+	clu, err := cluster.New(s.opts.Nodes, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, prep: prep, clu: clu}, nil
+}
+
+// Stats returns the preprocessing summary (stripe counts, modeled
+// preprocessing cost, multicast fan-out).
+func (p *Plan) Stats() PrepStats { return p.prep.Stats }
+
+// NumRows reports the plan's sparse matrix row count (C's rows).
+func (p *Plan) NumRows() int { return int(p.prep.Layout.NumRows) }
+
+// NumCols reports the plan's sparse matrix column count (B's required rows).
+func (p *Plan) NumCols() int { return int(p.prep.Layout.NumCols) }
+
+// Multiply executes one distributed SpMM: C = A x B with the plan's A.
+func (p *Plan) Multiply(b *DenseMatrix) (*Result, error) {
+	return core.Exec(p.prep, b, p.clu, p.execOptions())
+}
+
+// SDDMM executes a distributed sampled dense-dense multiplication with the
+// plan's sparsity pattern: C_ij = A_ij * dot(X[i,:], Y[j,:]) over A's
+// nonzeros (paper section 9). X must be NumRows x K and Y NumCols x K. The
+// communication schedule — which dense rows move collectively and which
+// one-sidedly — is the SpMM plan's, reused verbatim.
+func (p *Plan) SDDMM(x, y *DenseMatrix) (*SDDMMResult, error) {
+	return core.ExecSDDMM(p.prep, x, y, p.clu, p.execOptions())
+}
+
+// MultiplySampled runs a sampled SpMM (paper section 5.4): every nonzero of
+// A survives with probability keep under a deterministic per-iteration mask,
+// the offline classification and transfers staying fixed. Use a fresh seed
+// per training iteration.
+func (p *Plan) MultiplySampled(b *DenseMatrix, keep float64, seed uint64) (*Result, error) {
+	opts := p.execOptions()
+	opts.SampleKeep = keep
+	opts.SampleSeed = seed
+	return core.Exec(p.prep, b, p.clu, opts)
+}
+
+// Sampled reports whether an entry of A survives the sampling mask used by
+// MultiplySampled with the given parameters.
+func Sampled(row, col int32, seed uint64, keep float64) bool {
+	return core.SampleMask(row, col, seed, keep)
+}
+
+// TraceSummary is an aggregated view of one rank's traced transfers.
+type TraceSummary struct {
+	Rank            int
+	CollectiveElems int64
+	OneSidedElems   int64
+	OneSidedMsgs    int64
+	Events          int
+}
+
+// EnableTrace turns on per-rank transfer tracing for subsequent Multiply /
+// SDDMM calls on this plan (bounded to limit events per rank; <=0 uses the
+// default cap).
+func (p *Plan) EnableTrace(limit int) { p.clu.EnableTrace(limit) }
+
+// TraceSummaries aggregates the traced events per rank. Call after a
+// Multiply with tracing enabled.
+func (p *Plan) TraceSummaries() []TraceSummary {
+	events, _ := p.clu.Trace()
+	out := make([]TraceSummary, p.sys.opts.Nodes)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, e := range events {
+		s := &out[e.Rank]
+		s.Events++
+		switch e.Op {
+		case cluster.TraceGet:
+			s.OneSidedElems += e.Elems
+			s.OneSidedMsgs += e.Msgs
+		default:
+			s.CollectiveElems += e.Elems
+		}
+	}
+	return out
+}
+
+// Save writes the plan's preprocessing state to disk in the bespoke binary
+// plan format, so twoface-prep can run offline and executors load the result
+// (paper section 7.3's pipeline).
+func (p *Plan) Save(path string) error { return core.WritePrepFile(path, p.prep) }
+
+// LoadPlan reads a plan written by Save and binds it to this system. The
+// system's Nodes and DenseColumns must match the stored plan.
+func (s *System) LoadPlan(path string) (*Plan, error) {
+	prep, err := core.ReadPrepFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if prep.Params.P != s.opts.Nodes {
+		return nil, fmt.Errorf("twoface: plan was built for %d nodes, system has %d", prep.Params.P, s.opts.Nodes)
+	}
+	if prep.Params.K != s.opts.DenseColumns {
+		return nil, fmt.Errorf("twoface: plan was built for K=%d, system has K=%d", prep.Params.K, s.opts.DenseColumns)
+	}
+	clu, err := cluster.New(s.opts.Nodes, s.netFor(prep.Layout.NumRows))
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, prep: prep, clu: clu}, nil
+}
+
+func (p *Plan) execOptions() core.ExecOptions {
+	return core.ExecOptions{
+		AsyncWorkers: 2,
+		SyncWorkers:  p.sys.opts.Workers,
+		SkipCompute:  p.sys.opts.TimingOnly,
+	}
+}
+
+// Multiply is the one-shot convenience: preprocess + multiply in one call.
+// Applications that reuse A (GNN training, iterative solvers) should hold a
+// Plan instead to amortize preprocessing.
+func Multiply(a *SparseMatrix, b *DenseMatrix, opts Options) (*Result, error) {
+	if opts.DenseColumns == 0 {
+		opts.DenseColumns = b.Cols
+	}
+	sys, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sys.Preprocess(a)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Multiply(b)
+}
+
+// Baseline names one of the paper's comparison algorithms.
+type Baseline string
+
+// The baseline roster (paper Table 4).
+const (
+	DenseShift1 Baseline = "DS1"
+	DenseShift2 Baseline = "DS2"
+	DenseShift4 Baseline = "DS4"
+	DenseShift8 Baseline = "DS8"
+	Allgather   Baseline = "Allgather"
+	AsyncCoarse Baseline = "AsyncCoarse"
+	AsyncFine   Baseline = "AsyncFine"
+)
+
+// RunBaseline executes a baseline algorithm on the system's cluster. For
+// AsyncFine, the stripe width follows the system's StripeWidth (or the
+// Table 1 auto rule).
+func (s *System) RunBaseline(alg Baseline, a *SparseMatrix, b *DenseMatrix) (*Result, error) {
+	clu, err := cluster.New(s.opts.Nodes, s.netFor(a.NumRows))
+	if err != nil {
+		return nil, err
+	}
+	opts := baselines.Options{
+		Workers:        s.opts.Workers,
+		MemBudgetElems: s.opts.MemBudgetElems,
+		SkipCompute:    s.opts.TimingOnly,
+	}
+	switch alg {
+	case DenseShift1, DenseShift2, DenseShift4, DenseShift8:
+		var c int
+		switch alg {
+		case DenseShift1:
+			c = 1
+		case DenseShift2:
+			c = 2
+		case DenseShift4:
+			c = 4
+		default:
+			c = 8
+		}
+		return baselines.DenseShift(a, b, clu, c, opts)
+	case Allgather:
+		return baselines.Allgather(a, b, clu, opts)
+	case AsyncCoarse:
+		return baselines.AsyncCoarse(a, b, clu, opts)
+	case AsyncFine:
+		w := s.opts.StripeWidth
+		if w == 0 {
+			w = autoWidth(a.NumCols)
+		}
+		return baselines.AsyncFine(a, b, clu, w, opts)
+	}
+	return nil, fmt.Errorf("twoface: unknown baseline %q", alg)
+}
+
+// IsOutOfMemory reports whether an error from RunBaseline means the
+// algorithm's replication exceeded the per-node memory budget (the blank
+// bars of the paper's figures).
+func IsOutOfMemory(err error) bool {
+	return errors.Is(err, baselines.ErrOutOfMemory)
+}

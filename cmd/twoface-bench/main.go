@@ -1,0 +1,124 @@
+// Command twoface-bench regenerates the paper's evaluation tables and
+// figures on the simulated cluster.
+//
+// Usage:
+//
+//	twoface-bench -exp all                 # everything, default scale
+//	twoface-bench -exp fig8 -p 8 -scale 1  # one experiment
+//	twoface-bench -exp fig11 -full         # add p=32,64 to the scaling study
+//
+// Experiments: table1, fig2, fig7, fig8, fig9, table3, table5, fig10,
+// fig11, table6, fig12, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twoface/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: table1|fig2|fig7|fig8|fig9|table3|table5|fig10|fig11|table6|fig12|volume|seeds|all")
+		scale   = flag.Float64("scale", 1.0, "matrix scale relative to the registry (1.0 = 1/512 of the paper)")
+		p       = flag.Int("p", 8, "number of simulated nodes")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		workers = flag.Int("workers", 4, "real goroutines per node")
+		verify  = flag.Bool("verify", false, "run real arithmetic (slow) instead of timing-only mode")
+		full    = flag.Bool("full", false, "extend fig11 to 32 and 64 nodes")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify}
+	if err := run(cfg, strings.ToLower(*exp), *full, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg harness.Config, exp string, full bool, asJSON bool) error {
+	show := func(t *harness.Table) {
+		if asJSON {
+			b, err := t.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "twoface-bench: json:", err)
+				return
+			}
+			fmt.Println(string(b))
+			return
+		}
+		fmt.Println(t.String())
+	}
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		show(cfg.Table1())
+		ran = true
+	}
+	if want("fig2") {
+		show(cfg.Figure2())
+		ran = true
+	}
+	for _, fk := range []struct {
+		name string
+		k    int
+	}{{"fig7", 32}, {"fig8", 128}, {"fig9", 512}} {
+		if want(fk.name) {
+			show(cfg.SpeedupFigure(fk.k))
+			ran = true
+		}
+	}
+	if want("table3") {
+		t, err := cfg.Table3()
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if want("table5") {
+		show(cfg.Table5())
+		ran = true
+	}
+	if want("fig10") {
+		show(cfg.Figure10())
+		ran = true
+	}
+	if want("fig11") {
+		counts := []int{1, 2, 4, 8, 16}
+		if full {
+			counts = append(counts, 32, 64)
+		}
+		for _, t := range cfg.Figure11(counts) {
+			show(t)
+		}
+		ran = true
+	}
+	if want("table6") {
+		show(cfg.Table6())
+		ran = true
+	}
+	if want("fig12") {
+		for _, t := range cfg.Figure12() {
+			show(t)
+		}
+		ran = true
+	}
+	if want("volume") {
+		show(cfg.CommVolume(128))
+		ran = true
+	}
+	if want("seeds") {
+		show(cfg.SeedSweep(128, nil))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command twoface-prep runs Two-Face preprocessing offline: it reads a
+// sparse matrix (Matrix Market or binary), classifies its stripes for a
+// given cluster size and dense width, reports the classification, and
+// optionally writes the per-node sparse parts in the bespoke binary format
+// (the paper's section 7.3 pipeline).
+//
+// Usage:
+//
+//	twoface-prep -in web.mtx -p 8 -K 128
+//	twoface-prep -in web.bin -p 8 -K 128 -W 256 -outdir parts/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twoface"
+	"twoface/internal/core"
+	"twoface/internal/sparse"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input matrix (.mtx MatrixMarket or .bin bespoke binary); required")
+		p       = flag.Int("p", 8, "number of nodes")
+		k       = flag.Int("K", 128, "dense matrix columns")
+		w       = flag.Int("W", 0, "stripe width (0 = cols/512 rounded to a power of two)")
+		outdir  = flag.String("outdir", "", "if set, write per-node sync/async parts here")
+		planOut = flag.String("plan", "", "if set, write the complete preprocessing plan here (load with twoface-run -plan)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "twoface-prep: -in is required")
+		os.Exit(2)
+	}
+
+	var a *twoface.SparseMatrix
+	var err error
+	if strings.HasSuffix(*in, ".bin") {
+		a, err = twoface.ReadBinaryFile(*in)
+	} else {
+		a, err = twoface.ReadMatrixMarketFile(*in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	params := core.Params{P: *p, K: *k, W: int32(*w)}
+	if params.W == 0 {
+		params.W = autoWidth(a.NumCols)
+	}
+	params.Coef = twoface.DeriveCoefficients(twoface.DefaultNet())
+	prep, err := core.Preprocess(a, params)
+	if err != nil {
+		fatal(err)
+	}
+	s := prep.Stats
+	fmt.Printf("matrix: %dx%d, %d nonzeros; p=%d K=%d W=%d\n", a.NumRows, a.NumCols, s.TotalNNZ, *p, *k, params.W)
+	fmt.Printf("classification: %d local-input nnz, %d sync nnz (%d stripes), %d async nnz (%d stripes)\n",
+		s.LocalInputNNZ, s.SyncNNZ, s.SyncStripes, s.AsyncNNZ, s.AsyncStripes)
+	fmt.Printf("multicast fan-out: avg %.1f, max %d; memory-cap flips: %d\n",
+		s.AvgMulticastFanout, s.MaxMulticastFanout, s.MemCapFlips)
+	fmt.Printf("preprocessing wall time: %.3fs (modeled single-node: %.3fs, with I/O: %.3fs)\n",
+		s.WallSeconds, s.ModeledPrepSeconds, s.ModeledPrepWithIOSeconds)
+
+	if *planOut != "" {
+		if err := core.WritePrepFile(*planOut, prep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote preprocessing plan to %s\n", *planOut)
+	}
+	if *outdir == "" {
+		return
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i := range prep.Nodes {
+		np := &prep.Nodes[i]
+		if err := writePart(filepath.Join(*outdir, fmt.Sprintf("node%d.sync.bin", i)),
+			np.Sync.Entries, np.RowHi-np.RowLo, a.NumCols); err != nil {
+			fatal(err)
+		}
+		if err := writePart(filepath.Join(*outdir, fmt.Sprintf("node%d.async.bin", i)),
+			np.Async.Entries, np.RowHi-np.RowLo, a.NumCols); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d per-node part files to %s\n", 2*len(prep.Nodes), *outdir)
+}
+
+func writePart(path string, entries []sparse.NZ, rows, cols int32) error {
+	part := &sparse.COO{NumRows: rows, NumCols: cols, Entries: entries}
+	return sparse.WriteBinaryFile(path, part)
+}
+
+func autoWidth(cols int32) int32 {
+	w := cols / 512
+	if w < 8 {
+		return 8
+	}
+	// Round down to a power of two.
+	for x := int32(8); ; x <<= 1 {
+		if x*2 > w {
+			return x
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twoface-prep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Command twoface-run executes one distributed SpMM on a matrix from disk
+// (or a generated analog) with a chosen algorithm, printing the modeled
+// time, per-node breakdown, and data-movement summary.
+//
+// Usage:
+//
+//	twoface-run -matrix web -scale 0.25 -algo twoface -K 128 -p 8
+//	twoface-run -in graph.mtx.gz -algo ds2 -K 64
+//	twoface-run -plan web.tfp -K 128 -p 8        # run a saved plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twoface"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input matrix file (.mtx, .mtx.gz, or .bin)")
+		name   = flag.String("matrix", "", "or: generate a registry analog by name")
+		scale  = flag.Float64("scale", 0.25, "scale for -matrix")
+		seed   = flag.Uint64("seed", 42, "seed for -matrix and B")
+		plan   = flag.String("plan", "", "or: load a saved preprocessing plan (.tfp)")
+		algo   = flag.String("algo", "twoface", "algorithm: twoface|ds1|ds2|ds4|ds8|allgather|asynccoarse|asyncfine")
+		k      = flag.Int("K", 128, "dense matrix columns")
+		p      = flag.Int("p", 8, "simulated nodes")
+		verify = flag.Bool("verify", true, "check the result against the reference kernel")
+		trace  = flag.Bool("trace", false, "print a per-node transfer trace summary (twoface only)")
+	)
+	flag.Parse()
+
+	sys, err := twoface.New(twoface.Options{Nodes: *p, DenseColumns: *k, TimingOnly: !*verify})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *plan != "" {
+		runPlan(sys, *plan, *k, *seed)
+		return
+	}
+
+	a, err := loadMatrix(*in, *name, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	b := twoface.RandomDense(int(a.NumCols), *k, *seed+1)
+	st := a.ComputeStats()
+	fmt.Printf("A: %dx%d, %d nonzeros (avg %.2f/row); K=%d, p=%d, algo=%s\n",
+		st.NumRows, st.NumCols, st.NNZ, st.AvgPerRow, *k, *p, *algo)
+
+	var res *twoface.Result
+	switch strings.ToLower(*algo) {
+	case "twoface":
+		pl, err := sys.Preprocess(a)
+		if err != nil {
+			fatal(err)
+		}
+		ps := pl.Stats()
+		fmt.Printf("classified: %d sync stripes, %d async stripes, fan-out avg %.1f\n",
+			ps.SyncStripes, ps.AsyncStripes, ps.AvgMulticastFanout)
+		if *trace {
+			pl.EnableTrace(1 << 16)
+		}
+		res, err = pl.Multiply(b)
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			fmt.Println("per-node transfer trace:")
+			for _, s := range pl.TraceSummaries() {
+				fmt.Printf("  node %d: %d events, %.2f MB collective, %.2f MB one-sided in %d regions\n",
+					s.Rank, s.Events, float64(8*s.CollectiveElems)/1e6, float64(8*s.OneSidedElems)/1e6, s.OneSidedMsgs)
+			}
+		}
+	default:
+		var base twoface.Baseline
+		switch strings.ToLower(*algo) {
+		case "ds1":
+			base = twoface.DenseShift1
+		case "ds2":
+			base = twoface.DenseShift2
+		case "ds4":
+			base = twoface.DenseShift4
+		case "ds8":
+			base = twoface.DenseShift8
+		case "allgather":
+			base = twoface.Allgather
+		case "asynccoarse":
+			base = twoface.AsyncCoarse
+		case "asyncfine":
+			base = twoface.AsyncFine
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+		res, err = sys.RunBaseline(base, a, b)
+		if twoface.IsOutOfMemory(err) {
+			fmt.Println("result: OUT OF MEMORY (replication exceeds the per-node budget)")
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *verify {
+		want, err := twoface.Reference(a, b)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.C.AlmostEqual(want, 1e-9) {
+			fatal(fmt.Errorf("result does not match the reference kernel"))
+		}
+		fmt.Println("verified against the reference kernel")
+	}
+	report(res)
+}
+
+func runPlan(sys *twoface.System, path string, k int, seed uint64) {
+	pl, err := sys.LoadPlan(path)
+	if err != nil {
+		fatal(err)
+	}
+	st := pl.Stats()
+	rows := st.TotalNNZ // plan stores nnz, not dims; report what we have
+	fmt.Printf("loaded plan: %d nonzeros, %d sync / %d async stripes\n", rows, st.SyncStripes, st.AsyncStripes)
+	// The plan knows its own dense width; B's rows come from the layout via
+	// a probe multiply with a fresh random input.
+	b := twoface.RandomDense(planCols(pl), k, seed+1)
+	res, err := pl.Multiply(b)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+}
+
+// planCols infers B's row count by asking the plan's stats — the plan's
+// matrix is square in all registry workloads; for the general case the
+// executor validates and reports the expected shape in its error.
+func planCols(pl *twoface.Plan) int { return pl.NumCols() }
+
+func report(res *twoface.Result) {
+	fmt.Printf("modeled time: %.4g s (wall %v)\n", res.ModeledSeconds, res.Wall)
+	fmt.Println("per-node breakdown (modeled seconds):")
+	fmt.Printf("  %4s  %10s %10s %10s %10s %10s\n", "node", "SyncComm", "SyncComp", "AsyncComm", "AsyncComp", "Other")
+	for i, bd := range res.Breakdowns {
+		fmt.Printf("  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g\n", i, bd.SyncComm, bd.SyncComp, bd.AsyncComm, bd.AsyncComp, bd.Other)
+	}
+}
+
+func loadMatrix(in, name string, scale float64, seed uint64) (*twoface.SparseMatrix, error) {
+	switch {
+	case in != "" && name != "":
+		return nil, fmt.Errorf("use -in or -matrix, not both")
+	case in != "":
+		if strings.HasSuffix(in, ".bin") {
+			return twoface.ReadBinaryFile(in)
+		}
+		return twoface.ReadMatrixMarketFile(in)
+	case name != "":
+		for _, m := range twoface.Matrices() {
+			if m == name {
+				return twoface.Generate(name, scale, seed), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown matrix %q (see twoface-gen -list)", name)
+	}
+	return nil, fmt.Errorf("one of -in, -matrix, or -plan is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twoface-run:", err)
+	os.Exit(1)
+}

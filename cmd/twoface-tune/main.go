@@ -1,0 +1,76 @@
+// Command twoface-tune performs the installation-time parameter search of
+// the paper's section 5.3: it sweeps stripe width, row-coalescing gap, row
+// panel height, and the async-compute thread split on a workload and prints
+// the best configuration under the virtual-time model.
+//
+// Usage:
+//
+//	twoface-tune -matrix twitter -scale 0.25 -K 128 -p 8
+//	twoface-tune -in graph.mtx -K 64 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twoface"
+	"twoface/internal/tune"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input matrix file (.mtx, .mtx.gz, or .bin)")
+		name  = flag.String("matrix", "", "or: generate a registry analog by name")
+		scale = flag.Float64("scale", 0.25, "scale for -matrix")
+		seed  = flag.Uint64("seed", 42, "seed for -matrix")
+		k     = flag.Int("K", 128, "dense matrix columns")
+		p     = flag.Int("p", 8, "simulated nodes")
+		top   = flag.Int("top", 5, "how many configurations to print")
+	)
+	flag.Parse()
+
+	var a *twoface.SparseMatrix
+	var err error
+	switch {
+	case *in != "":
+		if strings.HasSuffix(*in, ".bin") {
+			a, err = twoface.ReadBinaryFile(*in)
+		} else {
+			a, err = twoface.ReadMatrixMarketFile(*in)
+		}
+	case *name != "":
+		a = twoface.Generate(*name, *scale, *seed)
+	default:
+		err = fmt.Errorf("-in or -matrix is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sys, err := twoface.New(twoface.Options{Nodes: *p, DenseColumns: *k})
+	if err != nil {
+		fatal(err)
+	}
+	net := sys.Net(a.NumRows)
+	fmt.Printf("tuning on %dx%d (%d nnz), K=%d, p=%d ...\n", a.NumRows, a.NumCols, a.NNZ(), *k, *p)
+	best, all, err := tune.Tune(a, *k, *p, net, tune.Space{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("evaluated %d configurations\n\nbest: %s\n\ntop %d:\n", len(all), best, *top)
+	for i, c := range all {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %2d. %s\n", i+1, c)
+	}
+	worst := all[len(all)-1]
+	fmt.Printf("\nworst: %s (%.2fx slower than best)\n", worst, worst.Modeled/best.Modeled)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twoface-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Multi-source personalized PageRank as iterated distributed SpMM: R is an
+// n x K dense matrix whose columns are rank vectors for K different seed
+// sets, updated by R <- d * P^T R + (1-d) * E. Each iteration is one SpMM
+// over the same column-normalized link matrix, so Two-Face's preprocessing
+// amortizes across the power iteration, and the web-crawl structure is
+// exactly the paper's best case.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"twoface"
+)
+
+const (
+	nodes   = 8
+	seeds   = 16 // K: personalized rank vectors computed at once
+	damping = 0.85
+	maxIter = 30
+	tol     = 1e-8
+)
+
+func main() {
+	g := twoface.Generate("web", 0.05, 42)
+	n := int(g.NumRows)
+	pt := transposeNormalize(g)
+	fmt.Printf("link graph: %d pages, %d links; %d personalized rank columns\n", n, pt.NNZ(), seeds)
+
+	sys, err := twoface.New(twoface.Options{Nodes: nodes, DenseColumns: seeds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.Preprocess(pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed matrix E: column j restarts at page j*stride.
+	e := twoface.NewDense(n, seeds)
+	for j := 0; j < seeds; j++ {
+		e.Set(j*(n/seeds), j, 1)
+	}
+	r := e.Clone()
+
+	var modeled float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		res, err := plan.Multiply(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		modeled += res.ModeledSeconds
+		next := res.C
+		next.Scale(damping)
+		for i := range next.Data {
+			next.Data[i] += (1 - damping) * e.Data[i]
+		}
+		delta, err := next.MaxAbsDiff(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r = next
+		if delta < tol {
+			iter++
+			break
+		}
+	}
+
+	fmt.Printf("converged after %d iterations; total modeled SpMM time %.3g s\n", iter, modeled)
+	for j := 0; j < 3; j++ {
+		page, score := argmaxColumn(r, j)
+		fmt.Printf("seed %d: top page %d (score %.4g)\n", j, page, score)
+	}
+}
+
+// transposeNormalize returns P^T where P is the column-stochastic link
+// matrix: P^T[i][j] = 1/outdeg(i) for each link i -> j ... transposed so
+// that rank mass flows along links under SpMM.
+func transposeNormalize(g *twoface.SparseMatrix) *twoface.SparseMatrix {
+	outdeg := make([]float64, g.NumRows)
+	for _, e := range g.Entries {
+		outdeg[e.Row]++
+	}
+	t := twoface.NewSparse(g.NumCols, g.NumRows)
+	for _, e := range g.Entries {
+		t.Append(e.Col, e.Row, 1/math.Max(outdeg[e.Row], 1))
+	}
+	t.Dedup()
+	return t
+}
+
+func argmaxColumn(m *twoface.DenseMatrix, col int) (int, float64) {
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < m.Rows; i++ {
+		if v := m.At(i, col); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}

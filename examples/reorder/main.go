@@ -1,0 +1,75 @@
+// Locality restoration with RCM reordering (extension): Two-Face's wins
+// come from sparse-matrix locality under 1D partitioning, so a matrix whose
+// natural ordering scatters its nonzeros forfeits them. This example takes a
+// banded FEM analog, destroys its ordering with a random symmetric
+// permutation, restores it with reverse Cuthill-McKee, and compares
+// Two-Face's modeled time in all three orderings.
+//
+//	go run ./examples/reorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"twoface"
+	"twoface/internal/sparse"
+)
+
+const (
+	nodes = 8
+	k     = 64
+)
+
+func main() {
+	original := twoface.Generate("stokes", 0.1, 42)
+	n := original.NumRows
+
+	// Destroy the ordering.
+	rng := rand.New(rand.NewPCG(7, 7))
+	shufflePerm := make([]int32, n)
+	for i := range shufflePerm {
+		shufflePerm[i] = int32(i)
+	}
+	rng.Shuffle(int(n), func(i, j int) { shufflePerm[i], shufflePerm[j] = shufflePerm[j], shufflePerm[i] })
+	shuffled, err := original.PermuteSymmetric(shufflePerm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Restore locality with RCM.
+	rcmPerm, err := sparse.RCM(shuffled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := shuffled.PermuteSymmetric(rcmPerm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := twoface.New(twoface.Options{Nodes: nodes, DenseColumns: k, TimingOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stokes analog: %d rows, %d nonzeros; p=%d, K=%d\n\n", n, original.NNZ(), nodes, k)
+	fmt.Printf("%-10s %12s %14s %12s %12s\n", "ordering", "bandwidth", "modeled time", "sync str.", "async str.")
+	for _, c := range []struct {
+		name string
+		m    *twoface.SparseMatrix
+	}{{"original", original}, {"shuffled", shuffled}, {"rcm", restored}} {
+		plan, err := sys.Preprocess(c.m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := plan.Multiply(twoface.NewDense(int(n), k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := plan.Stats()
+		fmt.Printf("%-10s %12d %12.4g s %12d %12d\n",
+			c.name, c.m.Bandwidth(), res.ModeledSeconds, st.SyncStripes, st.AsyncStripes)
+	}
+	fmt.Println("\nRCM recovers the thin-band structure, collapsing the communication the")
+	fmt.Println("shuffle created — the same effect that makes queen/stokes the paper's best cases.")
+}

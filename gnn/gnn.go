@@ -1,0 +1,280 @@
+// Package gnn implements full-graph graph-convolutional-network training on
+// top of Two-Face, the motivating application of the paper (section 5.4):
+// every layer's neighbourhood aggregation — forward and backward — is a
+// distributed SpMM over the same normalized adjacency matrix, so one
+// Two-Face preprocessing pass is amortized over every layer of every epoch.
+//
+// The model is a standard GCN for semi-supervised node classification
+// (Kipf & Welling, cited by the paper): H_l = act(Â H_{l-1} W_l) with
+// Â = D^-1/2 (A + A^T + I) D^-1/2. Because Â is symmetric, the backward
+// pass's Â^T SpMMs reuse the forward plan unchanged.
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"twoface"
+	"twoface/internal/dense"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	// None is the identity (used for the output layer's logits).
+	None Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+)
+
+func (a Activation) apply(m *twoface.DenseMatrix) {
+	if a == ReLU {
+		for i, v := range m.Data {
+			if v < 0 {
+				m.Data[i] = 0
+			}
+		}
+	}
+}
+
+// maskGrad zeroes gradient entries where the activation was inactive.
+func (a Activation) maskGrad(grad, pre *twoface.DenseMatrix) {
+	if a == ReLU {
+		for i := range grad.Data {
+			if pre.Data[i] <= 0 {
+				grad.Data[i] = 0
+			}
+		}
+	}
+}
+
+// Layer is one graph convolution: aggregate neighbours, project, activate.
+type Layer struct {
+	W   *twoface.DenseMatrix // in x out projection
+	Act Activation
+}
+
+// Model is a GCN bound to a preprocessed graph.
+type Model struct {
+	plan   *twoface.Plan
+	Layers []*Layer
+	// ModeledSeconds accumulates the modeled time of every distributed SpMM
+	// the model has executed (forward and backward).
+	ModeledSeconds float64
+}
+
+// NormalizeAdjacency returns Â = D^-1/2 (A + A^T + I) D^-1/2, the symmetric
+// GCN propagation matrix of the input graph's structure (values are
+// ignored; each edge contributes structure only).
+func NormalizeAdjacency(g *twoface.SparseMatrix) (*twoface.SparseMatrix, error) {
+	if g.NumRows != g.NumCols {
+		return nil, fmt.Errorf("gnn: adjacency must be square, got %dx%d", g.NumRows, g.NumCols)
+	}
+	n := g.NumRows
+	out := twoface.NewSparse(n, n)
+	for _, e := range g.Entries {
+		out.Append(e.Row, e.Col, 1)
+		if e.Row != e.Col {
+			out.Append(e.Col, e.Row, 1)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		out.Append(i, i, 1)
+	}
+	out.Dedup()
+	// Dedup sums duplicates; reset all structural values to 1 before
+	// normalizing.
+	for i := range out.Entries {
+		out.Entries[i].Val = 1
+	}
+	deg := make([]float64, n)
+	for _, e := range out.Entries {
+		deg[e.Row]++
+	}
+	for i := range out.Entries {
+		e := &out.Entries[i]
+		e.Val = 1 / math.Sqrt(deg[e.Row]*deg[e.Col])
+	}
+	return out, nil
+}
+
+// New builds a GCN with the given layer dimensions (dims[0] is the input
+// feature width; len(dims)-1 layers follow; the last layer emits logits with
+// no activation). Every hidden dimension must equal sys's DenseColumns so
+// each aggregation is one distributed SpMM of the configured width; the
+// simplest valid configuration uses the same width everywhere.
+//
+// The adjacency must already be normalized (see NormalizeAdjacency); New
+// preprocesses it once.
+func New(sys *twoface.System, adj *twoface.SparseMatrix, dims []int, seed uint64) (*Model, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("gnn: need at least input and output dims, got %v", dims)
+	}
+	// Every tensor that flows through the distributed aggregation (the layer
+	// inputs, and the gradients flowing back) must have the plan's width.
+	for l := 0; l+1 < len(dims); l++ {
+		if dims[l] != sys.DenseColumns() {
+			return nil, fmt.Errorf("gnn: dims[%d] = %d must equal the system's DenseColumns (%d)", l, dims[l], sys.DenseColumns())
+		}
+	}
+	if dims[len(dims)-1] <= 0 {
+		return nil, fmt.Errorf("gnn: non-positive output dimension in %v", dims)
+	}
+	plan, err := sys.Preprocess(adj)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{plan: plan}
+	for l := 0; l+1 < len(dims); l++ {
+		w := twoface.RandomDense(dims[l], dims[l+1], seed+uint64(l))
+		w.Scale(1 / math.Sqrt(float64(dims[l]))) // Glorot-style
+		act := ReLU
+		if l == len(dims)-2 {
+			act = None
+		}
+		m.Layers = append(m.Layers, &Layer{W: w, Act: act})
+	}
+	return m, nil
+}
+
+// forwardState caches the per-layer tensors the backward pass needs.
+type forwardState struct {
+	inputs []*twoface.DenseMatrix // H_{l-1} per layer
+	aggs   []*twoface.DenseMatrix // Â H_{l-1} per layer
+	pres   []*twoface.DenseMatrix // Z_l = Agg W before activation
+	out    *twoface.DenseMatrix   // H_L (logits for the last layer)
+}
+
+func (m *Model) forward(x *twoface.DenseMatrix) (*forwardState, error) {
+	st := &forwardState{}
+	h := x
+	for _, layer := range m.Layers {
+		st.inputs = append(st.inputs, h)
+		res, err := m.plan.Multiply(h)
+		if err != nil {
+			return nil, err
+		}
+		m.ModeledSeconds += res.ModeledSeconds
+		st.aggs = append(st.aggs, res.C)
+		z, err := dense.MatMul(res.C, layer.W)
+		if err != nil {
+			return nil, err
+		}
+		st.pres = append(st.pres, z.Clone())
+		layer.Act.apply(z)
+		h = z
+	}
+	st.out = h
+	return st, nil
+}
+
+// Forward runs inference and returns the logits.
+func (m *Model) Forward(x *twoface.DenseMatrix) (*twoface.DenseMatrix, error) {
+	st, err := m.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return st.out, nil
+}
+
+// Metrics reports one training step's outcome.
+type Metrics struct {
+	Loss     float64 // mean cross-entropy over labeled nodes
+	Accuracy float64 // argmax accuracy over labeled nodes
+}
+
+// Step runs one full-graph training step: forward, softmax cross-entropy on
+// the labeled nodes (labels[i] < 0 marks node i unlabeled), backward through
+// every layer — including the distributed Â^T SpMMs — and an SGD update
+// with the given learning rate.
+func (m *Model) Step(x *twoface.DenseMatrix, labels []int, lr float64) (Metrics, error) {
+	if len(labels) != x.Rows {
+		return Metrics{}, fmt.Errorf("gnn: %d labels for %d nodes", len(labels), x.Rows)
+	}
+	st, err := m.forward(x)
+	if err != nil {
+		return Metrics{}, err
+	}
+	classes := st.out.Cols
+	for _, l := range labels {
+		if l >= classes {
+			return Metrics{}, fmt.Errorf("gnn: label %d outside %d classes", l, classes)
+		}
+	}
+
+	// Softmax cross-entropy on labeled rows; dZ_L = (softmax - onehot)/m.
+	grad := twoface.NewDense(st.out.Rows, classes)
+	var loss float64
+	var correct, labeled int
+	for i := 0; i < st.out.Rows; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		labeled++
+		row := st.out.Row(i)
+		p, argmax := softmax(row)
+		loss += -math.Log(math.Max(p[labels[i]], 1e-300))
+		if argmax == labels[i] {
+			correct++
+		}
+		g := grad.Row(i)
+		copy(g, p)
+		g[labels[i]] -= 1
+	}
+	if labeled == 0 {
+		return Metrics{}, fmt.Errorf("gnn: no labeled nodes")
+	}
+	grad.Scale(1 / float64(labeled))
+	met := Metrics{Loss: loss / float64(labeled), Accuracy: float64(correct) / float64(labeled)}
+
+	// Backward through the layers.
+	dZ := grad
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		layer := m.Layers[l]
+		dW, err := dense.MatMulT1(st.aggs[l], dZ)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if l > 0 {
+			dAgg, err := dense.MatMulT2(dZ, layer.W)
+			if err != nil {
+				return Metrics{}, err
+			}
+			// dH_{l-1} = Â^T dAgg; Â is symmetric, so the forward plan serves.
+			res, err := m.plan.Multiply(dAgg)
+			if err != nil {
+				return Metrics{}, err
+			}
+			m.ModeledSeconds += res.ModeledSeconds
+			dZ = res.C
+			m.Layers[l-1].Act.maskGrad(dZ, st.pres[l-1])
+		}
+		dW.Scale(-lr)
+		if err := layer.W.Add(dW); err != nil {
+			return Metrics{}, err
+		}
+	}
+	return met, nil
+}
+
+// softmax returns the probability vector and argmax of one logit row.
+func softmax(row []float64) ([]float64, int) {
+	max, arg := math.Inf(-1), 0
+	for j, v := range row {
+		if v > max {
+			max, arg = v, j
+		}
+	}
+	p := make([]float64, len(row))
+	var sum float64
+	for j, v := range row {
+		p[j] = math.Exp(v - max)
+		sum += p[j]
+	}
+	for j := range p {
+		p[j] /= sum
+	}
+	return p, arg
+}

@@ -1,0 +1,227 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"twoface"
+)
+
+func ringGraph(n int32) *twoface.SparseMatrix {
+	g := twoface.NewSparse(n, n)
+	for i := int32(0); i < n; i++ {
+		g.Append(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func testSystem(t *testing.T, k int) *twoface.System {
+	t.Helper()
+	sys, err := twoface.New(twoface.Options{Nodes: 2, DenseColumns: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNormalizeAdjacency(t *testing.T) {
+	g := ringGraph(6)
+	norm, err := NormalizeAdjacency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric with self loops: every node has degree 3 (two neighbours +
+	// self), so every value is 1/3.
+	if norm.NNZ() != 18 {
+		t.Fatalf("normalized ring has %d entries, want 18", norm.NNZ())
+	}
+	for _, e := range norm.Entries {
+		if math.Abs(e.Val-1.0/3) > 1e-12 {
+			t.Fatalf("entry (%d,%d) = %v, want 1/3", e.Row, e.Col, e.Val)
+		}
+	}
+	// Symmetry.
+	vals := map[[2]int32]float64{}
+	for _, e := range norm.Entries {
+		vals[[2]int32{e.Row, e.Col}] = e.Val
+	}
+	for k, v := range vals {
+		if vals[[2]int32{k[1], k[0]}] != v {
+			t.Fatal("normalized adjacency not symmetric")
+		}
+	}
+	if _, err := NormalizeAdjacency(twoface.NewSparse(3, 4)); err == nil {
+		t.Fatal("non-square adjacency should fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := testSystem(t, 4)
+	adj, _ := NormalizeAdjacency(ringGraph(10))
+	if _, err := New(sys, adj, []int{4}, 1); err == nil {
+		t.Fatal("single dim should fail")
+	}
+	if _, err := New(sys, adj, []int{5, 3}, 1); err == nil {
+		t.Fatal("input dim != DenseColumns should fail")
+	}
+	if _, err := New(sys, adj, []int{4, 0}, 1); err == nil {
+		t.Fatal("zero output dim should fail")
+	}
+	m, err := New(sys, adj, []int{4, 4, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 2 || m.Layers[0].Act != ReLU || m.Layers[1].Act != None {
+		t.Fatalf("layer structure wrong: %+v", m.Layers)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	sys := testSystem(t, 4)
+	adj, _ := NormalizeAdjacency(ringGraph(12))
+	m, err := New(sys, adj, []int{4, 4, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := twoface.RandomDense(12, 4, 3)
+	out, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 12 || out.Cols != 3 {
+		t.Fatalf("logits shape %dx%d", out.Rows, out.Cols)
+	}
+	if m.ModeledSeconds <= 0 {
+		t.Fatal("forward should accumulate modeled SpMM time")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	sys := testSystem(t, 4)
+	adj, _ := NormalizeAdjacency(ringGraph(8))
+	m, _ := New(sys, adj, []int{4, 3}, 2)
+	x := twoface.RandomDense(8, 4, 3)
+	if _, err := m.Step(x, []int{0}, 0.1); err == nil {
+		t.Fatal("label length mismatch should fail")
+	}
+	if _, err := m.Step(x, []int{9, -1, -1, -1, -1, -1, -1, -1}, 0.1); err == nil {
+		t.Fatal("out-of-range label should fail")
+	}
+	if _, err := m.Step(x, []int{-1, -1, -1, -1, -1, -1, -1, -1}, 0.1); err == nil {
+		t.Fatal("no labeled nodes should fail")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	const n, k, classes = 64, 8, 4
+	g := twoface.Generate("stokes", 0.01, 5)
+	adj, err := NormalizeAdjacency(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := twoface.New(twoface.Options{Nodes: 4, DenseColumns: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(sys, adj, []int{k, k, classes}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := int(adj.NumRows)
+	x := twoface.RandomDense(nn, k, 8)
+	labels := make([]int, nn)
+	for i := range labels {
+		if i%3 == 0 {
+			labels[i] = -1 // unlabeled
+		} else {
+			labels[i] = i % classes
+		}
+	}
+	var first, last Metrics
+	for step := 0; step < 30; step++ {
+		met, err := m.Step(x, labels, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = met
+		}
+		last = met
+	}
+	if !(last.Loss < first.Loss) {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+	if last.Accuracy < first.Accuracy {
+		t.Fatalf("accuracy regressed: %.3f -> %.3f", first.Accuracy, last.Accuracy)
+	}
+	_ = n
+}
+
+// TestGradientCheck verifies the analytic weight gradients against finite
+// differences on a tiny deterministic network — the strongest possible test
+// of the backward pass through the distributed aggregations.
+func TestGradientCheck(t *testing.T) {
+	const n, k, classes = 12, 4, 3
+	adj, err := NormalizeAdjacency(ringGraph(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem(t, k)
+	x := twoface.RandomDense(n, k, 11)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+
+	lossOf := func(m *Model) float64 {
+		st, err := m.forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loss float64
+		for i := 0; i < n; i++ {
+			p, _ := softmax(st.out.Row(i))
+			loss += -math.Log(math.Max(p[labels[i]], 1e-300))
+		}
+		return loss / float64(n)
+	}
+
+	build := func() *Model {
+		m, err := New(sys, adj, []int{k, k, classes}, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Analytic gradients: run one Step with lr so that W' = W - lr*dW, i.e.
+	// dW = (W - W')/lr.
+	const lr = 1e-3
+	ref := build()
+	before := make([]*twoface.DenseMatrix, len(ref.Layers))
+	for l, layer := range ref.Layers {
+		before[l] = layer.W.Clone()
+	}
+	if _, err := ref.Step(x, labels, lr); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	for l := range ref.Layers {
+		for _, idx := range []int{0, 1, len(before[l].Data) - 1} {
+			analytic := (before[l].Data[idx] - ref.Layers[l].W.Data[idx]) / lr
+
+			plus := build()
+			plus.Layers[l].W.Data[idx] += eps
+			minus := build()
+			minus.Layers[l].W.Data[idx] -= eps
+			numeric := (lossOf(plus) - lossOf(minus)) / (2 * eps)
+
+			diff := math.Abs(analytic - numeric)
+			scale := math.Max(1e-4, math.Max(math.Abs(analytic), math.Abs(numeric)))
+			if diff/scale > 2e-2 {
+				t.Fatalf("layer %d W[%d]: analytic %v vs numeric %v", l, idx, analytic, numeric)
+			}
+		}
+	}
+}

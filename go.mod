@@ -1,0 +1,3 @@
+module twoface
+
+go 1.22

@@ -1,0 +1,88 @@
+// Package atomicfloat provides lock-free accumulation of float64 values,
+// which the SpMM kernels use to add partial results into shared rows of the
+// output matrix C from many goroutines at once (paper Algorithms 2 and 3:
+// "Atomics are required ... because some threads operating on asynchronous
+// stripes may also be writing to the same rows of C").
+//
+// Go's sync/atomic has no floating-point operations, so values are stored as
+// their IEEE-754 bit patterns in uint64 words and updated with compare-and-
+// swap loops. This is the standard portable construction and is linearizable:
+// each successful CAS applies exactly one addend.
+package atomicfloat
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Add atomically performs *addr += delta, where *addr holds the bit pattern
+// of a float64.
+func Add(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, next) {
+			return
+		}
+	}
+}
+
+// Load atomically reads the float64 stored at addr.
+func Load(addr *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(addr))
+}
+
+// Store atomically writes v to addr.
+func Store(addr *uint64, v float64) {
+	atomic.StoreUint64(addr, math.Float64bits(v))
+}
+
+// Slice is a fixed-length vector of atomically updatable float64 values.
+type Slice struct {
+	bits []uint64
+}
+
+// NewSlice returns a zero-initialized atomic vector of length n.
+func NewSlice(n int) *Slice { return &Slice{bits: make([]uint64, n)} }
+
+// Len returns the vector length.
+func (s *Slice) Len() int { return len(s.bits) }
+
+// Add atomically performs s[i] += v.
+func (s *Slice) Add(i int, v float64) { Add(&s.bits[i], v) }
+
+// AddRange atomically accumulates vals into s[off : off+len(vals)],
+// element-wise. Each element is updated independently; the range as a whole
+// is not one atomic unit (matching the per-element semantics of the paper's
+// AtomicAdd over an output row).
+func (s *Slice) AddRange(off int, vals []float64) {
+	for i, v := range vals {
+		if v != 0 {
+			Add(&s.bits[off+i], v)
+		}
+	}
+}
+
+// Load atomically reads s[i].
+func (s *Slice) Load(i int) float64 { return Load(&s.bits[i]) }
+
+// Store atomically writes s[i] = v.
+func (s *Slice) Store(i int, v float64) { Store(&s.bits[i], v) }
+
+// Float64s copies the current contents into a new []float64. It is intended
+// for use after all writers have finished; concurrent use sees each element
+// atomically but not a consistent snapshot of the whole vector.
+func (s *Slice) Float64s() []float64 {
+	out := make([]float64, len(s.bits))
+	for i := range s.bits {
+		out[i] = Load(&s.bits[i])
+	}
+	return out
+}
+
+// CopyTo writes the current contents into dst, which must have length Len().
+func (s *Slice) CopyTo(dst []float64) {
+	for i := range s.bits {
+		dst[i] = Load(&s.bits[i])
+	}
+}

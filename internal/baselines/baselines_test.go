@@ -1,0 +1,211 @@
+package baselines
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"twoface/internal/cluster"
+	"twoface/internal/core"
+	"twoface/internal/dense"
+	"twoface/internal/sparse"
+)
+
+func randomCOO(rows, cols int32, nnz int, seed uint64) *sparse.COO {
+	rng := rand.New(rand.NewPCG(seed, seed^123))
+	m := sparse.NewCOO(rows, cols, nnz)
+	for i := 0; i < nnz; i++ {
+		m.Append(rng.Int32N(rows), rng.Int32N(cols), rng.Float64()*2-1)
+	}
+	m.Dedup()
+	return m
+}
+
+type fixture struct {
+	a    *sparse.COO
+	b    *dense.Matrix
+	want *dense.Matrix
+	clu  *cluster.Cluster
+}
+
+func newFixture(t *testing.T, rows int32, nnz, k, p int, seed uint64) *fixture {
+	t.Helper()
+	a := randomCOO(rows, rows, nnz, seed)
+	b := dense.Random(int(rows), k, seed+1)
+	want, err := a.ToCSR().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := cluster.New(p, cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{a: a, b: b, want: want, clu: clu}
+}
+
+func checkResult(t *testing.T, name string, res *core.Result, err error, want *dense.Matrix) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.C.AlmostEqual(want, 1e-9) {
+		d, _ := res.C.MaxAbsDiff(want)
+		t.Fatalf("%s: result differs from reference by %v", name, d)
+	}
+	if res.ModeledSeconds <= 0 {
+		t.Fatalf("%s: no modeled time", name)
+	}
+}
+
+func TestDenseShiftCorrectAcrossReplication(t *testing.T) {
+	fx := newFixture(t, 128, 2500, 8, 8, 1)
+	for _, c := range []int{1, 2, 4, 8} {
+		res, err := DenseShift(fx.a, fx.b, fx.clu, c, Options{})
+		checkResult(t, "DS", res, err, fx.want)
+	}
+}
+
+func TestDenseShiftBadReplication(t *testing.T) {
+	fx := newFixture(t, 64, 500, 4, 6, 2)
+	if _, err := DenseShift(fx.a, fx.b, fx.clu, 4, Options{}); err == nil {
+		t.Fatal("c=4 with p=6 should fail")
+	}
+	if _, err := DenseShift(fx.a, fx.b, fx.clu, 0, Options{}); err == nil {
+		t.Fatal("c=0 should fail")
+	}
+}
+
+func TestDenseShiftSingleNode(t *testing.T) {
+	fx := newFixture(t, 64, 600, 4, 1, 3)
+	res, err := DenseShift(fx.a, fx.b, fx.clu, 1, Options{})
+	checkResult(t, "DS1/p1", res, err, fx.want)
+	if bd := res.Breakdowns[0]; bd.SyncComm != 0 {
+		t.Fatalf("single node should not shift: %+v", bd)
+	}
+}
+
+func TestDenseShiftOOM(t *testing.T) {
+	fx := newFixture(t, 256, 1000, 16, 4, 4)
+	_, err := DenseShift(fx.a, fx.b, fx.clu, 4, Options{MemBudgetElems: 100})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestAllgatherCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		fx := newFixture(t, 100, 1800, 8, p, uint64(p))
+		res, err := Allgather(fx.a, fx.b, fx.clu, Options{})
+		checkResult(t, "Allgather", res, err, fx.want)
+	}
+}
+
+func TestAllgatherOOM(t *testing.T) {
+	fx := newFixture(t, 256, 1000, 16, 4, 5)
+	_, err := Allgather(fx.a, fx.b, fx.clu, Options{MemBudgetElems: 1000})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestAsyncCoarseCorrect(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		fx := newFixture(t, 120, 2000, 4, p, uint64(10+p))
+		res, err := AsyncCoarse(fx.a, fx.b, fx.clu, Options{})
+		checkResult(t, "AsyncCoarse", res, err, fx.want)
+	}
+}
+
+func TestAsyncCoarseOOM(t *testing.T) {
+	fx := newFixture(t, 256, 4000, 16, 4, 6)
+	_, err := AsyncCoarse(fx.a, fx.b, fx.clu, Options{MemBudgetElems: 2000})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestAsyncCoarseChargesAsync(t *testing.T) {
+	fx := newFixture(t, 120, 2000, 4, 4, 7)
+	res, err := AsyncCoarse(fx.a, fx.b, fx.clu, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var async float64
+	for _, bd := range res.Breakdowns {
+		async += bd.AsyncComm
+		if bd.SyncComm != 0 {
+			t.Fatalf("AsyncCoarse should not charge SyncComm: %+v", bd)
+		}
+	}
+	if async == 0 {
+		t.Fatal("AsyncCoarse must charge one-sided communication")
+	}
+}
+
+func TestAsyncFineCorrect(t *testing.T) {
+	fx := newFixture(t, 128, 2200, 8, 4, 8)
+	res, err := AsyncFine(fx.a, fx.b, fx.clu, 8, Options{})
+	checkResult(t, "AsyncFine", res, err, fx.want)
+	// All communication must be one-sided.
+	for _, bd := range res.Breakdowns {
+		if bd.SyncComm != 0 {
+			t.Fatalf("AsyncFine charged SyncComm: %+v", bd)
+		}
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	fx := newFixture(t, 96, 1500, 4, 4, 9)
+	params := core.Params{P: 4, K: 4, W: 8}
+	prep, err := core.Preprocess(fx.a, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := core.Exec(prep, fx.b, fx.clu, core.ExecOptions{})
+	checkResult(t, "Two-Face", tf, err, fx.want)
+
+	ds, err := DenseShift(fx.a, fx.b, fx.clu, 2, Options{})
+	checkResult(t, "DS2", ds, err, fx.want)
+	ag, err := Allgather(fx.a, fx.b, fx.clu, Options{})
+	checkResult(t, "Allgather", ag, err, fx.want)
+	ac, err := AsyncCoarse(fx.a, fx.b, fx.clu, Options{})
+	checkResult(t, "AsyncCoarse", ac, err, fx.want)
+	af, err := AsyncFine(fx.a, fx.b, fx.clu, 8, Options{})
+	checkResult(t, "AsyncFine", af, err, fx.want)
+}
+
+func TestValidateShapeMismatch(t *testing.T) {
+	fx := newFixture(t, 64, 500, 4, 2, 11)
+	badB := dense.New(63, 4)
+	if _, err := Allgather(fx.a, badB, fx.clu, Options{}); err == nil {
+		t.Fatal("B row mismatch should fail")
+	}
+	if _, err := DenseShift(fx.a, badB, fx.clu, 1, Options{}); err == nil {
+		t.Fatal("B row mismatch should fail")
+	}
+	if _, err := AsyncCoarse(fx.a, badB, fx.clu, Options{}); err == nil {
+		t.Fatal("B row mismatch should fail")
+	}
+}
+
+func TestDenseShiftCommCheaperWithReplication(t *testing.T) {
+	// Higher replication means fewer, larger shifts; for a fixed matrix the
+	// modeled communication of DS8 should not exceed DS1's.
+	fx := newFixture(t, 256, 4000, 16, 8, 12)
+	res1, err := DenseShift(fx.a, fx.b, fx.clu, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := DenseShift(fx.a, fx.b, fx.clu, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comm1, comm8 float64
+	for i := range res1.Breakdowns {
+		comm1 += res1.Breakdowns[i].SyncComm
+		comm8 += res8.Breakdowns[i].SyncComm
+	}
+	if comm8 > comm1 {
+		t.Fatalf("DS8 comm (%v) should not exceed DS1 comm (%v)", comm8, comm1)
+	}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "sync"
+
+// barrier is a reusable (cyclic) p-party barrier. A failing rank can break
+// it, releasing all current and future waiters with the recorded error, so
+// that collective operations fail fast instead of deadlocking when a peer
+// has exited.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	gen     uint64
+	err     error
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && b.err == nil {
+		b.cond.Wait()
+	}
+	return b.err
+}
+
+func (b *barrier) breakWith(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.err = nil
+	b.gen++
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

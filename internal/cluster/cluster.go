@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Cluster is a simulated p-node distributed machine. Create one with New,
+// then execute a distributed program with Run; every node runs the program
+// concurrently in its own goroutine, communicating through the Rank handle.
+//
+// A Cluster may be Run multiple times; windows and virtual clocks reset
+// between runs only via Reset.
+type Cluster struct {
+	p   int
+	net NetModel
+
+	mu      sync.RWMutex
+	windows []map[string][]float64 // per-rank named one-sided windows
+	staging [][]float64            // per-rank deposit slots for exchanges
+	ranks   []*Rank
+
+	barrier *barrier
+}
+
+// New returns a cluster of p nodes with the given network model.
+func New(p int, net NetModel) (*Cluster, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", p)
+	}
+	c := &Cluster{
+		p:       p,
+		net:     net,
+		windows: make([]map[string][]float64, p),
+		staging: make([][]float64, p),
+		barrier: newBarrier(p),
+	}
+	for i := range c.windows {
+		c.windows[i] = map[string][]float64{}
+	}
+	c.ranks = make([]*Rank, p)
+	for i := 0; i < p; i++ {
+		c.ranks[i] = &Rank{ID: i, P: p, c: c}
+	}
+	return c, nil
+}
+
+// P returns the number of nodes.
+func (c *Cluster) P() int { return c.p }
+
+// Net returns the cluster's network model.
+func (c *Cluster) Net() NetModel { return c.net }
+
+// Run executes fn on every rank concurrently and waits for all of them. If
+// any rank returns an error, the cluster's barrier is broken so that other
+// ranks blocked in collectives fail fast, and the joined errors are
+// returned.
+func (c *Cluster) Run(fn func(r *Rank) error) error {
+	errs := make([]error, c.p)
+	var wg sync.WaitGroup
+	for i := 0; i < c.p; i++ {
+		wg.Add(1)
+		go func(rank *Rank) {
+			defer wg.Done()
+			if err := fn(rank); err != nil {
+				errs[rank.ID] = fmt.Errorf("rank %d: %w", rank.ID, err)
+				c.barrier.breakWith(errs[rank.ID])
+			}
+		}(c.ranks[i])
+	}
+	wg.Wait()
+	c.barrier.reset()
+	return errors.Join(errs...)
+}
+
+// Breakdowns returns a copy of every rank's virtual-time ledger.
+func (c *Cluster) Breakdowns() []Breakdown {
+	out := make([]Breakdown, c.p)
+	for i, r := range c.ranks {
+		out[i] = r.Breakdown()
+	}
+	return out
+}
+
+// TotalTime returns the cluster's modeled makespan: the maximum node time.
+// All algorithms in this repository end with an implicit synchronization
+// (the SpMM result is consumed collectively), so the slowest node defines
+// the operation's latency.
+func (c *Cluster) TotalTime() float64 {
+	var max float64
+	for _, r := range c.ranks {
+		if t := r.Breakdown().NodeTime(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Reset clears all windows, staging slots, and virtual clocks, preparing the
+// cluster for an unrelated run.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	for i := range c.windows {
+		c.windows[i] = map[string][]float64{}
+		c.staging[i] = nil
+	}
+	c.mu.Unlock()
+	for _, r := range c.ranks {
+		r.resetClock()
+	}
+}
+
+// Rank is one node's handle into the cluster. All methods are safe for use
+// by multiple goroutines of the same node (the paper's per-node OpenMP
+// threads map to goroutines sharing one Rank).
+type Rank struct {
+	ID int // this node's rank, 0-based
+	P  int // number of nodes
+	c  *Cluster
+
+	mu       sync.Mutex
+	bd       Breakdown
+	counters transferCounters
+	trace    traceBuf
+}
+
+// Net returns the cluster's network model.
+func (r *Rank) Net() NetModel { return r.c.net }
+
+// Charge adds dt seconds of virtual time to the given category of this
+// node's ledger. Negative charges are rejected.
+func (r *Rank) Charge(cat Category, dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("cluster: negative charge %v to %v", dt, cat))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cat {
+	case SyncComm:
+		r.bd.SyncComm += dt
+	case SyncComp:
+		r.bd.SyncComp += dt
+	case AsyncComm:
+		r.bd.AsyncComm += dt
+	case AsyncComp:
+		r.bd.AsyncComp += dt
+	case Other:
+		r.bd.Other += dt
+	default:
+		panic(fmt.Sprintf("cluster: unknown category %d", cat))
+	}
+}
+
+// Breakdown returns a copy of this node's current ledger.
+func (r *Rank) Breakdown() Breakdown {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bd
+}
+
+func (r *Rank) resetClock() {
+	r.mu.Lock()
+	r.bd = Breakdown{}
+	r.mu.Unlock()
+	r.counters.reset()
+}
+
+// Barrier blocks until every rank has reached it. It returns an error if
+// the cluster was aborted by another rank's failure.
+func (r *Rank) Barrier() error {
+	return r.c.barrier.wait()
+}

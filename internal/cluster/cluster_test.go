@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mustNew(t *testing.T, p int) *Cluster {
+	t.Helper()
+	c, err := New(p, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Default()); err == nil {
+		t.Fatal("p=0 should fail")
+	}
+	c := mustNew(t, 4)
+	if c.P() != 4 {
+		t.Fatalf("P = %d", c.P())
+	}
+}
+
+func TestRunAllRanks(t *testing.T) {
+	c := mustNew(t, 5)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := c.Run(func(r *Rank) error {
+		mu.Lock()
+		seen[r.ID] = true
+		mu.Unlock()
+		if r.P != 5 {
+			return fmt.Errorf("P = %d", r.P)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("ran %d ranks, want 5", len(seen))
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	c := mustNew(t, 3)
+	sentinel := errors.New("boom")
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("Run error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestErrorBreaksBarrier(t *testing.T) {
+	// If one rank fails before a barrier, the others must not deadlock.
+	c := mustNew(t, 4)
+	sentinel := errors.New("early exit")
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 2 {
+			return sentinel
+		}
+		return r.Barrier()
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cluster must be reusable after the broken run.
+	if err := c.Run(func(r *Rank) error { return r.Barrier() }); err != nil {
+		t.Fatalf("cluster not reusable after broken run: %v", err)
+	}
+}
+
+func TestChargeAndBreakdown(t *testing.T) {
+	c := mustNew(t, 2)
+	err := c.Run(func(r *Rank) error {
+		r.Charge(SyncComm, 1)
+		r.Charge(SyncComp, 2)
+		r.Charge(AsyncComm, 3)
+		r.Charge(AsyncComp, 4)
+		r.Charge(Other, 0.5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bd := range c.Breakdowns() {
+		if bd.SyncComm != 1 || bd.SyncComp != 2 || bd.AsyncComm != 3 || bd.AsyncComp != 4 || bd.Other != 0.5 {
+			t.Fatalf("breakdown = %+v", bd)
+		}
+		// Node time: Other + max(1+2, 3+4) = 0.5 + 7.
+		if bd.NodeTime() != 7.5 {
+			t.Fatalf("NodeTime = %v, want 7.5", bd.NodeTime())
+		}
+	}
+	if c.TotalTime() != 7.5 {
+		t.Fatalf("TotalTime = %v", c.TotalTime())
+	}
+	c.Reset()
+	if c.TotalTime() != 0 {
+		t.Fatal("Reset should clear clocks")
+	}
+}
+
+func TestChargePanicsOnNegative(t *testing.T) {
+	c := mustNew(t, 1)
+	_ = c.Run(func(r *Rank) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative charge should panic")
+			}
+		}()
+		r.Charge(SyncComm, -1)
+		return nil
+	})
+}
+
+func TestConcurrentChargesSum(t *testing.T) {
+	c := mustNew(t, 1)
+	err := c.Run(func(r *Rank) error {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 1000; j++ {
+					r.Charge(AsyncComm, 0.001)
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Breakdowns()[0].AsyncComm
+	if got < 7.999 || got > 8.001 {
+		t.Fatalf("concurrent charges sum = %v, want 8", got)
+	}
+}
+
+func TestNodeTimeSyncDominates(t *testing.T) {
+	bd := Breakdown{SyncComm: 5, SyncComp: 1, AsyncComm: 1, AsyncComp: 1, Other: 2}
+	if bd.NodeTime() != 8 {
+		t.Fatalf("NodeTime = %v, want 8", bd.NodeTime())
+	}
+}
+
+func TestBreakdownPlus(t *testing.T) {
+	a := Breakdown{SyncComm: 1, SyncComp: 2, AsyncComm: 3, AsyncComp: 4, Other: 5}
+	b := a.Plus(a)
+	if b.SyncComm != 2 || b.Other != 10 {
+		t.Fatalf("Plus = %+v", b)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{SyncComm, SyncComp, AsyncComm, AsyncComp, Other} {
+		if c.String() == "Unknown" || c.String() == "" {
+			t.Fatalf("category %d has no label", c)
+		}
+	}
+	if Category(99).String() != "Unknown" {
+		t.Fatal("out-of-range category should stringify as Unknown")
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import "fmt"
+
+// Synchronous collectives built on a deposit-barrier-collect discipline:
+// each participating rank deposits its outgoing payload in its staging slot,
+// everyone synchronizes, then each rank copies what it needs. Two barriers
+// bound every step so slots can be reused. This realizes the data plane of
+// MPI_Allgather and the cyclic MPI_Sendrecv shifts of the dense-shifting
+// baseline; costs are charged by callers from NetModel.
+
+// deposit places data in this rank's staging slot.
+func (r *Rank) deposit(data []float64) {
+	r.c.mu.Lock()
+	r.c.staging[r.ID] = data
+	r.c.mu.Unlock()
+}
+
+func (r *Rank) collect(from int) ([]float64, error) {
+	if from < 0 || from >= r.P {
+		return nil, fmt.Errorf("cluster: rank %d: collect from %d out of range [0,%d)", r.ID, from, r.P)
+	}
+	r.c.mu.RLock()
+	d := r.c.staging[from]
+	r.c.mu.RUnlock()
+	return d, nil
+}
+
+// Sendrecv simultaneously sends `send` toward rank `to` and receives the
+// payload deposited by rank `from`, as one synchronous shift step. Every
+// rank must call it in the same round. The received slice is a copy.
+func (r *Rank) Sendrecv(send []float64, to, from int) ([]float64, error) {
+	if to < 0 || to >= r.P || from < 0 || from >= r.P {
+		return nil, fmt.Errorf("cluster: rank %d: Sendrecv peers (%d,%d) out of range", r.ID, to, from)
+	}
+	r.deposit(send)
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	src, err := r.collect(from)
+	if err != nil {
+		return nil, err
+	}
+	recv := make([]float64, len(src))
+	copy(recv, src)
+	r.counters.addCollective(int64(len(recv)), 1)
+	r.trace.record(Event{Rank: r.ID, Op: TraceSendrecv, Peer: from, Elems: int64(len(recv)), Msgs: 1})
+	// Second barrier: nobody overwrites a slot before all reads complete.
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
+// Allgather contributes this rank's local slice and returns every rank's
+// contribution, indexed by rank. The result slices are copies. Every rank
+// must call it in the same round.
+func (r *Rank) Allgather(local []float64) ([][]float64, error) {
+	r.deposit(local)
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, r.P)
+	var recvElems int64
+	for i := 0; i < r.P; i++ {
+		src, err := r.collect(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = make([]float64, len(src))
+		copy(out[i], src)
+		if i != r.ID {
+			recvElems += int64(len(src))
+		}
+	}
+	r.counters.addCollective(recvElems, int64(r.P-1))
+	r.trace.record(Event{Rank: r.ID, Op: TraceAllgather, Peer: -1, Elems: recvElems, Msgs: int64(r.P - 1)})
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

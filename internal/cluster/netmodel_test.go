@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperTable3(t *testing.T) {
+	n := Default()
+	if n.AlphaS != 1.36e-6 || n.BetaS != 1.95e-10 || n.AlphaA != 1.02e-5 || n.BetaA != 3.61e-9 {
+		t.Fatalf("default transfer coefficients diverge from Table 3: %+v", n)
+	}
+	// Paper section 6.2: beta_A / beta_S ~ 18.5.
+	ratio := n.BetaA / n.BetaS
+	if ratio < 18 || ratio > 19 {
+		t.Fatalf("BetaA/BetaS = %.2f, want ~18.5", ratio)
+	}
+	// The effective async gamma (with Table 2's 8 async compute threads)
+	// must match the documented machine truth of 6e-10 per nonzero per
+	// dense column (see NetModel.AsyncPenalty for why this deliberately
+	// departs from Table 3's fitted 2.07e-8).
+	gammaA := n.GammaCore * n.AsyncPenalty / 8
+	if math.Abs(gammaA-6e-10) > 1e-13 {
+		t.Fatalf("effective gamma_A = %v, want 6e-10", gammaA)
+	}
+}
+
+func TestMulticastCostGrowsWithFanout(t *testing.T) {
+	n := Default()
+	if n.MulticastCost(1000, 0) != 0 {
+		t.Fatal("zero destinations should cost nothing")
+	}
+	one := n.MulticastCost(1000, 1)
+	if want := n.AlphaS + n.BetaS*1000; one != want {
+		t.Fatalf("single-destination multicast = %v, want point-to-point %v", one, want)
+	}
+	// Multi-destination: 2x payload (scatter-allgather) + per-stage latency.
+	if got, want := n.MulticastCost(1000, 3), 2*n.AlphaS+2*n.BetaS*1000; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("3-dest multicast = %v, want %v", got, want)
+	}
+	if got, want := n.MulticastCost(1000, 35), 6*n.AlphaS+2*n.BetaS*1000; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("35-dest multicast = %v, want %v", got, want)
+	}
+}
+
+func TestMulticastMonotone(t *testing.T) {
+	n := Default()
+	f := func(e uint32, d1, d2 uint8) bool {
+		elems := int64(e % 1e6)
+		a, b := int(d1%64), int(d2%64)
+		if a > b {
+			a, b = b, a
+		}
+		return n.MulticastCost(elems, a) <= n.MulticastCost(elems, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherCost(t *testing.T) {
+	n := Default()
+	if n.AllgatherCost(1, 1000) != 0 {
+		t.Fatal("p=1 allgather should be free")
+	}
+	got := n.AllgatherCost(4, 1000)
+	want := 3 * (n.AlphaS + n.BetaS*1000)
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("AllgatherCost = %v, want %v", got, want)
+	}
+}
+
+func TestSendrecvCost(t *testing.T) {
+	n := Default()
+	if got := n.SendrecvCost(500); got != n.AlphaS+n.BetaS*500 {
+		t.Fatalf("SendrecvCost = %v", got)
+	}
+}
+
+func TestOneSidedCost(t *testing.T) {
+	n := Default()
+	if n.OneSidedCost(0, 0) != 0 {
+		t.Fatal("zero regions should cost nothing")
+	}
+	got := n.OneSidedCost(3, 1000)
+	want := 3*n.AlphaA + 1000*n.BetaA
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("OneSidedCost = %v, want %v", got, want)
+	}
+}
+
+func TestOneSidedVsCollectivePerElement(t *testing.T) {
+	// For bulk transfers the per-element cost of one-sided must exceed
+	// collective (the premise of the whole paper).
+	n := Default()
+	elems := int64(1 << 20)
+	oneSided := n.OneSidedCost(1, elems)
+	collective := n.MulticastCost(elems, 1)
+	if oneSided <= collective {
+		t.Fatalf("one-sided bulk (%v) should cost more than collective (%v)", oneSided, collective)
+	}
+}
+
+func TestComputeCosts(t *testing.T) {
+	n := Default()
+	s := n.SyncComputeCost(1000, 128, 120)
+	if want := n.GammaCore * 1000 * 128 / 120; math.Abs(s-want) > 1e-18 {
+		t.Fatalf("SyncComputeCost = %v, want %v", s, want)
+	}
+	a := n.AsyncComputeCost(1000, 128, 8, 5)
+	want := n.GammaCore*n.AsyncPenalty*1000*128/8 + n.KappaStripe*5
+	if math.Abs(a-want) > 1e-18 {
+		t.Fatalf("AsyncComputeCost = %v, want %v", a, want)
+	}
+	// Async kernel must be slower per nonzero than sync at equal threads.
+	if n.AsyncComputeCost(1000, 128, 8, 0) <= n.SyncComputeCost(1000, 128, 8) {
+		t.Fatal("async compute should carry a penalty")
+	}
+	// Zero/negative thread counts clamp rather than divide by zero.
+	if math.IsInf(n.SyncComputeCost(10, 10, 0), 0) || math.IsInf(n.AsyncComputeCost(10, 10, -1, 0), 0) {
+		t.Fatal("thread clamping failed")
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import "sync"
+
+// TransferStats counts the actual data an algorithm moved through the
+// cluster's mechanics, independent of the virtual-time model. Because the
+// counters are incremented by the transfer primitives themselves (not by the
+// algorithms' cost charges), they are an honest record of communication
+// volume: an algorithm cannot under-report what it moved. The experiment
+// harness uses them for the communication-volume analysis that explains the
+// paper's speedups.
+type TransferStats struct {
+	// CollectiveBytes counts payload received through collective primitives
+	// (multicast pulls, allgather, sendrecv shifts).
+	CollectiveBytes int64
+	// CollectiveMsgs counts collective operations this rank took part in.
+	CollectiveMsgs int64
+	// OneSidedBytes counts payload read through one-sided gets.
+	OneSidedBytes int64
+	// OneSidedMsgs counts one-sided regions fetched (each region is one
+	// network transaction in the MPI_Type_indexed pattern).
+	OneSidedMsgs int64
+}
+
+// Plus returns the field-wise sum.
+func (t TransferStats) Plus(o TransferStats) TransferStats {
+	return TransferStats{
+		CollectiveBytes: t.CollectiveBytes + o.CollectiveBytes,
+		CollectiveMsgs:  t.CollectiveMsgs + o.CollectiveMsgs,
+		OneSidedBytes:   t.OneSidedBytes + o.OneSidedBytes,
+		OneSidedMsgs:    t.OneSidedMsgs + o.OneSidedMsgs,
+	}
+}
+
+// TotalBytes returns all payload received by this rank.
+func (t TransferStats) TotalBytes() int64 { return t.CollectiveBytes + t.OneSidedBytes }
+
+// transferCounters is the mutable, mutex-guarded holder embedded in Rank.
+type transferCounters struct {
+	mu sync.Mutex
+	ts TransferStats
+}
+
+func (c *transferCounters) addCollective(elems int64, msgs int64) {
+	c.mu.Lock()
+	c.ts.CollectiveBytes += 8 * elems
+	c.ts.CollectiveMsgs += msgs
+	c.mu.Unlock()
+}
+
+func (c *transferCounters) addOneSided(elems int64, msgs int64) {
+	c.mu.Lock()
+	c.ts.OneSidedBytes += 8 * elems
+	c.ts.OneSidedMsgs += msgs
+	c.mu.Unlock()
+}
+
+func (c *transferCounters) snapshot() TransferStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ts
+}
+
+func (c *transferCounters) reset() {
+	c.mu.Lock()
+	c.ts = TransferStats{}
+	c.mu.Unlock()
+}
+
+// TransferStats returns a copy of this rank's data-movement counters.
+func (r *Rank) TransferStats() TransferStats { return r.counters.snapshot() }
+
+// TransferStats returns every rank's data-movement counters.
+func (c *Cluster) TransferStats() []TransferStats {
+	out := make([]TransferStats, c.p)
+	for i, r := range c.ranks {
+		out[i] = r.counters.snapshot()
+	}
+	return out
+}
+
+// TotalTransfer returns the cluster-wide sum of all ranks' counters.
+func (c *Cluster) TotalTransfer() TransferStats {
+	var sum TransferStats
+	for _, r := range c.ranks {
+		sum = sum.Plus(r.counters.snapshot())
+	}
+	return sum
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transfer tracing: an opt-in, bounded per-rank event log recording every
+// data-plane operation (what moved, between whom, how much). It is the
+// debugging view behind the aggregate TransferStats — e.g. to see exactly
+// which dense stripes a node pulled and from where.
+
+// TraceOp labels a traced transfer operation.
+type TraceOp string
+
+// Traced operation kinds.
+const (
+	TraceGet       TraceOp = "get"       // one-sided indexed get
+	TraceMulticast TraceOp = "multicast" // collective multicast reception
+	TraceSendrecv  TraceOp = "sendrecv"  // cyclic shift step
+	TraceAllgather TraceOp = "allgather" // allgather reception
+)
+
+// Event is one traced transfer, from the receiving rank's perspective.
+type Event struct {
+	Rank  int     // the rank recording the event
+	Op    TraceOp // what kind of transfer
+	Peer  int     // the remote side (source for receives; -1 for allgather)
+	Elems int64   // float64 elements received
+	Msgs  int64   // network transactions (regions for indexed gets)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("rank %d %s peer=%d elems=%d msgs=%d", e.Rank, e.Op, e.Peer, e.Elems, e.Msgs)
+}
+
+// traceBuf is a bounded append-only event buffer; when full, further events
+// are counted but not stored.
+type traceBuf struct {
+	mu      sync.Mutex
+	enabled bool
+	limit   int
+	events  []Event
+	dropped int64
+}
+
+func (t *traceBuf) record(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return
+	}
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+func (t *traceBuf) snapshot() ([]Event, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out, t.dropped
+}
+
+func (t *traceBuf) reset(enabled bool, limit int) {
+	t.mu.Lock()
+	t.enabled = enabled
+	t.limit = limit
+	t.events = nil
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// EnableTrace turns on transfer tracing with the given per-rank event cap
+// (<=0 uses 4096). Existing events are cleared.
+func (c *Cluster) EnableTrace(perRankLimit int) {
+	if perRankLimit <= 0 {
+		perRankLimit = 4096
+	}
+	for _, r := range c.ranks {
+		r.trace.reset(true, perRankLimit)
+	}
+}
+
+// DisableTrace turns tracing off and clears buffered events.
+func (c *Cluster) DisableTrace() {
+	for _, r := range c.ranks {
+		r.trace.reset(false, 0)
+	}
+}
+
+// Trace returns every rank's buffered events (rank-major order) and the
+// total number of events dropped to the per-rank cap.
+func (c *Cluster) Trace() ([]Event, int64) {
+	var all []Event
+	var dropped int64
+	for _, r := range c.ranks {
+		ev, d := r.trace.snapshot()
+		all = append(all, ev...)
+		dropped += d
+	}
+	return all, dropped
+}

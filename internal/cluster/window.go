@@ -1,0 +1,103 @@
+package cluster
+
+import "fmt"
+
+// One-sided communication: the analog of MPI windows and MPI_Rget with an
+// MPI_Type_indexed datatype (paper section 5.2.3). A rank exposes a named
+// float64 buffer; any rank may then read arbitrary region lists from it
+// without the target's participation. Windows are treated as immutable for
+// the duration of an exposure epoch, matching the algorithms here, which
+// never mutate the dense input B during an SpMM.
+
+// Region selects a contiguous run of a window: Elems float64 values starting
+// at element Off.
+type Region struct {
+	Off   int64
+	Elems int64
+}
+
+// Expose registers (or replaces) this rank's window under the given name.
+// The slice is not copied: the caller must not mutate it until the window is
+// dropped. Call Barrier afterwards before peers access it.
+func (r *Rank) Expose(name string, data []float64) {
+	r.c.mu.Lock()
+	r.c.windows[r.ID][name] = data
+	r.c.mu.Unlock()
+}
+
+// window looks up a peer's exposed buffer.
+func (r *Rank) window(target int, name string) ([]float64, error) {
+	if target < 0 || target >= r.P {
+		return nil, fmt.Errorf("cluster: rank %d: window target %d out of range [0,%d)", r.ID, target, r.P)
+	}
+	r.c.mu.RLock()
+	w, ok := r.c.windows[target][name]
+	r.c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d", r.ID, name, target)
+	}
+	return w, nil
+}
+
+// GetIndexed performs a one-sided read of the given regions from a peer's
+// window, packing them contiguously into dst (which must have room for the
+// sum of region lengths). It returns the number of elements read. The call
+// only moves data; charge the cost with Net().OneSidedCost and Charge.
+func (r *Rank) GetIndexed(target int, name string, regions []Region, dst []float64) (int64, error) {
+	return r.getIndexed(target, name, regions, dst, true)
+}
+
+func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float64, record bool) (int64, error) {
+	w, err := r.window(target, name)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, reg := range regions {
+		if reg.Off < 0 || reg.Elems < 0 || reg.Off+reg.Elems > int64(len(w)) {
+			return 0, fmt.Errorf("cluster: rank %d: region [%d,+%d) outside window %q of rank %d (len %d)",
+				r.ID, reg.Off, reg.Elems, name, target, len(w))
+		}
+		if int64(len(dst))-n < reg.Elems {
+			return 0, fmt.Errorf("cluster: rank %d: destination too small for indexed get (%d < %d)",
+				r.ID, len(dst), n+reg.Elems)
+		}
+		copy(dst[n:n+reg.Elems], w[reg.Off:reg.Off+reg.Elems])
+		n += reg.Elems
+	}
+	r.counters.addOneSided(n, int64(len(regions)))
+	if record {
+		r.trace.record(Event{Rank: r.ID, Op: TraceGet, Peer: target, Elems: n, Msgs: int64(len(regions))})
+		// Target-side contention (optional machine behaviour): the passive
+		// target's NIC/memory bandwidth is consumed by incoming gets. Only
+		// true one-sided traffic pays it; multicast pulls (record=false)
+		// model root-driven collectives whose cost the root already carries.
+		if f := r.c.net.TargetContention; f > 0 && target != r.ID {
+			r.c.ranks[target].Charge(AsyncComm, f*r.c.net.OneSidedCost(len(regions), n))
+		}
+	}
+	return n, nil
+}
+
+// Get performs a one-sided read of a single contiguous region — the
+// MPI_Get whole-block pattern of the Async Coarse-Grained baseline.
+func (r *Rank) Get(target int, name string, reg Region, dst []float64) (int64, error) {
+	return r.GetIndexed(target, name, []Region{reg}, dst)
+}
+
+// MulticastPull reads a peer's whole exposed window into dst — the data
+// plane of a collective multicast in which this rank is a destination. Pull
+// semantics are equivalent to the paper's root-initiated MPI_Ibcast here
+// because windows are immutable during the epoch and reception is blocking
+// anyway (paper section 5.2.1). Returns the element count for charging.
+func (r *Rank) MulticastPull(root int, name string, off, elems int64, dst []float64) (int64, error) {
+	n, err := r.getIndexed(root, name, []Region{{Off: off, Elems: elems}}, dst, false)
+	if err != nil {
+		return n, err
+	}
+	// Reclassify: the bytes moved through a collective, not a one-sided get.
+	r.counters.addOneSided(-n, -1)
+	r.counters.addCollective(n, 1)
+	r.trace.record(Event{Rank: r.ID, Op: TraceMulticast, Peer: root, Elems: n, Msgs: 1})
+	return n, nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twoface/internal/atomicfloat"
+	"twoface/internal/cluster"
+	"twoface/internal/dense"
+)
+
+// ExecOptions controls the real goroutine parallelism of one node's
+// execution. These affect wall-clock time only; the modeled (virtual) time
+// uses the thread counts in Params, which default to the paper's Table 2.
+type ExecOptions struct {
+	// AsyncWorkers is the number of goroutines draining the async stripe
+	// queue per node (the paper's 2 async communication threads). Default 2.
+	AsyncWorkers int
+	// SyncWorkers is the number of goroutines draining the row-panel queue
+	// per node. Default 4 (scaled down from the paper's 120 to suit a
+	// single-host simulation).
+	SyncWorkers int
+	// SkipCompute runs the algorithm in timing-only mode: all transfers,
+	// queues, and virtual-time charges happen exactly as in a full run, but
+	// the floating-point accumulation loops are skipped and C is left zero.
+	// The experiment harness uses this to regenerate the paper's figures
+	// quickly on modest hosts; correctness is established separately by the
+	// test suite, and modeled time is independent of the arithmetic.
+	SkipCompute bool
+
+	// SampleKeep, when in (0, 1), runs a sampled SpMM (paper section 5.4):
+	// each nonzero survives with this probability under the deterministic
+	// mask SampleMask(row, col, SampleSeed, SampleKeep). The offline stripe
+	// classification and all transfers are unchanged; computation skips
+	// masked entries. 0 or 1 disables sampling.
+	SampleKeep float64
+	// SampleSeed selects the sample (one value per training iteration).
+	SampleSeed uint64
+}
+
+func (o ExecOptions) sampling() sampling {
+	return sampling{active: o.SampleKeep > 0 && o.SampleKeep < 1, keep: o.SampleKeep, seed: o.SampleSeed}
+}
+
+func (o ExecOptions) normalize() ExecOptions {
+	if o.AsyncWorkers < 1 {
+		o.AsyncWorkers = 2
+	}
+	if o.SyncWorkers < 1 {
+		o.SyncWorkers = 4
+	}
+	return o
+}
+
+// Result is the outcome of one distributed SpMM.
+type Result struct {
+	// C is the assembled output matrix (NumRows x K).
+	C *dense.Matrix
+	// Breakdowns holds each node's modeled time ledger (Figure 10).
+	Breakdowns []cluster.Breakdown
+	// ModeledSeconds is the cluster makespan under the virtual-time model.
+	ModeledSeconds float64
+	// Wall is the wall-clock duration of the simulated run. It measures
+	// this host, not the modeled machine.
+	Wall time.Duration
+}
+
+// Exec runs Two-Face (Algorithm 1) for C = A x B on the given cluster using
+// preprocessed state. B must have prep.Layout.NumCols rows and prep.Params.K
+// columns; the cluster must have prep.Params.P nodes. The cluster's clocks
+// are reset at entry.
+func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (*Result, error) {
+	params := prep.Params
+	if b.Rows != int(prep.Layout.NumCols) || b.Cols != params.K {
+		return nil, fmt.Errorf("core: B is %dx%d, want %dx%d", b.Rows, b.Cols, prep.Layout.NumCols, params.K)
+	}
+	if clu.P() != params.P {
+		return nil, fmt.Errorf("core: cluster has %d nodes, prep expects %d", clu.P(), params.P)
+	}
+	opts = opts.normalize()
+	clu.Reset()
+
+	k := params.K
+	out := atomicfloat.NewSlice(int(prep.Layout.NumRows) * k)
+	start := time.Now()
+	runErr := clu.Run(func(r *cluster.Rank) error {
+		return execNode(prep, b, r, out, opts)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	wall := time.Since(start)
+
+	c := dense.New(int(prep.Layout.NumRows), k)
+	out.CopyTo(c.Data)
+	return &Result{
+		C:              c,
+		Breakdowns:     clu.Breakdowns(),
+		ModeledSeconds: clu.TotalTime(),
+		Wall:           wall,
+	}, nil
+}
+
+// execNode is Algorithm 1 for one node.
+func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Slice, opts ExecOptions) error {
+	layout, params := prep.Layout, prep.Params
+	net := r.Net()
+	np := &prep.Nodes[r.ID]
+	k := params.K
+
+	// Expose this node's B block as a one-sided window.
+	colBlock := layout.ColBlock(r.ID)
+	r.Expose("B", b.RowRange(colBlock.Lo, colBlock.Hi))
+	if err := r.Barrier(); err != nil {
+		return err
+	}
+
+	// "Other": per-stripe setup of MPI structures (Figure 10's residual
+	// category): stripes received, async stripes issued, multicasts rooted.
+	rooted := 0
+	lo, hi := layout.NodeStripeRange(r.ID)
+	for sid := lo; sid < hi; sid++ {
+		if len(prep.Dests[sid]) > 0 {
+			rooted++
+		}
+	}
+	r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
+
+	recvBufs := make([][]float64, layout.NumStripes())
+	syncReady := make(chan error, 1)
+	var wg sync.WaitGroup
+
+	// Thread 0: synchronous dense-stripe transfers (Algorithm 1 lines 5-8).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		syncReady <- syncTransfers(prep, r, np, recvBufs, k)
+		close(syncReady)
+	}()
+
+	// Asynchronous threads (Algorithm 1 lines 9-14): drain the stripe queue.
+	var asyncErr error
+	var asyncMu sync.Mutex
+	var asyncCursor atomic.Int64
+	nAsync := int64(np.Async.NumStripes())
+	wg.Add(opts.AsyncWorkers)
+	for w := 0; w < opts.AsyncWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := asyncCursor.Add(1) - 1
+				if n >= nAsync {
+					return
+				}
+				if err := processAsyncStripe(prep, b, r, np, out, int(n), opts.SkipCompute, opts.sampling()); err != nil {
+					asyncMu.Lock()
+					if asyncErr == nil {
+						asyncErr = err
+					}
+					asyncMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+
+	// Wait for the sync-transfer flag, then all threads process row panels
+	// (Algorithm 1 lines 15-19).
+	if err := <-syncReady; err != nil {
+		wg.Wait()
+		return err
+	}
+	var panelCursor atomic.Int64
+	nPanels := int64(np.Sync.NumPanels())
+	resolver := makeRowResolver(prep, b, r.ID, recvBufs, k)
+	var panelWg sync.WaitGroup
+	var panelErr error
+	var panelMu sync.Mutex
+	panelWg.Add(opts.SyncWorkers)
+	for w := 0; w < opts.SyncWorkers; w++ {
+		go func() {
+			defer panelWg.Done()
+			acc := make([]float64, k)
+			for {
+				n := panelCursor.Add(1) - 1
+				if n >= nPanels {
+					return
+				}
+				if err := processSyncRowPanel(prep, r, np, out, resolver, acc, int(n), opts.SkipCompute, opts.sampling()); err != nil {
+					panelMu.Lock()
+					if panelErr == nil {
+						panelErr = err
+					}
+					panelMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	panelWg.Wait()
+	wg.Wait()
+	if asyncErr != nil {
+		return asyncErr
+	}
+	if panelErr != nil {
+		return panelErr
+	}
+	return r.Barrier()
+}
+
+// syncTransfers receives every dense stripe this node needs through
+// collective multicasts and charges both receiver-side and (for stripes this
+// node roots) root-side collective time.
+func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float64, k int) error {
+	layout := prep.Layout
+	net := r.Net()
+
+	// Root side: this node participates in the multicast tree of every
+	// owned stripe that has destinations.
+	lo, hi := layout.NodeStripeRange(r.ID)
+	for sid := lo; sid < hi; sid++ {
+		if n := len(prep.Dests[sid]); n > 0 {
+			elems := int64(layout.StripeWidthOf(sid)) * int64(k)
+			r.Charge(cluster.SyncComm, net.MulticastCost(elems, n))
+		}
+	}
+
+	// Receiver side: pull each needed dense stripe from its owner's window.
+	for _, sid := range np.RecvStripes {
+		colLo, colHi := layout.StripeCols(sid)
+		owner := layout.StripeOwner(sid)
+		ownerBlock := layout.ColBlock(owner)
+		elems := int64(colHi-colLo) * int64(k)
+		buf := make([]float64, elems)
+		off := int64(colLo-int32(ownerBlock.Lo)) * int64(k)
+		if _, err := r.MulticastPull(owner, "B", off, elems, buf); err != nil {
+			return err
+		}
+		recvBufs[sid] = buf
+		r.Charge(cluster.SyncComm, net.MulticastCost(elems, len(prep.Dests[sid])))
+	}
+	return nil
+}
+
+// processAsyncStripe is Algorithm 3: fetch the distinct dense rows of one
+// asynchronous stripe with a one-sided indexed get, then accumulate its
+// nonzeros into C with per-element atomics.
+func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, n int, skipCompute bool, smp sampling) error {
+	layout, params := prep.Layout, prep.Params
+	net := r.Net()
+	k := params.K
+	entries := np.Async.Entries[np.Async.StripePtr[n]:np.Async.StripePtr[n+1]]
+	if len(entries) == 0 {
+		return nil
+	}
+	sid := np.Async.StripeIDs[n]
+	owner := layout.StripeOwner(sid)
+	ownerBlock := layout.ColBlock(owner)
+
+	cols := uniqueCols(entries)
+	regions, bufRow, fetchedRows := coalesceRegions(cols, params.MaxCoalesceGap, int32(ownerBlock.Lo), k)
+	drows := make([]float64, fetchedRows*int64(k))
+	if _, err := r.GetIndexed(owner, "B", regions, drows); err != nil {
+		return err
+	}
+	r.Charge(cluster.AsyncComm, net.OneSidedCost(len(regions), fetchedRows*int64(k)))
+
+	if !skipCompute {
+		// Column-major walk: advance the unique-column cursor as the column
+		// changes, then atomically accumulate val * Brow into C row by row.
+		ci := 0
+		base := int(np.RowLo) * k
+		for _, e := range entries {
+			for cols[ci] != e.Col {
+				ci++
+			}
+			if smp.masked(np.RowLo+e.Row, e.Col) {
+				continue
+			}
+			brow := drows[int(bufRow[ci])*k : (int(bufRow[ci])+1)*k]
+			cOff := base + int(e.Row)*k
+			for j := 0; j < k; j++ {
+				if v := e.Val * brow[j]; v != 0 {
+					out.Add(cOff+j, v)
+				}
+			}
+		}
+	}
+	kept := float64(len(entries)) * smp.computeScale()
+	r.Charge(cluster.AsyncComp, net.AsyncComputeCost(int64(kept), k, params.ModelAsyncCompThreads, 1))
+	return nil
+}
+
+// rowResolver returns the dense B row for a global column, either from the
+// node's own block or from a received dense stripe.
+type rowResolver func(col int32) ([]float64, error)
+
+func makeRowResolver(prep *Prep, b *dense.Matrix, rank int, recvBufs [][]float64, k int) rowResolver {
+	layout := prep.Layout
+	own := layout.ColBlock(rank)
+	return func(col int32) ([]float64, error) {
+		if own.Contains(int(col)) {
+			return b.Row(int(col)), nil
+		}
+		sid := layout.StripeOfCol(col)
+		buf := recvBufs[sid]
+		if buf == nil {
+			return nil, fmt.Errorf("core: rank %d: dense stripe %d for column %d was never received", rank, sid, col)
+		}
+		colLo, _ := layout.StripeCols(sid)
+		off := int(col-colLo) * k
+		return buf[off : off+k], nil
+	}
+}
+
+// processSyncRowPanel is Algorithm 2: multiply one row panel with a
+// thread-local accumulation buffer, flushing to C with one atomic pass per
+// output row.
+func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, acc []float64, n int, skipCompute bool, smp sampling) error {
+	params := prep.Params
+	net := r.Net()
+	k := params.K
+	panel := np.Sync.Entries[np.Sync.PanelPtr[n]:np.Sync.PanelPtr[n+1]]
+	if len(panel) == 0 {
+		return nil
+	}
+	if !skipCompute {
+		base := int(np.RowLo) * k
+		clear(acc)
+		prevRow := panel[0].Row
+		for _, e := range panel {
+			if e.Row != prevRow {
+				out.AddRange(base+int(prevRow)*k, acc)
+				clear(acc)
+				prevRow = e.Row
+			}
+			if smp.masked(np.RowLo+e.Row, e.Col) {
+				continue
+			}
+			brow, err := resolve(e.Col)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < k; j++ {
+				acc[j] += e.Val * brow[j]
+			}
+		}
+		out.AddRange(base+int(prevRow)*k, acc)
+	}
+	kept := float64(len(panel)) * smp.computeScale()
+	r.Charge(cluster.SyncComp, net.SyncComputeCost(int64(kept), k, params.ModelSyncThreads))
+	return nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twoface/internal/cluster"
+	"twoface/internal/dense"
+	"twoface/internal/sparse"
+)
+
+func runTwoFace(t *testing.T, a *testMatrix, params Params) *Result {
+	t.Helper()
+	prep, err := Preprocess(a.coo, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := cluster.New(params.P, cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(prep, a.b, clu, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+type testMatrix struct {
+	coo  *sparse.COO
+	b    *dense.Matrix
+	want *dense.Matrix
+}
+
+func buildCase(t *testing.T, rows int32, nnz int, k int, seed uint64) *testMatrix {
+	t.Helper()
+	a := randomCOO(rows, rows, nnz, seed)
+	b := dense.Random(int(rows), k, seed+1)
+	want, err := a.ToCSR().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testMatrix{coo: a, b: b, want: want}
+}
+
+func TestExecMatchesReferenceAcrossConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		p int
+		k int
+		w int32
+	}{
+		{1, 4, 8}, {2, 4, 8}, {3, 8, 4}, {4, 16, 8}, {8, 4, 2}, {5, 1, 16},
+	} {
+		tc := tc
+		m := buildCase(t, 120, 1500, tc.k, uint64(tc.p*100+tc.k))
+		res := runTwoFace(t, m, basicParams(tc.p, tc.k, tc.w))
+		if !res.C.AlmostEqual(m.want, 1e-9) {
+			d, _ := res.C.MaxAbsDiff(m.want)
+			t.Fatalf("p=%d k=%d w=%d: Two-Face differs from reference by %v", tc.p, tc.k, tc.w, d)
+		}
+	}
+}
+
+func TestExecProperty(t *testing.T) {
+	f := func(seed uint64, pRaw, wRaw uint8) bool {
+		p := int(pRaw)%6 + 1
+		w := int32(wRaw)%16 + 1
+		rows := int32(60 + seed%40)
+		a := randomCOO(rows, rows, 600, seed)
+		b := dense.Random(int(rows), 5, seed+9)
+		want, err := a.ToCSR().Mul(b)
+		if err != nil {
+			return false
+		}
+		prep, err := Preprocess(a, basicParams(p, 5, w))
+		if err != nil {
+			return false
+		}
+		clu, err := cluster.New(p, cluster.Default())
+		if err != nil {
+			return false
+		}
+		res, err := Exec(prep, b, clu, ExecOptions{})
+		if err != nil {
+			return false
+		}
+		return res.C.AlmostEqual(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecForcedSplits(t *testing.T) {
+	// Every forced split fraction must still compute the right answer:
+	// classification affects performance, never correctness.
+	m := buildCase(t, 100, 1200, 8, 42)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		frac := frac
+		params := basicParams(4, 8, 8)
+		params.ForceSplit = &frac
+		res := runTwoFace(t, m, params)
+		if !res.C.AlmostEqual(m.want, 1e-9) {
+			t.Fatalf("ForceSplit=%v: wrong result", frac)
+		}
+	}
+}
+
+func TestExecCoalescingGapsCorrect(t *testing.T) {
+	m := buildCase(t, 100, 1200, 4, 17)
+	for _, gap := range []int32{1, 2, 5, 100} {
+		params := basicParams(4, 4, 8)
+		params.MaxCoalesceGap = gap
+		res := runTwoFace(t, m, params)
+		if !res.C.AlmostEqual(m.want, 1e-9) {
+			t.Fatalf("MaxCoalesceGap=%d: wrong result", gap)
+		}
+	}
+}
+
+func TestExecValidation(t *testing.T) {
+	m := buildCase(t, 50, 300, 4, 3)
+	prep, err := Preprocess(m.coo, basicParams(2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, _ := cluster.New(2, cluster.Default())
+	// Wrong B shape.
+	if _, err := Exec(prep, dense.New(50, 3), clu, ExecOptions{}); err == nil {
+		t.Fatal("wrong K should fail")
+	}
+	if _, err := Exec(prep, dense.New(49, 4), clu, ExecOptions{}); err == nil {
+		t.Fatal("wrong B rows should fail")
+	}
+	// Wrong cluster size.
+	clu3, _ := cluster.New(3, cluster.Default())
+	if _, err := Exec(prep, m.b, clu3, ExecOptions{}); err == nil {
+		t.Fatal("wrong cluster size should fail")
+	}
+}
+
+func TestExecBreakdownsPopulated(t *testing.T) {
+	m := buildCase(t, 200, 4000, 8, 21)
+	res := runTwoFace(t, m, basicParams(4, 8, 4))
+	if len(res.Breakdowns) != 4 {
+		t.Fatalf("%d breakdowns", len(res.Breakdowns))
+	}
+	if res.ModeledSeconds <= 0 {
+		t.Fatal("modeled time should be positive")
+	}
+	var anyComm bool
+	for _, bd := range res.Breakdowns {
+		if bd.SyncComm > 0 || bd.AsyncComm > 0 {
+			anyComm = true
+		}
+		if bd.NodeTime() > res.ModeledSeconds+1e-15 {
+			t.Fatal("node time exceeds cluster makespan")
+		}
+	}
+	if !anyComm {
+		t.Fatal("a 4-node SpMM should communicate")
+	}
+	if res.Wall <= 0 {
+		t.Fatal("wall time should be positive")
+	}
+}
+
+func TestExecSingleNodeNoComm(t *testing.T) {
+	m := buildCase(t, 64, 500, 4, 33)
+	res := runTwoFace(t, m, basicParams(1, 4, 8))
+	if !res.C.AlmostEqual(m.want, 1e-9) {
+		t.Fatal("single-node result wrong")
+	}
+	bd := res.Breakdowns[0]
+	if bd.SyncComm != 0 || bd.AsyncComm != 0 {
+		t.Fatalf("single node should not communicate: %+v", bd)
+	}
+}
+
+func TestExecRepeatedRunsDeterministicModel(t *testing.T) {
+	m := buildCase(t, 100, 1500, 8, 55)
+	r1 := runTwoFace(t, m, basicParams(4, 8, 8))
+	r2 := runTwoFace(t, m, basicParams(4, 8, 8))
+	if r1.ModeledSeconds != r2.ModeledSeconds {
+		t.Fatalf("modeled time not deterministic: %v vs %v", r1.ModeledSeconds, r2.ModeledSeconds)
+	}
+	if d, _ := r1.C.MaxAbsDiff(r2.C); d > 1e-12 {
+		t.Fatalf("results differ across runs by %v", d)
+	}
+}
+
+func TestExecEmptyMatrix(t *testing.T) {
+	a := randomCOO(40, 40, 0, 1)
+	b := dense.Random(40, 4, 2)
+	prep, err := Preprocess(a, basicParams(2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, _ := cluster.New(2, cluster.Default())
+	res, err := Exec(prep, b, clu, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C.FrobeniusNorm() != 0 {
+		t.Fatal("empty A must give zero C")
+	}
+}
+
+func TestExecWorkerOptions(t *testing.T) {
+	m := buildCase(t, 100, 1200, 4, 66)
+	for _, o := range []ExecOptions{{AsyncWorkers: 1, SyncWorkers: 1}, {AsyncWorkers: 4, SyncWorkers: 8}} {
+		prep, err := Preprocess(m.coo, basicParams(4, 4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu, _ := cluster.New(4, cluster.Default())
+		res, err := Exec(prep, m.b, clu, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.C.AlmostEqual(m.want, 1e-9) {
+			t.Fatalf("options %+v: wrong result", o)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	cases := []struct {
+		rows, cols int32
+		p          int
+		w          int32
+	}{
+		{0, 10, 2, 4}, {10, 0, 2, 4}, {10, 10, 0, 4}, {10, 10, 2, 0}, {10, 4, 8, 2},
+	}
+	for i, c := range cases {
+		if _, err := NewLayout(c.rows, c.cols, c.p, c.w); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, c)
+		}
+	}
+	if _, err := NewLayout(100, 100, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripeEnumeration(t *testing.T) {
+	// 100 columns, 4 nodes -> blocks of 25 columns, W=8 -> ceil(25/8)=4
+	// stripes per node, 16 total.
+	l, err := NewLayout(100, 100, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStripes() != 16 {
+		t.Fatalf("NumStripes = %d, want 16", l.NumStripes())
+	}
+	// First stripe of node 1 starts at column 25.
+	lo, hi := l.StripeCols(4)
+	if lo != 25 || hi != 33 {
+		t.Fatalf("stripe 4 covers [%d,%d), want [25,33)", lo, hi)
+	}
+	// Last stripe of node 0 is ragged: columns 24..25.
+	lo, hi = l.StripeCols(3)
+	if lo != 24 || hi != 25 {
+		t.Fatalf("stripe 3 covers [%d,%d), want [24,25)", lo, hi)
+	}
+	if l.StripeWidthOf(3) != 1 {
+		t.Fatalf("ragged stripe width = %d", l.StripeWidthOf(3))
+	}
+}
+
+func TestStripeColRoundtrip(t *testing.T) {
+	f := func(colsRaw uint16, pRaw, wRaw uint8, cRaw uint32) bool {
+		cols := int32(colsRaw)%3000 + 1
+		p := int(pRaw)%8 + 1
+		if int32(p) > cols {
+			p = int(cols)
+		}
+		w := int32(wRaw)%64 + 1
+		l, err := NewLayout(cols, cols, p, w)
+		if err != nil {
+			return false
+		}
+		c := int32(cRaw % uint32(cols))
+		sid := l.StripeOfCol(c)
+		lo, hi := l.StripeCols(sid)
+		if c < lo || c >= hi {
+			return false
+		}
+		// The stripe's owner must own column c too.
+		return l.StripeOwner(sid) == l.ColOwner(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripesPartitionColumns(t *testing.T) {
+	// Every column belongs to exactly one stripe and stripes tile the
+	// column space in order.
+	l, err := NewLayout(50, 97, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSid := int32(-1)
+	covered := int32(0)
+	for sid := int32(0); sid < l.NumStripes(); sid++ {
+		lo, hi := l.StripeCols(sid)
+		if hi <= lo {
+			t.Fatalf("stripe %d empty: [%d,%d)", sid, lo, hi)
+		}
+		if sid != prevSid+1 {
+			t.Fatalf("stripe ids not consecutive")
+		}
+		for c := lo; c < hi; c++ {
+			if l.StripeOfCol(c) != sid {
+				t.Fatalf("column %d maps to stripe %d, not %d", c, l.StripeOfCol(c), sid)
+			}
+		}
+		covered += hi - lo
+		prevSid = sid
+	}
+	if covered != 97 {
+		t.Fatalf("stripes cover %d columns, want 97", covered)
+	}
+}
+
+func TestStripeIDsMonotoneInColumn(t *testing.T) {
+	l, err := NewLayout(64, 640, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(0)
+	for c := int32(0); c < 640; c++ {
+		sid := l.StripeOfCol(c)
+		if sid < prev {
+			t.Fatalf("stripe id decreased at column %d", c)
+		}
+		prev = sid
+	}
+}
+
+func TestNodeStripeRange(t *testing.T) {
+	l, err := NewLayout(40, 40, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int32(0)
+	for j := 0; j < 4; j++ {
+		lo, hi := l.NodeStripeRange(j)
+		if lo != total {
+			t.Fatalf("node %d stripe range starts at %d, want %d", j, lo, total)
+		}
+		for sid := lo; sid < hi; sid++ {
+			if l.StripeOwner(sid) != j {
+				t.Fatalf("stripe %d owner = %d, want %d", sid, l.StripeOwner(sid), j)
+			}
+		}
+		total = hi
+	}
+	if total != l.NumStripes() {
+		t.Fatalf("ranges cover %d stripes of %d", total, l.NumStripes())
+	}
+}
+
+func TestStripeOwnerPanicsOutOfRange(t *testing.T) {
+	l, _ := NewLayout(10, 10, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range stripe id should panic")
+		}
+	}()
+	l.StripeOwner(l.NumStripes())
+}
+
+func TestSingleNodeLayout(t *testing.T) {
+	l, err := NewLayout(10, 10, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStripes() != 3 {
+		t.Fatalf("NumStripes = %d, want 3", l.NumStripes())
+	}
+	if l.StripeOwner(2) != 0 {
+		t.Fatal("single node owns everything")
+	}
+}
+
+func TestWidthLargerThanBlock(t *testing.T) {
+	// W larger than a node's column block: one stripe per megatile column.
+	l, err := NewLayout(16, 16, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStripes() != 4 {
+		t.Fatalf("NumStripes = %d, want 4", l.NumStripes())
+	}
+	lo, hi := l.StripeCols(1)
+	if lo != 4 || hi != 8 {
+		t.Fatalf("stripe 1 = [%d,%d), want [4,8)", lo, hi)
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"twoface/internal/sparse"
+)
+
+// Plan serialization: the paper's pipeline preprocesses once and writes the
+// per-node matrices "in a bespoke binary format" to be loaded at run time
+// (section 7.3). WritePrep/ReadPrep round-trip a complete Prep — layout,
+// classification, modified-COO matrices, and multicast metadata — so the
+// expensive preprocessing can run offline (twoface-prep) and the executor
+// can start from disk.
+//
+// Format (little-endian): magic "TFPREP1\x00", a fixed header, then
+// length-prefixed sections per node. Entries are (row int32, col int32,
+// val float64) triples as in the matrix format.
+
+var prepMagic = [8]byte{'T', 'F', 'P', 'R', 'E', 'P', '1', 0}
+
+type prepWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (pw *prepWriter) u32(v uint32) {
+	if pw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, pw.err = pw.w.Write(b[:])
+}
+
+func (pw *prepWriter) u64(v uint64) {
+	if pw.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, pw.err = pw.w.Write(b[:])
+}
+
+func (pw *prepWriter) f64(v float64) { pw.u64(floatBits(v)) }
+
+func (pw *prepWriter) i32s(vs []int32) {
+	pw.u64(uint64(len(vs)))
+	for _, v := range vs {
+		pw.u32(uint32(v))
+	}
+}
+
+func (pw *prepWriter) i64s(vs []int64) {
+	pw.u64(uint64(len(vs)))
+	for _, v := range vs {
+		pw.u64(uint64(v))
+	}
+}
+
+func (pw *prepWriter) entries(es []sparse.NZ) {
+	pw.u64(uint64(len(es)))
+	for _, e := range es {
+		pw.u32(uint32(e.Row))
+		pw.u32(uint32(e.Col))
+		pw.f64(e.Val)
+	}
+}
+
+// WritePrep serializes a preprocessing plan.
+func WritePrep(w io.Writer, p *Prep) error {
+	pw := &prepWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := pw.w.Write(prepMagic[:]); err != nil {
+		return err
+	}
+	// Header: geometry + the params the executor needs.
+	pw.u32(uint32(p.Layout.NumRows))
+	pw.u32(uint32(p.Layout.NumCols))
+	pw.u32(uint32(p.Params.P))
+	pw.u32(uint32(p.Params.K))
+	pw.u32(uint32(p.Params.W))
+	pw.u32(uint32(p.Params.RowPanelHeight))
+	pw.u32(uint32(p.Params.MaxCoalesceGap))
+	pw.u32(uint32(p.Params.ModelSyncThreads))
+	pw.u32(uint32(p.Params.ModelAsyncCompThreads))
+	// Optional balanced row bounds.
+	if p.Layout.rowBounds != nil {
+		pw.u32(1)
+		pw.i32s(p.Layout.rowBounds)
+	} else {
+		pw.u32(0)
+	}
+	// Multicast metadata.
+	pw.u64(uint64(len(p.Dests)))
+	for _, d := range p.Dests {
+		pw.i32s(d)
+	}
+	// Per-node parts.
+	for i := range p.Nodes {
+		np := &p.Nodes[i]
+		pw.u32(uint32(np.RowLo))
+		pw.u32(uint32(np.RowHi))
+		pw.u64(uint64(np.SS))
+		pw.u64(uint64(np.SA))
+		pw.u64(uint64(np.LA))
+		pw.u64(uint64(np.NA))
+		pw.u64(uint64(np.LocalInputNNZ))
+		pw.u64(uint64(np.SyncNNZ))
+		pw.i64s(np.Sync.PanelPtr)
+		pw.entries(np.Sync.Entries)
+		pw.i64s(np.Async.StripePtr)
+		pw.i32s(np.Async.StripeIDs)
+		pw.entries(np.Async.Entries)
+		pw.i32s(np.RecvStripes)
+	}
+	if pw.err != nil {
+		return pw.err
+	}
+	return pw.w.Flush()
+}
+
+type prepReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (pr *prepReader) u32() uint32 {
+	if pr.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, pr.err = io.ReadFull(pr.r, b[:]); pr.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (pr *prepReader) u64() uint64 {
+	if pr.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, pr.err = io.ReadFull(pr.r, b[:]); pr.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (pr *prepReader) f64() float64 { return floatFromBits(pr.u64()) }
+
+// sliceLen validates a length prefix to avoid absurd allocations on corrupt
+// input.
+func (pr *prepReader) sliceLen(max uint64) int {
+	n := pr.u64()
+	if pr.err == nil && n > max {
+		pr.err = fmt.Errorf("core: corrupt plan: length %d exceeds limit %d", n, max)
+	}
+	if pr.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+const (
+	maxPrepSection = 1 << 33 // generous: ~8G entries
+	// prepPreallocCap bounds the up-front allocation for a length prefix;
+	// the header is untrusted and a truncated body fails on read anyway.
+	prepPreallocCap = 1 << 20
+)
+
+func preallocLen(n int) int {
+	if n > prepPreallocCap {
+		return prepPreallocCap
+	}
+	return n
+}
+
+func (pr *prepReader) i32s() []int32 {
+	n := pr.sliceLen(maxPrepSection)
+	out := make([]int32, 0, preallocLen(n))
+	for i := 0; i < n && pr.err == nil; i++ {
+		out = append(out, int32(pr.u32()))
+	}
+	return out
+}
+
+func (pr *prepReader) i64s() []int64 {
+	n := pr.sliceLen(maxPrepSection)
+	out := make([]int64, 0, preallocLen(n))
+	for i := 0; i < n && pr.err == nil; i++ {
+		out = append(out, int64(pr.u64()))
+	}
+	return out
+}
+
+func (pr *prepReader) entries() []sparse.NZ {
+	n := pr.sliceLen(maxPrepSection)
+	out := make([]sparse.NZ, 0, preallocLen(n))
+	for i := 0; i < n && pr.err == nil; i++ {
+		out = append(out, sparse.NZ{Row: int32(pr.u32()), Col: int32(pr.u32()), Val: pr.f64()})
+	}
+	return out
+}
+
+// ReadPrep deserializes a plan written by WritePrep. The classifier
+// coefficients are not stored (they only matter during preprocessing); the
+// returned Prep carries normalized default Params plus the stored geometry.
+func ReadPrep(r io.Reader) (*Prep, error) {
+	pr := &prepReader{r: bufio.NewReaderSize(r, 1<<20)}
+	var magic [8]byte
+	if _, err := io.ReadFull(pr.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading plan magic: %w", err)
+	}
+	if magic != prepMagic {
+		return nil, fmt.Errorf("core: bad plan magic %q", magic[:])
+	}
+	numRows := int32(pr.u32())
+	numCols := int32(pr.u32())
+	params := Params{
+		P: int(pr.u32()), K: int(pr.u32()), W: int32(pr.u32()),
+		RowPanelHeight:        int32(pr.u32()),
+		MaxCoalesceGap:        int32(pr.u32()),
+		ModelSyncThreads:      int(pr.u32()),
+		ModelAsyncCompThreads: int(pr.u32()),
+	}
+	if pr.err != nil {
+		return nil, pr.err
+	}
+	params, err := params.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt plan header: %w", err)
+	}
+	// Untrusted header: bound the derived allocations (node array, stripe
+	// metadata) before building anything.
+	const (
+		maxPlanNodes   = 1 << 16
+		maxPlanStripes = 1 << 24
+	)
+	if params.P > maxPlanNodes {
+		return nil, fmt.Errorf("core: corrupt plan: %d nodes exceeds limit %d", params.P, maxPlanNodes)
+	}
+	layout, err := NewLayout(numRows, numCols, params.P, params.W)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt plan geometry: %w", err)
+	}
+	if layout.NumStripes() > maxPlanStripes {
+		return nil, fmt.Errorf("core: corrupt plan: %d stripes exceeds limit %d", layout.NumStripes(), maxPlanStripes)
+	}
+	if pr.u32() == 1 {
+		bounds := pr.i32s()
+		if pr.err != nil {
+			return nil, pr.err
+		}
+		layout, err = layout.WithRowBounds(bounds)
+		if err != nil {
+			return nil, fmt.Errorf("core: corrupt plan row bounds: %w", err)
+		}
+	}
+	prep := &Prep{Layout: layout, Params: params}
+	nDests := pr.sliceLen(uint64(layout.NumStripes()) + 1)
+	if pr.err == nil && nDests != int(layout.NumStripes()) {
+		return nil, fmt.Errorf("core: corrupt plan: %d dest lists for %d stripes", nDests, layout.NumStripes())
+	}
+	prep.Dests = make([][]int32, nDests)
+	for i := range prep.Dests {
+		prep.Dests[i] = pr.i32s()
+	}
+	prep.Nodes = make([]NodePart, params.P)
+	for i := range prep.Nodes {
+		np := &prep.Nodes[i]
+		np.Rank = i
+		np.RowLo = int32(pr.u32())
+		np.RowHi = int32(pr.u32())
+		np.SS = int64(pr.u64())
+		np.SA = int64(pr.u64())
+		np.LA = int64(pr.u64())
+		np.NA = int64(pr.u64())
+		np.LocalInputNNZ = int64(pr.u64())
+		np.SyncNNZ = int64(pr.u64())
+		np.Sync.PanelPtr = pr.i64s()
+		np.Sync.Entries = pr.entries()
+		np.Async.StripePtr = pr.i64s()
+		np.Async.StripeIDs = pr.i32s()
+		np.Async.Entries = pr.entries()
+		np.RecvStripes = pr.i32s()
+	}
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: reading plan: %w", pr.err)
+	}
+	for i := range prep.Nodes {
+		prep.Stats.LocalInputNNZ += prep.Nodes[i].LocalInputNNZ
+		prep.Stats.SyncNNZ += prep.Nodes[i].SyncNNZ
+		prep.Stats.AsyncNNZ += prep.Nodes[i].NA
+		prep.Stats.SyncStripes += prep.Nodes[i].SS
+		prep.Stats.AsyncStripes += prep.Nodes[i].SA
+	}
+	prep.Stats.TotalNNZ = prep.Stats.LocalInputNNZ + prep.Stats.SyncNNZ + prep.Stats.AsyncNNZ
+	return prep, nil
+}
+
+// WritePrepFile writes a plan to disk.
+func WritePrepFile(path string, p *Prep) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePrep(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPrepFile reads a plan written by WritePrepFile.
+func ReadPrepFile(path string) (*Prep, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPrep(f)
+}

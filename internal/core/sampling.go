@@ -1,0 +1,55 @@
+package core
+
+// Sampled SpMM support (paper section 5.4): Two-Face's preprocessing is
+// incompatible with per-iteration sampling because the reduced matrix
+// changes every iteration. The paper's proposed future-work approach is to
+// classify once offline on the full matrix and, at runtime, apply masks that
+// filter the nonzeros eliminated by the current iteration's sample, leaving
+// the storage of Figure 6 and the transfer schedule untouched.
+//
+// This file implements that approach with deterministic pseudo-random edge
+// masks: an entry (row, col) survives iteration `seed` with probability
+// `keep`. Transfers are unchanged (the conservative choice the paper
+// describes: stripes keep their offline classification and dense stripes
+// still move in full), computation skips masked entries, and the modeled
+// compute time scales with the expected surviving nonzeros.
+
+// SampleMask reports whether the entry at (row, col) survives the sample
+// with the given seed and keep fraction. It is a pure function, so every
+// node makes identical decisions without communication.
+func SampleMask(row, col int32, seed uint64, keep float64) bool {
+	if keep >= 1 {
+		return true
+	}
+	if keep <= 0 {
+		return false
+	}
+	x := uint64(uint32(row))<<32 | uint64(uint32(col))
+	x ^= seed + 0x9e3779b97f4a7c15
+	// splitmix64 finalizer: well-distributed 64-bit hash.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < keep
+}
+
+// sampling bundles the runtime mask configuration.
+type sampling struct {
+	active bool
+	keep   float64
+	seed   uint64
+}
+
+func (s sampling) masked(row, col int32) bool {
+	return s.active && !SampleMask(row, col, s.seed, s.keep)
+}
+
+// computeScale is the expected fraction of compute that survives.
+func (s sampling) computeScale() float64 {
+	if !s.active {
+		return 1
+	}
+	return s.keep
+}

@@ -1,0 +1,63 @@
+package dense
+
+import "fmt"
+
+// Block describes one contiguous row range of a 1D-partitioned matrix.
+// Every distributed algorithm in this repository partitions A, B and C by
+// consecutive rows across p nodes (paper section 2.2): node i owns rows
+// [Lo, Hi) where Lo = i*n/p and Hi = (i+1)*n/p (integer arithmetic), so block
+// sizes differ by at most one row when p does not divide n.
+type Block struct {
+	Lo, Hi int // row range [Lo, Hi)
+}
+
+// Len returns the number of rows in the block.
+func (b Block) Len() int { return b.Hi - b.Lo }
+
+// Contains reports whether global row r falls inside the block.
+func (b Block) Contains(r int) bool { return r >= b.Lo && r < b.Hi }
+
+// BlockOf returns the row range owned by node i out of p for an n-row matrix.
+func BlockOf(n, p, i int) Block {
+	if p <= 0 || i < 0 || i >= p {
+		panic(fmt.Sprintf("dense: invalid block request node %d of %d", i, p))
+	}
+	return Block{Lo: int(int64(i) * int64(n) / int64(p)), Hi: int(int64(i+1) * int64(n) / int64(p))}
+}
+
+// OwnerOf returns the node that owns global row r of an n-row matrix split
+// across p nodes. It inverts BlockOf: BlockOf(n, p, OwnerOf(n, p, r)).Contains(r)
+// always holds for 0 <= r < n.
+func OwnerOf(n, p, r int) int {
+	if r < 0 || r >= n {
+		panic(fmt.Sprintf("dense: row %d out of range [0,%d)", r, n))
+	}
+	// Initial guess from the inverse of Lo = i*n/p, then correct for integer
+	// truncation. The guess is within one of the true owner.
+	i := int((int64(r)*int64(p) + int64(p) - 1) / int64(n))
+	if i >= p {
+		i = p - 1
+	}
+	for i > 0 && int64(i)*int64(n)/int64(p) > int64(r) {
+		i--
+	}
+	for i < p-1 && int64(i+1)*int64(n)/int64(p) <= int64(r) {
+		i++
+	}
+	return i
+}
+
+// Partition returns all p blocks of an n-row matrix.
+func Partition(n, p int) []Block {
+	blocks := make([]Block, p)
+	for i := 0; i < p; i++ {
+		blocks[i] = BlockOf(n, p, i)
+	}
+	return blocks
+}
+
+// SliceRows returns a view of m restricted to the block's rows. The returned
+// matrix aliases m's storage.
+func (m *Matrix) SliceRows(b Block) *Matrix {
+	return &Matrix{Rows: b.Len(), Cols: m.Cols, Data: m.RowRange(b.Lo, b.Hi)}
+}

@@ -1,0 +1,182 @@
+// Package dense provides row-major dense matrices used as the B (input) and
+// C (output) operands of distributed SpMM, together with the 1D block
+// partitioning helpers shared by every algorithm in this repository.
+//
+// A dense matrix with R rows and K columns is stored as a single contiguous
+// []float64 of length R*K. Row r occupies Data[r*K : (r+1)*K]. All SpMM
+// algorithms move whole rows, so the row-major layout keeps transfers and
+// accumulations contiguous.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	Rows int
+	Cols int
+	Data []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialized Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps an existing slice as a matrix. The slice is not copied.
+// It returns an error if len(data) != rows*cols.
+func FromData(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("dense: data length %d does not match %dx%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// FromFunc builds a matrix whose element (r,c) is f(r,c).
+func FromFunc(rows, cols int, f func(r, c int) float64) *Matrix {
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := m.Row(r)
+		for c := 0; c < cols; c++ {
+			row[c] = f(r, c)
+		}
+	}
+	return m
+}
+
+// Random returns a matrix with entries drawn uniformly from [-1, 1),
+// deterministically from seed.
+func Random(rows, cols int, seed uint64) *Matrix {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the slice aliasing row r. Mutating it mutates the matrix.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols : (r+1)*m.Cols] }
+
+// RowRange returns the slice aliasing rows [lo, hi).
+func (m *Matrix) RowRange(lo, hi int) []float64 { return m.Data[lo*m.Cols : hi*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaledRow computes dst += s * src where dst aliases row r of m.
+// len(src) must equal m.Cols.
+func (m *Matrix) AddScaledRow(r int, s float64, src []float64) {
+	dst := m.Row(r)
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+// Add computes m += other element-wise. The shapes must match.
+func (m *Matrix) Add(other *Matrix) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("dense: shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+	return nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and other, or an error on shape mismatch.
+func (m *Matrix) MaxAbsDiff(other *Matrix) (float64, error) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return 0, fmt.Errorf("dense: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	var max float64
+	for i, v := range m.Data {
+		d := math.Abs(v - other.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// AlmostEqual reports whether every element of m is within tol of the
+// corresponding element of other, using a mixed absolute/relative tolerance:
+// |a-b| <= tol * max(1, |a|, |b|).
+func (m *Matrix) AlmostEqual(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, a := range m.Data {
+		b := other.Data[i]
+		scale := 1.0
+		if aa := math.Abs(a); aa > scale {
+			scale = aa
+		}
+		if bb := math.Abs(b); bb > scale {
+			scale = bb
+		}
+		if math.Abs(a-b) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("dense.Matrix{%dx%d, fro=%.4g}", m.Rows, m.Cols, m.FrobeniusNorm())
+	}
+	s := fmt.Sprintf("dense.Matrix{%dx%d:", m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		s += fmt.Sprintf(" %v", m.Row(r))
+	}
+	return s + "}"
+}

@@ -1,0 +1,272 @@
+package dense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromData(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m, err := FromData(2, 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	if _, err := FromData(2, 2, d); err == nil {
+		t.Fatal("FromData with wrong length should error")
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(4, 3)
+	m.Set(2, 1, 7.5)
+	if m.At(2, 1) != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", m.At(2, 1))
+	}
+	row := m.Row(2)
+	if len(row) != 3 || row[1] != 7.5 {
+		t.Fatalf("Row(2) = %v", row)
+	}
+	row[0] = 3 // aliasing
+	if m.At(2, 0) != 3 {
+		t.Fatal("Row should alias matrix storage")
+	}
+}
+
+func TestRowRangeAliases(t *testing.T) {
+	m := FromFunc(5, 2, func(r, c int) float64 { return float64(r*10 + c) })
+	rr := m.RowRange(1, 3)
+	want := []float64{10, 11, 20, 21}
+	for i, v := range want {
+		if rr[i] != v {
+			t.Fatalf("RowRange[%d] = %v, want %v", i, rr[i], v)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Random(4, 4, 1)
+	c := m.Clone()
+	c.Set(0, 0, 999)
+	if m.At(0, 0) == 999 {
+		t.Fatal("Clone should not share storage")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(8, 8, 42)
+	b := Random(8, 8, 42)
+	if d, _ := a.MaxAbsDiff(b); d != 0 {
+		t.Fatalf("same seed should give same matrix, diff %v", d)
+	}
+	c := Random(8, 8, 43)
+	if d, _ := a.MaxAbsDiff(c); d == 0 {
+		t.Fatal("different seeds should give different matrices")
+	}
+}
+
+func TestRandomRange(t *testing.T) {
+	m := Random(16, 16, 7)
+	for _, v := range m.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Random value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestZeroFillScale(t *testing.T) {
+	m := Random(3, 3, 1)
+	m.Fill(2)
+	m.Scale(3)
+	for _, v := range m.Data {
+		if v != 6 {
+			t.Fatalf("Fill+Scale = %v, want 6", v)
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestAddScaledRow(t *testing.T) {
+	m := New(2, 3)
+	m.AddScaledRow(1, 2, []float64{1, 2, 3})
+	m.AddScaledRow(1, -1, []float64{1, 1, 1})
+	want := []float64{1, 3, 5}
+	for i, v := range want {
+		if m.At(1, i) != v {
+			t.Fatalf("row = %v, want %v", m.Row(1), want)
+		}
+	}
+}
+
+func TestAddAndDiff(t *testing.T) {
+	a := Random(4, 5, 1)
+	b := Random(4, 5, 2)
+	sum := a.Clone()
+	if err := sum.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum.Data {
+		if math.Abs(sum.Data[i]-(a.Data[i]+b.Data[i])) > 1e-15 {
+			t.Fatal("Add mismatch")
+		}
+	}
+	if err := sum.Add(New(3, 3)); err == nil {
+		t.Fatal("Add with shape mismatch should error")
+	}
+	if _, err := a.MaxAbsDiff(New(1, 1)); err == nil {
+		t.Fatal("MaxAbsDiff with shape mismatch should error")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	a := Random(4, 4, 9)
+	b := a.Clone()
+	if !a.AlmostEqual(b, 0) {
+		t.Fatal("identical matrices should be AlmostEqual at tol 0")
+	}
+	b.Set(2, 2, b.At(2, 2)+1e-9)
+	if a.AlmostEqual(b, 1e-12) {
+		t.Fatal("should fail at tight tolerance")
+	}
+	if !a.AlmostEqual(b, 1e-6) {
+		t.Fatal("should pass at loose tolerance")
+	}
+	if a.AlmostEqual(New(4, 5), 1) {
+		t.Fatal("shape mismatch should not be AlmostEqual")
+	}
+}
+
+func TestAlmostEqualRelative(t *testing.T) {
+	a := New(1, 1)
+	b := New(1, 1)
+	a.Set(0, 0, 1e12)
+	b.Set(0, 0, 1e12*(1+1e-9))
+	if !a.AlmostEqual(b, 1e-6) {
+		t.Fatal("relative tolerance should absorb large magnitudes")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m, _ := FromData(1, 2, []float64{3, 4})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestBlockOfCoversAllRows(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {7, 7}, {100, 8}, {5, 8}, {1, 1}, {64, 5}} {
+		prev := 0
+		total := 0
+		for i := 0; i < tc.p; i++ {
+			b := BlockOf(tc.n, tc.p, i)
+			if b.Lo != prev {
+				t.Fatalf("n=%d p=%d: block %d starts at %d, want %d", tc.n, tc.p, i, b.Lo, prev)
+			}
+			if b.Hi < b.Lo {
+				t.Fatalf("n=%d p=%d: block %d inverted", tc.n, tc.p, i)
+			}
+			total += b.Len()
+			prev = b.Hi
+		}
+		if prev != tc.n || total != tc.n {
+			t.Fatalf("n=%d p=%d: blocks cover %d rows", tc.n, tc.p, total)
+		}
+	}
+}
+
+func TestBlockSizesBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {100, 7}, {13, 4}} {
+		min, max := tc.n, 0
+		for i := 0; i < tc.p; i++ {
+			l := BlockOf(tc.n, tc.p, i).Len()
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d p=%d: block sizes range [%d,%d]", tc.n, tc.p, min, max)
+		}
+	}
+}
+
+func TestOwnerOfInvertsBlockOf(t *testing.T) {
+	f := func(nRaw, pRaw uint16, rRaw uint32) bool {
+		n := int(nRaw)%5000 + 1
+		p := int(pRaw)%65 + 1
+		r := int(rRaw) % n
+		owner := OwnerOf(n, p, r)
+		return BlockOf(n, p, owner).Contains(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerOfExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for p := 1; p <= 12; p++ {
+			for r := 0; r < n; r++ {
+				owner := OwnerOf(n, p, r)
+				if !BlockOf(n, p, owner).Contains(r) {
+					t.Fatalf("OwnerOf(%d,%d,%d) = %d, block %+v", n, p, r, owner, BlockOf(n, p, owner))
+				}
+			}
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	blocks := Partition(10, 4)
+	if len(blocks) != 4 {
+		t.Fatalf("Partition returned %d blocks", len(blocks))
+	}
+	if blocks[3].Hi != 10 {
+		t.Fatalf("last block ends at %d", blocks[3].Hi)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromFunc(6, 2, func(r, c int) float64 { return float64(r) })
+	sub := m.SliceRows(Block{Lo: 2, Hi: 5})
+	if sub.Rows != 3 || sub.At(0, 0) != 2 || sub.At(2, 1) != 4 {
+		t.Fatalf("SliceRows wrong: %v", sub)
+	}
+	sub.Set(0, 0, 99) // aliasing
+	if m.At(2, 0) != 99 {
+		t.Fatal("SliceRows should alias parent storage")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := New(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	large := New(100, 100)
+	if s := large.String(); len(s) == 0 || len(s) > 200 {
+		t.Fatalf("large matrix String should be a summary, got %q", s)
+	}
+}

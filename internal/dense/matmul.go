@@ -1,0 +1,74 @@
+package dense
+
+import "fmt"
+
+// Local dense-dense products. These are the small per-node projections of
+// GNN layers (feature-dim x feature-dim), not the distributed kernels; a
+// straightforward blocked loop is plenty.
+
+// MatMul returns a x b (a is m x k, b is k x n).
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("dense: MatMul shapes %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for kk, v := range arow {
+			if v == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			for j := range crow {
+				crow[j] += v * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulT1 returns a^T x b (a is k x m, b is k x n; result m x n). This is
+// the weight-gradient shape of a linear layer: dW = X^T dZ.
+func MatMulT1(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("dense: MatMulT1 shapes (%dx%d)^T x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Cols, b.Cols)
+	for kk := 0; kk < a.Rows; kk++ {
+		arow := a.Row(kk)
+		brow := b.Row(kk)
+		for i, v := range arow {
+			if v == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, w := range brow {
+				crow[j] += v * w
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulT2 returns a x b^T (a is m x k, b is n x k; result m x n). This is
+// the input-gradient shape of a linear layer: dX = dZ W^T.
+func MatMulT2(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("dense: MatMulT2 shapes %dx%d x (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for kk, v := range arow {
+				s += v * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,138 @@
+package dense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+func TestMatMulTiny(t *testing.T) {
+	a, _ := FromData(2, 2, []float64{1, 2, 3, 4})
+	b, _ := FromData(2, 2, []float64{5, 6, 7, 8})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapes(t *testing.T) {
+	if _, err := MatMul(New(2, 3), New(2, 3)); err == nil {
+		t.Fatal("MatMul shape mismatch should fail")
+	}
+	if _, err := MatMulT1(New(2, 3), New(3, 2)); err == nil {
+		t.Fatal("MatMulT1 shape mismatch should fail")
+	}
+	if _, err := MatMulT2(New(2, 3), New(2, 4)); err == nil {
+		t.Fatal("MatMulT2 shape mismatch should fail")
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := Random(7, 5, seed)
+		b := Random(5, 6, seed+1)
+		got, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		return got.AlmostEqual(naiveMul(a, b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulT1MatchesTranspose(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := Random(6, 4, seed)
+		b := Random(6, 5, seed+1)
+		got, err := MatMulT1(a, b)
+		if err != nil {
+			return false
+		}
+		want, err := MatMul(transpose(a), b)
+		if err != nil {
+			return false
+		}
+		return got.AlmostEqual(want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulT2MatchesTranspose(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := Random(6, 4, seed)
+		b := Random(5, 4, seed+1)
+		got, err := MatMulT2(a, b)
+		if err != nil {
+			return false
+		}
+		want, err := MatMul(a, transpose(b))
+		if err != nil {
+			return false
+		}
+		return got.AlmostEqual(want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := Random(4, 4, 9)
+	id := FromFunc(4, 4, func(r, c int) float64 {
+		if r == c {
+			return 1
+		}
+		return 0
+	})
+	c, _ := MatMul(a, id)
+	if d, _ := c.MaxAbsDiff(a); d > 1e-15 {
+		t.Fatalf("A x I != A (diff %v)", d)
+	}
+}
+
+func TestMatMulZeroSkip(t *testing.T) {
+	// Rows of zeros exercise the v==0 fast path.
+	a := New(3, 3)
+	a.Set(1, 1, 2)
+	b := Random(3, 3, 4)
+	c, _ := MatMul(a, b)
+	for j := 0; j < 3; j++ {
+		if c.At(0, j) != 0 || math.Abs(c.At(1, j)-2*b.At(1, j)) > 1e-15 {
+			t.Fatal("zero-skip path wrong")
+		}
+	}
+}

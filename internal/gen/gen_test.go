@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"testing"
+
+	"twoface/internal/sparse"
+)
+
+func checkValid(t *testing.T, m *sparse.COO) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("generator produced empty matrix")
+	}
+}
+
+func entriesEqual(a, b *sparse.COO) bool {
+	if a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(100, 120, 500, 1)
+	checkValid(t, m)
+	if m.NumRows != 100 || m.NumCols != 120 {
+		t.Fatalf("shape %dx%d", m.NumRows, m.NumCols)
+	}
+	// Dedup may remove a few duplicates but not many at this density.
+	if m.NNZ() < 450 || m.NNZ() > 500 {
+		t.Fatalf("nnz = %d, want ~500", m.NNZ())
+	}
+}
+
+func TestBandedStaysNearDiagonal(t *testing.T) {
+	const band = 10
+	m := Banded(200, band, 5, 2)
+	checkValid(t, m)
+	for _, e := range m.Entries {
+		d := int64(e.Col) - int64(e.Row)
+		if d < -band || d > band {
+			t.Fatalf("entry (%d,%d) outside band %d", e.Row, e.Col, band)
+		}
+	}
+	// Diagonal must be fully populated.
+	diag := 0
+	for _, e := range m.Entries {
+		if e.Row == e.Col {
+			diag++
+		}
+	}
+	if diag != 200 {
+		t.Fatalf("diagonal has %d entries, want 200", diag)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	m := RMAT(1024, 8192, 0.57, 0.19, 0.19, 0.05, 3)
+	checkValid(t, m)
+	if m.NumRows != 1024 {
+		t.Fatalf("rows = %d", m.NumRows)
+	}
+	// Power-law: the max column degree should far exceed the average.
+	s := m.ComputeStats()
+	if float64(s.MaxColNNZ) < 5*s.AvgPerRow {
+		t.Fatalf("RMAT not skewed: max col %d vs avg %.2f", s.MaxColNNZ, s.AvgPerRow)
+	}
+}
+
+func TestRMATNonPowerOfTwoRows(t *testing.T) {
+	m := RMAT(1000, 4000, 0.57, 0.19, 0.19, 0.05, 4)
+	checkValid(t, m)
+	for _, e := range m.Entries {
+		if e.Row >= 1000 || e.Col >= 1000 {
+			t.Fatalf("entry (%d,%d) outside clipped 1000x1000", e.Row, e.Col)
+		}
+	}
+}
+
+func TestCommunityWebLocality(t *testing.T) {
+	const rows, block = 1000, 50
+	m := CommunityWeb(rows, block, 10, 0.9, 5)
+	checkValid(t, m)
+	inBlock := 0
+	for _, e := range m.Entries {
+		if e.Row/block == e.Col/block {
+			inBlock++
+		}
+	}
+	frac := float64(inBlock) / float64(m.NNZ())
+	if frac < 0.75 {
+		t.Fatalf("in-community fraction %.2f, want >= 0.75", frac)
+	}
+}
+
+func TestHubTrafficSkew(t *testing.T) {
+	m := HubTraffic(2000, 8000, 4, 0.6, 0.7, 6)
+	checkValid(t, m)
+	cols := m.ColCounts()
+	var hubMass int64
+	for c := int32(0); c < 4; c++ {
+		hubMass += cols[c]
+	}
+	// Roughly half the hub entries land on the column side, so the 4 hub
+	// columns should hold a large share of all nonzeros.
+	if float64(hubMass) < 0.15*float64(m.NNZ()) {
+		t.Fatalf("hub columns hold only %d of %d entries", hubMass, m.NNZ())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	builders := map[string]func(seed uint64) *sparse.COO{
+		"uniform": func(s uint64) *sparse.COO { return Uniform(64, 64, 200, s) },
+		"banded":  func(s uint64) *sparse.COO { return Banded(64, 5, 4, s) },
+		"rmat":    func(s uint64) *sparse.COO { return RMAT(64, 300, 0.57, 0.19, 0.19, 0.05, s) },
+		"web":     func(s uint64) *sparse.COO { return CommunityWeb(64, 8, 5, 0.9, s) },
+		"hub":     func(s uint64) *sparse.COO { return HubTraffic(64, 300, 2, 0.5, 0.7, s) },
+	}
+	for name, build := range builders {
+		a, b := build(7), build(7)
+		if !entriesEqual(a, b) {
+			t.Fatalf("%s: same seed gave different matrices", name)
+		}
+		c := build(8)
+		if entriesEqual(a, c) {
+			t.Fatalf("%s: different seeds gave identical matrices", name)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 8 {
+		t.Fatalf("registry has %d specs, want 8", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Short] = true
+		if s.Rows <= 0 || s.AvgDeg <= 0 || s.Width <= 0 {
+			t.Fatalf("spec %s has invalid parameters: %+v", s.Short, s)
+		}
+	}
+	for _, want := range []string{"mawi", "queen", "stokes", "kmer", "arabic", "twitter", "web", "friendster"} {
+		if !names[want] {
+			t.Fatalf("registry missing %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("queen")
+	if err != nil || s.Short != "queen" {
+		t.Fatalf("ByName(queen) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestSpecBuildSmallScale(t *testing.T) {
+	for _, s := range Specs() {
+		// Scale 0.05 keeps the banded generators' bands wide enough that
+		// dedup clipping does not crush the average degree.
+		m := s.Build(0.05, 42)
+		checkValid(t, m)
+		wantRows := s.ScaledRows(0.05)
+		if m.NumRows != wantRows {
+			t.Fatalf("%s: rows %d, want %d", s.Short, m.NumRows, wantRows)
+		}
+		if m.NumRows != m.NumCols {
+			t.Fatalf("%s: not square: %dx%d", s.Short, m.NumRows, m.NumCols)
+		}
+		// Average degree should be in the right ballpark of the effective
+		// target (dedup and clipping shave a little; banded analogs cap the
+		// degree by their band width).
+		deg := float64(m.NNZ()) / float64(m.NumRows)
+		want := s.ExpectedDeg(0.05)
+		if deg < 0.4*want || deg > 1.6*want {
+			t.Fatalf("%s: avg degree %.2f, target %.2f", s.Short, deg, want)
+		}
+	}
+}
+
+func TestScaledWidthPowerOfTwo(t *testing.T) {
+	for _, s := range Specs() {
+		for _, scale := range []float64{0.01, 0.1, 1.0} {
+			w := s.ScaledWidth(scale)
+			if w < 8 || w&(w-1) != 0 {
+				t.Fatalf("%s scale %v: width %d not a power of two >= 8", s.Short, scale, w)
+			}
+		}
+	}
+}
+
+func TestScaledRowsFloor(t *testing.T) {
+	s, _ := ByName("queen")
+	if r := s.ScaledRows(1e-9); r != 64 {
+		t.Fatalf("tiny scale rows = %d, want floor 64", r)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	rng := newRNG(9)
+	z := newZipf(rng, 1.3, 100000)
+	counts := make(map[int64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := z.next()
+		if v < 0 || v >= 100000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		if v < 10 {
+			counts[v]++
+		}
+	}
+	// Item 0 must dominate item 9 by roughly (10/1)^1.3 ~ 20x; allow slack.
+	if counts[0] < 4*counts[9] {
+		t.Fatalf("zipf head not skewed: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	rng := newRNG(10)
+	z := newZipf(rng, 1.5, 10) // n smaller than head table
+	for i := 0; i < 1000; i++ {
+		if v := z.next(); v < 0 || v >= 10 {
+			t.Fatalf("zipf small-n draw %d out of range", v)
+		}
+	}
+}

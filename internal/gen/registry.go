@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"twoface/internal/sparse"
+)
+
+// Spec describes one synthetic analog of a paper matrix (Table 1). Rows and
+// StripeWidth are given at Scale = 1.0, which corresponds to roughly 1/512
+// of the paper's dimensions; average degree (nonzeros per row) matches the
+// paper, so nonzero counts also scale by ~1/512.
+type Spec struct {
+	Long   string  // paper's long name, e.g. "mawi_201512020030"
+	Short  string  // paper's short name, e.g. "mawi"
+	Rows   int32   // rows = cols at scale 1.0 (all paper matrices are square)
+	AvgDeg float64 // target nonzeros per row
+	Width  int32   // stripe width W at scale 1.0 (paper Table 1, scaled)
+
+	// build constructs the matrix for the given dimension and nonzero target.
+	build func(rows int32, nnz int64, seed uint64) *sparse.COO
+	// degCap, when set, bounds the achievable degree at a given dimension
+	// (the banded analogs cap degree by their band width).
+	degCap func(rows int32) float64
+}
+
+// ExpectedDeg reports the degree the generator actually targets at the given
+// scale: AvgDeg unless the matrix's structure caps it (thin-banded analogs).
+func (s Spec) ExpectedDeg(scale float64) float64 {
+	deg := s.AvgDeg
+	if s.degCap != nil {
+		if cap := s.degCap(scaledRows(s.Rows, scale)); cap < deg {
+			deg = cap
+		}
+	}
+	return deg
+}
+
+// PaperRows reports the row count of the real SuiteSparse matrix, for
+// rendering Table 1.
+func (s Spec) PaperRows() float64 { return float64(s.Rows) * 512 }
+
+// registry lists the eight evaluation matrices in the paper's Table 1 order
+// (ascending nonzero count).
+var registry = []Spec{
+	{
+		Long: "mawi_201512020030", Short: "mawi", Rows: 134_000, AvgDeg: 2.08, Width: 256,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return HubTraffic(rows, nnz, max32(rows/2048, 4), 0.85, 0.8, seed)
+		},
+	},
+	{
+		Long: "Queen_4147", Short: "queen", Rows: 8_100, AvgDeg: 76.3, Width: 16,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			// Very thin band (~0.2% of the matrix): a reordered 3D FEM mesh
+			// whose remote dense accesses are a boundary layer that is tiny
+			// relative to any node's block. The row degree is capped by the
+			// band width, so the analog trades some of Queen_4147's density
+			// for its structure — the structure is what drives communication.
+			band := max32(rows/256, 8)
+			perRow := math.Min(float64(nnz)/float64(rows), float64(band))
+			return Banded(rows, band, perRow, seed)
+		},
+		degCap: func(rows int32) float64 { return float64(max32(rows/256, 8)) },
+	},
+	{
+		Long: "stokes", Short: "stokes", Rows: 22_400, AvgDeg: 30.5, Width: 64,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			// Wider band than queen (~0.8%): a coupled Stokes discretization
+			// with more boundary coupling, so less of the win.
+			band := max32(rows/48, 8)
+			perRow := math.Min(float64(nnz)/float64(rows), 1.5*float64(band))
+			return Banded(rows, band, perRow, seed)
+		},
+		degCap: func(rows int32) float64 { return 1.5 * float64(max32(rows/48, 8)) },
+	},
+	{
+		Long: "kmer_V1r", Short: "kmer", Rows: 418_000, AvgDeg: 2.17, Width: 1024,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return Uniform(rows, rows, nnz, seed)
+		},
+	},
+	{
+		Long: "arabic-2005", Short: "arabic", Rows: 44_400, AvgDeg: 28.1, Width: 128,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return CommunityWeb(rows, max32(rows/256, 16), float64(nnz)/float64(rows), 0.985, seed)
+		},
+	},
+	{
+		Long: "twitter7", Short: "twitter", Rows: 81_300, AvgDeg: 35.3, Width: 256,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return RMAT(rows, nnz, 0.57, 0.19, 0.19, 0.05, seed)
+		},
+	},
+	{
+		Long: "GAP-web", Short: "web", Rows: 98_900, AvgDeg: 38.1, Width: 256,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return CommunityWeb(rows, max32(rows/512, 16), float64(nnz)/float64(rows), 0.97, seed)
+		},
+	},
+	{
+		Long: "com-Friendster", Short: "friendster", Rows: 128_100, AvgDeg: 55.1, Width: 256,
+		build: func(rows int32, nnz int64, seed uint64) *sparse.COO {
+			return RMAT(rows, nnz, 0.45, 0.22, 0.22, 0.11, seed)
+		},
+	},
+}
+
+// Specs returns the eight paper matrices in Table 1 order.
+func Specs() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName looks up a spec by its short name.
+func ByName(short string) (Spec, error) {
+	for _, s := range registry {
+		if s.Short == short {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown matrix %q (known: mawi queen stokes kmer arabic twitter web friendster)", short)
+}
+
+// Build generates the matrix at the given scale with the given seed. Scale
+// multiplies the row count (and, with fixed average degree, the nonzero
+// count); scale 1.0 is the default benchmark size, and tests use smaller
+// scales.
+func (s Spec) Build(scale float64, seed uint64) *sparse.COO {
+	rows := scaledRows(s.Rows, scale)
+	nnz := int64(math.Round(float64(rows) * s.AvgDeg))
+	return s.build(rows, nnz, seed)
+}
+
+// ScaledRows reports the dimension Build would use at the given scale.
+func (s Spec) ScaledRows(scale float64) int32 { return scaledRows(s.Rows, scale) }
+
+// ScaledWidth reports the stripe width W at the given scale: the Table 1
+// width scaled proportionally and rounded to the nearest power of two, with
+// a floor of 8 (the paper chose widths "to scale with the number of
+// columns", rounded to powers of two).
+func (s Spec) ScaledWidth(scale float64) int32 {
+	w := float64(s.Width) * scale
+	if w < 8 {
+		return 8
+	}
+	return nearestPow2(w)
+}
+
+func scaledRows(rows int32, scale float64) int32 {
+	r := int32(math.Round(float64(rows) * scale))
+	if r < 64 {
+		r = 64
+	}
+	return r
+}
+
+func nearestPow2(x float64) int32 {
+	e := math.Round(math.Log2(x))
+	return int32(1) << int32(e)
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells with row and
+// column labels, printable as aligned text. Experiments return Tables so the
+// command-line tool and benchmarks share one renderer, and EXPERIMENTS.md
+// can quote the output verbatim.
+type Table struct {
+	Title   string
+	Note    string
+	ColHead []string
+	RowHead []string
+	Cells   [][]string
+
+	// Values carries the numeric cell contents (NaN for blanks) for
+	// programmatic checks; indexed like Cells.
+	Values [][]float64
+}
+
+// NewTable allocates a table with the given headers.
+func NewTable(title string, rowHead, colHead []string) *Table {
+	t := &Table{Title: title, ColHead: colHead, RowHead: rowHead}
+	t.Cells = make([][]string, len(rowHead))
+	t.Values = make([][]float64, len(rowHead))
+	for i := range t.Cells {
+		t.Cells[i] = make([]string, len(colHead))
+		t.Values[i] = make([]float64, len(colHead))
+		for j := range t.Cells[i] {
+			t.Cells[i][j] = "-"
+			t.Values[i][j] = math.NaN()
+		}
+	}
+	return t
+}
+
+// Set stores a numeric cell, formatted with the given precision. NaN renders
+// as "OOM" (the paper's blank bars are always memory failures here).
+func (t *Table) Set(row, col int, v float64, format string) {
+	t.Values[row][col] = v
+	if math.IsNaN(v) {
+		t.Cells[row][col] = "OOM"
+		return
+	}
+	t.Cells[row][col] = fmt.Sprintf(format, v)
+}
+
+// SetText stores a preformatted cell with no numeric value.
+func (t *Table) SetText(row, col int, s string) { t.Cells[row][col] = s }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.ColHead)+1)
+	for _, r := range t.RowHead {
+		widths[0] = max(widths[0], len(r))
+	}
+	for j, h := range t.ColHead {
+		widths[j+1] = len(h)
+		for i := range t.Cells {
+			widths[j+1] = max(widths[j+1], len(t.Cells[i][j]))
+		}
+	}
+	line := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%*s", widths[j], c))
+		}
+		sb.WriteByte('\n')
+	}
+	line(append([]string{""}, t.ColHead...))
+	for i, r := range t.RowHead {
+		line(append([]string{r}, t.Cells[i]...))
+	}
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Value returns the numeric value at (rowLabel, colLabel), or NaN if absent.
+func (t *Table) Value(rowLabel, colLabel string) float64 {
+	for i, r := range t.RowHead {
+		if r != rowLabel {
+			continue
+		}
+		for j, c := range t.ColHead {
+			if c == colLabel {
+				return t.Values[i][j]
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// JSON renders the table as a machine-readable document: NaN cells become
+// null (JSON has no NaN), preserving the OOM semantics.
+func (t *Table) JSON() ([]byte, error) {
+	type doc struct {
+		Title   string           `json:"title"`
+		Note    string           `json:"note,omitempty"`
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
+	}
+	d := doc{Title: t.Title, Note: t.Note, Columns: t.ColHead}
+	for i, r := range t.RowHead {
+		row := map[string]any{"name": r}
+		for j, c := range t.ColHead {
+			v := t.Values[i][j]
+			if math.IsNaN(v) {
+				row[c] = nil
+			} else {
+				row[c] = v
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -1,0 +1,193 @@
+// Package model implements the paper's preprocessing execution model
+// (section 4.2): the six-coefficient linear cost model, the stripe
+// classifier that balances the synchronous and asynchronous halves of
+// Two-Face, and the linear-regression calibration that fits the
+// coefficients to a machine (section 6.2).
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coefficients are the preprocessing model's parameters. They describe what
+// the classifier *believes* about the machine; the actual machine behaviour
+// lives in the cluster package's NetModel. The paper calibrates them once
+// per system by linear regression.
+//
+// Cost model (for one node):
+//
+//	CommS = S_S * (BetaS*W*K + AlphaS)
+//	CommA = BetaA*K*L_A + AlphaA*S_A
+//	CompA = GammaA*K*N_A + KappaA*S_A
+//
+// where S_S/S_A count the node's synchronous/asynchronous stripes, L_A the
+// dense rows fetched one-sidedly, and N_A the nonzeros in async stripes.
+type Coefficients struct {
+	BetaS  float64 // collective transfer cost per element of B
+	AlphaS float64 // per-stripe overhead of collective transfer
+	BetaA  float64 // one-sided transfer cost per element of B
+	AlphaA float64 // per-stripe overhead of one-sided transfer
+	GammaA float64 // async compute cost per nonzero per dense column
+	KappaA float64 // per-stripe overhead of async compute
+}
+
+// PaperDefaults returns the coefficients of the paper's Table 3, measured
+// on NCSA Delta by linear regression.
+func PaperDefaults() Coefficients {
+	return Coefficients{
+		BetaS:  1.95e-10,
+		AlphaS: 1.36e-6,
+		BetaA:  3.61e-9,
+		AlphaA: 1.02e-5,
+		GammaA: 2.07e-8,
+		KappaA: 8.72e-9,
+	}
+}
+
+// Scaled returns the coefficients for a 1/f-scale machine: per-stripe fixed
+// overheads (AlphaS, AlphaA, KappaA) shrink by f while per-element and
+// per-nonzero costs are unchanged. It mirrors cluster.NetModel.Scaled so a
+// classifier calibrated for the scaled machine sees the paper's trade-offs.
+func (c Coefficients) Scaled(f float64) Coefficients {
+	if f <= 0 {
+		panic("model: scale factor must be positive")
+	}
+	c.AlphaS /= f
+	c.AlphaA /= f
+	c.KappaA /= f
+	return c
+}
+
+// Validate rejects non-positive transfer coefficients, which would make the
+// classifier degenerate.
+func (c Coefficients) Validate() error {
+	if c.BetaS <= 0 || c.AlphaS <= 0 || c.BetaA <= 0 || c.AlphaA <= 0 || c.GammaA <= 0 || c.KappaA <= 0 {
+		return fmt.Errorf("model: coefficients must be positive: %+v", c)
+	}
+	return nil
+}
+
+// StripeInfo summarizes one remote-input sparse stripe of a node for
+// classification purposes.
+type StripeInfo struct {
+	NNZ        int64 // n_i: nonzeros in the stripe
+	RowsNeeded int64 // l_i: distinct dense rows of B the stripe references
+}
+
+// ZScore returns z_i = K*(BetaA*l_i + GammaA*n_i) + u, the stripe's
+// contribution to the asynchronous half if classified async, where
+// u = AlphaA + KappaA + BetaS*W*K + AlphaS is the per-stripe constant
+// (section 4.2).
+func (c Coefficients) ZScore(s StripeInfo, w int32, k int) float64 {
+	return float64(k)*(c.BetaA*float64(s.RowsNeeded)+c.GammaA*float64(s.NNZ)) + c.perStripeConstant(w, k)
+}
+
+func (c Coefficients) perStripeConstant(w int32, k int) float64 {
+	return c.AlphaA + c.KappaA + c.BetaS*float64(w)*float64(k) + c.AlphaS
+}
+
+// SyncStripeCost returns the modeled collective cost of one synchronous
+// stripe: BetaS*W*K + AlphaS.
+func (c Coefficients) SyncStripeCost(w int32, k int) float64 {
+	return c.BetaS*float64(w)*float64(k) + c.AlphaS
+}
+
+// Decision is the outcome of classifying one node's remote-input stripes.
+type Decision struct {
+	// Async[i] reports whether stripes[i] was classified asynchronous.
+	Async []bool
+	// NumAsync and NumSync count the two classes.
+	NumAsync, NumSync int
+	// Budget is S_T*(BetaS*W*K + AlphaS), the modeled synchronous cost if
+	// every stripe were synchronous — the classifier flips stripes to async
+	// while their cumulative z stays within it.
+	Budget float64
+	// SpentZ is the cumulative z of the stripes flipped to async.
+	SpentZ float64
+}
+
+// Classify implements the paper's greedy balancing algorithm: start with all
+// stripes synchronous, sort by ascending z, and flip stripes to asynchronous
+// while the running z-sum stays within S_T*(BetaS*W*K + AlphaS). This
+// maximizes the async count (minimizing the number of costly collectives)
+// subject to the async half not becoming the bottleneck.
+func Classify(stripes []StripeInfo, w int32, k int, c Coefficients) Decision {
+	d := Decision{Async: make([]bool, len(stripes))}
+	st := len(stripes)
+	d.Budget = float64(st) * c.SyncStripeCost(w, k)
+
+	order := make([]int, st)
+	z := make([]float64, st)
+	for i, s := range stripes {
+		order[i] = i
+		z[i] = c.ZScore(s, w, k)
+	}
+	sort.Slice(order, func(a, b int) bool { return z[order[a]] < z[order[b]] })
+
+	for _, idx := range order {
+		if d.SpentZ+z[idx] > d.Budget {
+			break
+		}
+		d.SpentZ += z[idx]
+		d.Async[idx] = true
+		d.NumAsync++
+	}
+	d.NumSync = st - d.NumAsync
+	return d
+}
+
+// ApplyMemoryCap enforces the paper's section 6.3 override: if the chosen
+// classification would require more receive-buffer memory than budgetElems
+// float64 elements on this node, flip additional synchronous stripes to
+// asynchronous (highest z first, so the cheapest collectives are kept) until
+// the projected buffer fits. Each remote synchronous stripe buffers one
+// dense stripe of W*K elements.
+//
+// It returns the number of stripes flipped.
+func ApplyMemoryCap(d *Decision, stripes []StripeInfo, w int32, k int, c Coefficients, budgetElems int64) int {
+	stripeElems := int64(w) * int64(k)
+	if stripeElems <= 0 {
+		return 0
+	}
+	needed := int64(d.NumSync) * stripeElems
+	if needed <= budgetElems {
+		return 0
+	}
+	// Flip sync stripes in descending z order.
+	var syncIdx []int
+	for i, a := range d.Async {
+		if !a {
+			syncIdx = append(syncIdx, i)
+		}
+	}
+	sort.Slice(syncIdx, func(a, b int) bool {
+		return c.ZScore(stripes[syncIdx[a]], w, k) > c.ZScore(stripes[syncIdx[b]], w, k)
+	})
+	flipped := 0
+	for _, idx := range syncIdx {
+		if int64(d.NumSync)*stripeElems <= budgetElems {
+			break
+		}
+		d.Async[idx] = true
+		d.NumAsync++
+		d.NumSync--
+		flipped++
+	}
+	return flipped
+}
+
+// PredictedTimes returns the model's expected (CommS, CommA, CompA) for a
+// node given its classification, for diagnostics and tests of the balancing
+// property.
+func PredictedTimes(stripes []StripeInfo, d Decision, w int32, k int, c Coefficients) (commS, commA, compA float64) {
+	for i, s := range stripes {
+		if d.Async[i] {
+			commA += c.BetaA*float64(k)*float64(s.RowsNeeded) + c.AlphaA
+			compA += c.GammaA*float64(k)*float64(s.NNZ) + c.KappaA
+		} else {
+			commS += c.SyncStripeCost(w, k)
+		}
+	}
+	return commS, commA, compA
+}

@@ -1,0 +1,210 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperDefaultsValid(t *testing.T) {
+	c := PaperDefaults()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.BetaA/c.BetaS < 18 || c.BetaA/c.BetaS > 19 {
+		t.Fatalf("BetaA/BetaS = %.2f, paper says ~18.5", c.BetaA/c.BetaS)
+	}
+}
+
+func TestValidateRejectsNonPositive(t *testing.T) {
+	c := PaperDefaults()
+	c.GammaA = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero coefficient should fail")
+	}
+}
+
+func TestZScoreComposition(t *testing.T) {
+	c := PaperDefaults()
+	s := StripeInfo{NNZ: 100, RowsNeeded: 40}
+	w, k := int32(256), 32
+	want := float64(k)*(c.BetaA*40+c.GammaA*100) + c.AlphaA + c.KappaA + c.BetaS*float64(w)*float64(k) + c.AlphaS
+	if got := c.ZScore(s, w, k); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("ZScore = %v, want %v", got, want)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	d := Classify(nil, 128, 32, PaperDefaults())
+	if d.NumAsync != 0 || d.NumSync != 0 || len(d.Async) != 0 {
+		t.Fatalf("empty classify = %+v", d)
+	}
+}
+
+func TestClassifyPrefersCheapStripes(t *testing.T) {
+	c := PaperDefaults()
+	// One stripe needing almost nothing, one needing everything.
+	// Wide stripes make each collective expensive, so the nearly-empty
+	// stripe comfortably fits the async budget while the dense one does not.
+	stripes := []StripeInfo{
+		{NNZ: 100000, RowsNeeded: 128},
+		{NNZ: 2, RowsNeeded: 2},
+	}
+	d := Classify(stripes, 8192, 128, c)
+	if !d.Async[1] {
+		t.Fatal("cheap stripe should be classified async")
+	}
+	if d.Async[0] && !d.Async[1] {
+		t.Fatal("expensive stripe flipped before cheap one")
+	}
+}
+
+func TestClassifyBudgetInvariant(t *testing.T) {
+	// Property: SpentZ never exceeds Budget, counts are consistent, and the
+	// flipped set is a prefix of the z-ascending order (no flipped stripe
+	// has higher z than an unflipped one... except by the budget cutoff).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := rng.IntN(60)
+		stripes := make([]StripeInfo, n)
+		for i := range stripes {
+			stripes[i] = StripeInfo{NNZ: int64(rng.IntN(10000)), RowsNeeded: int64(rng.IntN(512))}
+		}
+		c := PaperDefaults()
+		w := int32(64 << rng.IntN(4))
+		k := 32 << rng.IntN(3)
+		d := Classify(stripes, w, k, c)
+		if d.NumAsync+d.NumSync != n {
+			return false
+		}
+		if d.SpentZ > d.Budget+1e-12 {
+			return false
+		}
+		// Prefix property: max z among async <= min z among sync, up to ties.
+		maxAsync, minSync := math.Inf(-1), math.Inf(1)
+		for i, s := range stripes {
+			z := c.ZScore(s, w, k)
+			if d.Async[i] && z > maxAsync {
+				maxAsync = z
+			}
+			if !d.Async[i] && z < minSync {
+				minSync = z
+			}
+		}
+		return d.NumAsync == 0 || d.NumSync == 0 || maxAsync <= minSync+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyMaximality(t *testing.T) {
+	// The classifier must take as many stripes as the budget allows: adding
+	// the next cheapest sync stripe would exceed the budget.
+	rng := rand.New(rand.NewPCG(7, 7))
+	stripes := make([]StripeInfo, 40)
+	for i := range stripes {
+		stripes[i] = StripeInfo{NNZ: int64(rng.IntN(5000)), RowsNeeded: int64(rng.IntN(256))}
+	}
+	c := PaperDefaults()
+	d := Classify(stripes, 128, 128, c)
+	if d.NumSync == 0 {
+		return // everything fit; nothing to check
+	}
+	minSyncZ := math.Inf(1)
+	for i, s := range stripes {
+		if !d.Async[i] {
+			if z := c.ZScore(s, 128, 128); z < minSyncZ {
+				minSyncZ = z
+			}
+		}
+	}
+	if d.SpentZ+minSyncZ <= d.Budget {
+		t.Fatalf("classifier left budget on the table: spent %v + next %v <= budget %v", d.SpentZ, minSyncZ, d.Budget)
+	}
+}
+
+func TestClassifyBalancesHalves(t *testing.T) {
+	// With many similar stripes, the model's predicted async half should be
+	// within one stripe's cost of the sync half (approximate equalization,
+	// section 4.2).
+	stripes := make([]StripeInfo, 200)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := range stripes {
+		// Light stripes: heavy ones individually exceed the sync budget and
+		// the classifier correctly keeps everything synchronous.
+		stripes[i] = StripeInfo{NNZ: 5 + int64(rng.IntN(10)), RowsNeeded: 3 + int64(rng.IntN(8))}
+	}
+	c := PaperDefaults()
+	w, k := int32(128), 128
+	d := Classify(stripes, w, k, c)
+	if d.NumAsync == 0 || d.NumSync == 0 {
+		t.Fatalf("degenerate classification: %d async, %d sync", d.NumAsync, d.NumSync)
+	}
+	commS, commA, compA := PredictedTimes(stripes, d, w, k, c)
+	asyncHalf := commA + compA
+	// The paper's equalization target: CommS ~ CommA + CompA. Classify
+	// balances Budget (= S_T * syncStripeCost) against z-sums, which is the
+	// same equation rearranged; allow one stripe of slack either way.
+	slack := c.ZScore(stripes[0], w, k) + c.SyncStripeCost(w, k)
+	if math.Abs(commS-asyncHalf) > slack {
+		t.Fatalf("halves unbalanced: CommS=%v async=%v slack=%v", commS, asyncHalf, slack)
+	}
+}
+
+func TestApplyMemoryCap(t *testing.T) {
+	stripes := make([]StripeInfo, 10)
+	for i := range stripes {
+		stripes[i] = StripeInfo{NNZ: 1 << 20, RowsNeeded: 512} // huge: all stay sync
+	}
+	c := PaperDefaults()
+	w, k := int32(128), 128
+	d := Classify(stripes, w, k, c)
+	if d.NumSync != 10 {
+		t.Fatalf("setup: want all sync, got %d async", d.NumAsync)
+	}
+	// Budget for only 3 sync stripes.
+	budget := int64(3) * int64(w) * int64(k)
+	flipped := ApplyMemoryCap(&d, stripes, w, k, c, budget)
+	if flipped != 7 || d.NumSync != 3 || d.NumAsync != 7 {
+		t.Fatalf("memory cap: flipped %d, sync %d, async %d", flipped, d.NumSync, d.NumAsync)
+	}
+	// No-op when already within budget.
+	if again := ApplyMemoryCap(&d, stripes, w, k, c, budget); again != 0 {
+		t.Fatalf("second cap flipped %d more", again)
+	}
+}
+
+func TestApplyMemoryCapFlipsExpensiveFirst(t *testing.T) {
+	stripes := []StripeInfo{
+		{NNZ: 1 << 30, RowsNeeded: 4096}, // most expensive z
+		{NNZ: 1 << 20, RowsNeeded: 512},
+		{NNZ: 1 << 25, RowsNeeded: 2048},
+	}
+	c := PaperDefaults()
+	w, k := int32(128), 128
+	d := Decision{Async: make([]bool, 3), NumSync: 3}
+	ApplyMemoryCap(&d, stripes, w, k, c, int64(2)*int64(w)*int64(k))
+	if !d.Async[0] {
+		t.Fatal("highest-z stripe should be flipped first")
+	}
+	if d.Async[1] {
+		t.Fatal("cheapest stripe should remain sync")
+	}
+}
+
+func TestPredictedTimes(t *testing.T) {
+	c := PaperDefaults()
+	stripes := []StripeInfo{{NNZ: 10, RowsNeeded: 5}, {NNZ: 20, RowsNeeded: 8}}
+	d := Decision{Async: []bool{true, false}, NumAsync: 1, NumSync: 1}
+	commS, commA, compA := PredictedTimes(stripes, d, 64, 32, c)
+	if commS != c.SyncStripeCost(64, 32) {
+		t.Fatalf("commS = %v", commS)
+	}
+	wantCommA := c.BetaA*32*5 + c.AlphaA
+	wantCompA := c.GammaA*32*10 + c.KappaA
+	if math.Abs(commA-wantCommA) > 1e-18 || math.Abs(compA-wantCompA) > 1e-18 {
+		t.Fatalf("commA=%v compA=%v want %v %v", commA, compA, wantCommA, wantCompA)
+	}
+}

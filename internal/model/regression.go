@@ -1,0 +1,228 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear-regression calibration (paper section 6.2): the six coefficients
+// are fit from a small number of profiled SpMM runs with varying stripe
+// widths and forced sync/async splits. Each of the three cost equations is
+// a two-parameter linear model, fit by ordinary least squares.
+
+// Sample is one profiled run of the Two-Face executor on a calibration
+// workload: the observed per-node times together with the model features
+// that explain them.
+type Sample struct {
+	W int32 // stripe width
+	K int   // dense columns
+
+	SyncStripes  int64 // S_S
+	AsyncStripes int64 // S_A
+	AsyncRows    int64 // L_A: dense rows fetched one-sidedly
+	AsyncNNZ     int64 // N_A: nonzeros in async stripes
+
+	CommS float64 // observed synchronous communication seconds
+	CommA float64 // observed asynchronous communication seconds
+	CompA float64 // observed asynchronous computation seconds
+}
+
+// Diagnostics reports the quality of a calibration fit: the coefficient of
+// determination (R-squared) of each of the three regressions. Values near 1
+// mean the two-parameter linear model explains the observations; the gap
+// below 1 is the unmodeled machine behaviour (multicast fan-out, coalescing)
+// that the paper's section 7.4 sensitivity study probes.
+type Diagnostics struct {
+	R2CommS float64
+	R2CommA float64
+	R2CompA float64
+}
+
+// CalibrateWithDiagnostics is Calibrate plus per-equation fit quality.
+func CalibrateWithDiagnostics(samples []Sample) (Coefficients, Diagnostics, error) {
+	c, err := Calibrate(samples)
+	if err != nil {
+		return c, Diagnostics{}, err
+	}
+	var d Diagnostics
+	commS := func(s Sample) float64 {
+		return c.BetaS*float64(s.SyncStripes)*float64(s.W)*float64(s.K) + c.AlphaS*float64(s.SyncStripes)
+	}
+	commA := func(s Sample) float64 {
+		return c.BetaA*float64(s.K)*float64(s.AsyncRows) + c.AlphaA*float64(s.AsyncStripes)
+	}
+	compA := func(s Sample) float64 {
+		return c.GammaA*float64(s.K)*float64(s.AsyncNNZ) + c.KappaA*float64(s.AsyncStripes)
+	}
+	d.R2CommS = rSquared(samples, commS, func(s Sample) float64 { return s.CommS })
+	d.R2CommA = rSquared(samples, commA, func(s Sample) float64 { return s.CommA })
+	d.R2CompA = rSquared(samples, compA, func(s Sample) float64 { return s.CompA })
+	return c, d, nil
+}
+
+// rSquared computes 1 - SS_res/SS_tot for predictions over the samples.
+func rSquared(samples []Sample, predict, observe func(Sample) float64) float64 {
+	var mean float64
+	for _, s := range samples {
+		mean += observe(s)
+	}
+	mean /= float64(len(samples))
+	var ssRes, ssTot float64
+	for _, s := range samples {
+		y := observe(s)
+		e := y - predict(s)
+		ssRes += e * e
+		ssTot += (y - mean) * (y - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Calibrate fits Coefficients to the samples by three independent
+// least-squares regressions:
+//
+//	CommS ~ BetaS*(S_S*W*K) + AlphaS*S_S
+//	CommA ~ BetaA*(K*L_A)   + AlphaA*S_A
+//	CompA ~ GammaA*(K*N_A)  + KappaA*S_A
+//
+// At least two samples with linearly independent features are required per
+// equation. Fitted coefficients are clamped to a small positive floor: the
+// true values are positive, and a noisy fit that crossed zero would break
+// the classifier.
+func Calibrate(samples []Sample) (Coefficients, error) {
+	if len(samples) < 2 {
+		return Coefficients{}, fmt.Errorf("model: calibration needs >= 2 samples, got %d", len(samples))
+	}
+	xs, xa, xc := make([][]float64, len(samples)), make([][]float64, len(samples)), make([][]float64, len(samples))
+	ys, ya, yc := make([]float64, len(samples)), make([]float64, len(samples)), make([]float64, len(samples))
+	for i, s := range samples {
+		wk := float64(s.W) * float64(s.K)
+		xs[i] = []float64{float64(s.SyncStripes) * wk, float64(s.SyncStripes)}
+		ys[i] = s.CommS
+		xa[i] = []float64{float64(s.K) * float64(s.AsyncRows), float64(s.AsyncStripes)}
+		ya[i] = s.CommA
+		xc[i] = []float64{float64(s.K) * float64(s.AsyncNNZ), float64(s.AsyncStripes)}
+		yc[i] = s.CompA
+	}
+	bs, err := FitLeastSquares(xs, ys)
+	if err != nil {
+		return Coefficients{}, fmt.Errorf("model: fitting CommS: %w", err)
+	}
+	ba, err := FitLeastSquares(xa, ya)
+	if err != nil {
+		return Coefficients{}, fmt.Errorf("model: fitting CommA: %w", err)
+	}
+	bc, err := FitLeastSquares(xc, yc)
+	if err != nil {
+		return Coefficients{}, fmt.Errorf("model: fitting CompA: %w", err)
+	}
+	c := Coefficients{
+		BetaS: floor(bs[0]), AlphaS: floor(bs[1]),
+		BetaA: floor(ba[0]), AlphaA: floor(ba[1]),
+		GammaA: floor(bc[0]), KappaA: floor(bc[1]),
+	}
+	return c, nil
+}
+
+// floor clamps fitted coefficients away from zero and below.
+func floor(v float64) float64 {
+	const eps = 1e-12
+	if v < eps || math.IsNaN(v) {
+		return eps
+	}
+	return v
+}
+
+// FitLeastSquares solves the ordinary least-squares problem
+// min_b ||X*b - y||^2 via the normal equations X'X b = X'y, using Gaussian
+// elimination with partial pivoting. X is row-major: x[i] is one
+// observation's feature vector. All rows must have equal length d >= 1, and
+// len(x) == len(y) >= d.
+func FitLeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("model: need matching non-empty X (%d rows) and y (%d)", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("model: empty feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("model: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if n < d {
+		return nil, fmt.Errorf("model: underdetermined system: %d observations for %d features", n, d)
+	}
+	// Build the d x d normal matrix and d-vector.
+	ata := make([][]float64, d)
+	aty := make([]float64, d)
+	for i := 0; i < d; i++ {
+		ata[i] = make([]float64, d)
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < d; i++ {
+			aty[i] += x[r][i] * y[r]
+			for j := i; j < d; j++ {
+				ata[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	b, err := solveGaussian(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// solveGaussian solves the square system A x = b in place with partial
+// pivoting. It reports singular systems.
+func solveGaussian(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("model: singular normal matrix (collinear calibration features)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,203 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLeastSquaresExact(t *testing.T) {
+	// y = 2*x0 + 3*x1, no noise.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 5}}
+	y := []float64{2, 3, 5, 19}
+	b, err := FitLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-2) > 1e-9 || math.Abs(b[1]-3) > 1e-9 {
+		t.Fatalf("fit = %v, want [2 3]", b)
+	}
+}
+
+func TestFitLeastSquaresOverdeterminedNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, 4*a-1.5*b+(rng.Float64()-0.5)*0.01)
+	}
+	coef, err := FitLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-4) > 0.01 || math.Abs(coef[1]+1.5) > 0.01 {
+		t.Fatalf("noisy fit = %v, want ~[4 -1.5]", coef)
+	}
+}
+
+func TestFitLeastSquaresErrors(t *testing.T) {
+	if _, err := FitLeastSquares(nil, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := FitLeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := FitLeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("empty features should fail")
+	}
+	if _, err := FitLeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("underdetermined should fail")
+	}
+	if _, err := FitLeastSquares([][]float64{{1, 2}, {1, 3}, {1}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+	// Collinear features -> singular normal matrix.
+	if _, err := FitLeastSquares([][]float64{{1, 2}, {2, 4}, {3, 6}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("collinear features should fail")
+	}
+}
+
+func TestFitRecoversRandomModels(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		d := 1 + rng.IntN(4)
+		truth := make([]float64, d)
+		for i := range truth {
+			truth[i] = rng.Float64()*4 - 2
+		}
+		n := d + 5 + rng.IntN(20)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for r := 0; r < n; r++ {
+			x[r] = make([]float64, d)
+			for i := 0; i < d; i++ {
+				x[r][i] = rng.Float64()*10 - 5
+			}
+			for i := 0; i < d; i++ {
+				y[r] += truth[i] * x[r][i]
+			}
+		}
+		got, err := FitLeastSquares(x, y)
+		if err != nil {
+			return false
+		}
+		for i := range truth {
+			if math.Abs(got[i]-truth[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateRecoversCoefficients(t *testing.T) {
+	// Generate samples from known coefficients and check Calibrate recovers
+	// them — the same experiment the paper runs on twitter with nine
+	// configurations.
+	truth := PaperDefaults()
+	rng := rand.New(rand.NewPCG(9, 9))
+	var samples []Sample
+	for _, w := range []int32{64, 128, 256} {
+		for i := 0; i < 3; i++ {
+			ss := int64(10 + rng.IntN(100))
+			sa := int64(10 + rng.IntN(100))
+			la := sa * int64(1+rng.IntN(200))
+			na := sa * int64(1+rng.IntN(500))
+			k := 32
+			samples = append(samples, Sample{
+				W: w, K: k,
+				SyncStripes: ss, AsyncStripes: sa, AsyncRows: la, AsyncNNZ: na,
+				CommS: truth.BetaS*float64(ss)*float64(w)*float64(k) + truth.AlphaS*float64(ss),
+				CommA: truth.BetaA*float64(k)*float64(la) + truth.AlphaA*float64(sa),
+				CompA: truth.GammaA*float64(k)*float64(na) + truth.KappaA*float64(sa),
+			})
+		}
+	}
+	got, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := func(a, b float64) float64 { return math.Abs(a-b) / b }
+	if rel(got.BetaS, truth.BetaS) > 1e-6 || rel(got.AlphaS, truth.AlphaS) > 1e-6 ||
+		rel(got.BetaA, truth.BetaA) > 1e-6 || rel(got.AlphaA, truth.AlphaA) > 1e-6 ||
+		rel(got.GammaA, truth.GammaA) > 1e-6 || rel(got.KappaA, truth.KappaA) > 1e-6 {
+		t.Fatalf("calibration diverged:\n got  %+v\n want %+v", got, truth)
+	}
+}
+
+func TestCalibrateTooFewSamples(t *testing.T) {
+	if _, err := Calibrate([]Sample{{}}); err == nil {
+		t.Fatal("one sample should fail")
+	}
+}
+
+func TestCalibrateClampsNegativeFits(t *testing.T) {
+	// Adversarial samples that would fit negative overheads still produce
+	// positive (floored) coefficients.
+	samples := []Sample{
+		{W: 64, K: 32, SyncStripes: 10, AsyncStripes: 10, AsyncRows: 100, AsyncNNZ: 100, CommS: 1, CommA: 1, CompA: 1},
+		{W: 128, K: 32, SyncStripes: 20, AsyncStripes: 20, AsyncRows: 50, AsyncNNZ: 50, CommS: 0.5, CommA: 2, CompA: 2},
+		{W: 256, K: 32, SyncStripes: 5, AsyncStripes: 40, AsyncRows: 400, AsyncNNZ: 20, CommS: 2, CommA: 0.1, CompA: 0.1},
+	}
+	c, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("calibrated coefficients not positive: %v", err)
+	}
+}
+
+func TestCalibrateWithDiagnosticsPerfectFit(t *testing.T) {
+	truth := PaperDefaults()
+	var samples []Sample
+	for i := 1; i <= 8; i++ {
+		ss, sa := int64(10*i), int64(5*i+i*i) // non-collinear features
+		la, na := int64(100*i*i), int64(300*i+17*i*i)
+		s := Sample{W: int32(64 * i), K: 32, SyncStripes: ss, AsyncStripes: sa, AsyncRows: la, AsyncNNZ: na}
+		s.CommS = truth.BetaS*float64(ss)*float64(s.W)*32 + truth.AlphaS*float64(ss)
+		s.CommA = truth.BetaA*32*float64(la) + truth.AlphaA*float64(sa)
+		s.CompA = truth.GammaA*32*float64(na) + truth.KappaA*float64(sa)
+		samples = append(samples, s)
+	}
+	_, diag, err := CalibrateWithDiagnostics(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.R2CommS < 0.999 || diag.R2CommA < 0.999 || diag.R2CompA < 0.999 {
+		t.Fatalf("perfect data should fit with R2~1: %+v", diag)
+	}
+}
+
+func TestCalibrateWithDiagnosticsNoisyFit(t *testing.T) {
+	// Observations with a deterministic unmodeled component must show
+	// R2 < 1 but still fit.
+	truth := PaperDefaults()
+	var samples []Sample
+	for i := 1; i <= 9; i++ {
+		ss, sa := int64(7*i), int64(4*i+i*i) // non-collinear features
+		la, na := int64(50*i*i), int64(200*i+11*i*i)
+		s := Sample{W: int32(32 * i), K: 32, SyncStripes: ss, AsyncStripes: sa, AsyncRows: la, AsyncNNZ: na}
+		bump := 1.0 + 0.3*float64(i%3) // unmodeled structure
+		s.CommS = (truth.BetaS*float64(ss)*float64(s.W)*32 + truth.AlphaS*float64(ss)) * bump
+		s.CommA = truth.BetaA*32*float64(la) + truth.AlphaA*float64(sa)
+		s.CompA = truth.GammaA*32*float64(na) + truth.KappaA*float64(sa)
+		samples = append(samples, s)
+	}
+	_, diag, err := CalibrateWithDiagnostics(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.R2CommS >= 0.999 {
+		t.Fatalf("unmodeled structure should depress R2, got %+v", diag)
+	}
+	if diag.R2CommA < 0.999 {
+		t.Fatalf("clean equation should fit, got %+v", diag)
+	}
+}

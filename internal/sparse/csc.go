@@ -1,0 +1,96 @@
+package sparse
+
+import "fmt"
+
+// CSC is a sparse matrix in compressed sparse column format: column c's
+// nonzeros occupy Row[ColPtr[c]:ColPtr[c+1]] and Val[...], ordered by
+// ascending row. It is the natural format for the column-wise analyses the
+// stripe partitioner performs (which dense rows does a column range need?).
+type CSC struct {
+	NumRows int32
+	NumCols int32
+	ColPtr  []int64 // len NumCols+1
+	Row     []int32
+	Val     []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.Row) }
+
+// ToCSC converts a COO matrix to CSC. Entries may be in any order;
+// duplicates are preserved.
+func (m *COO) ToCSC() *CSC {
+	out := &CSC{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		ColPtr:  make([]int64, m.NumCols+1),
+		Row:     make([]int32, len(m.Entries)),
+		Val:     make([]float64, len(m.Entries)),
+	}
+	for _, e := range m.Entries {
+		out.ColPtr[e.Col+1]++
+	}
+	for c := int32(0); c < m.NumCols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	next := make([]int64, m.NumCols)
+	copy(next, out.ColPtr[:m.NumCols])
+	for _, e := range m.Entries {
+		i := next[e.Col]
+		next[e.Col]++
+		out.Row[i] = e.Row
+		out.Val[i] = e.Val
+	}
+	for c := int32(0); c < m.NumCols; c++ {
+		lo, hi := out.ColPtr[c], out.ColPtr[c+1]
+		rows, vals := out.Row[lo:hi], out.Val[lo:hi]
+		for i := 1; i < len(rows); i++ {
+			r, v := rows[i], vals[i]
+			j := i - 1
+			for j >= 0 && rows[j] > r {
+				rows[j+1], vals[j+1] = rows[j], vals[j]
+				j--
+			}
+			rows[j+1], vals[j+1] = r, v
+		}
+	}
+	return out
+}
+
+// ToCOO converts back to coordinate format in column-major order.
+func (m *CSC) ToCOO() *COO {
+	out := &COO{NumRows: m.NumRows, NumCols: m.NumCols, Entries: make([]NZ, 0, len(m.Row))}
+	for c := int32(0); c < m.NumCols; c++ {
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			out.Entries = append(out.Entries, NZ{Row: m.Row[i], Col: c, Val: m.Val[i]})
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants.
+func (m *CSC) Validate() error {
+	if len(m.ColPtr) != int(m.NumCols)+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(m.ColPtr), m.NumCols+1)
+	}
+	if m.ColPtr[0] != 0 || m.ColPtr[m.NumCols] != int64(len(m.Row)) {
+		return fmt.Errorf("sparse: ColPtr endpoints [%d,%d], want [0,%d]", m.ColPtr[0], m.ColPtr[m.NumCols], len(m.Row))
+	}
+	if len(m.Row) != len(m.Val) {
+		return fmt.Errorf("sparse: Row/Val length mismatch")
+	}
+	for c := int32(0); c < m.NumCols; c++ {
+		if m.ColPtr[c] > m.ColPtr[c+1] {
+			return fmt.Errorf("sparse: ColPtr not monotone at column %d", c)
+		}
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			if m.Row[i] < 0 || m.Row[i] >= m.NumRows {
+				return fmt.Errorf("sparse: row %d out of range in column %d", m.Row[i], c)
+			}
+			if i > m.ColPtr[c] && m.Row[i] < m.Row[i-1] {
+				return fmt.Errorf("sparse: rows not ascending in column %d", c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"twoface/internal/dense"
+)
+
+func TestCSCRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(25, 18, 120, seed)
+		m.Dedup()
+		back := m.ToCSC().ToCOO()
+		back.SortRowMajor()
+		m.SortRowMajor()
+		if len(back.Entries) != len(m.Entries) {
+			return false
+		}
+		for i := range m.Entries {
+			if m.Entries[i] != back.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSCValidate(t *testing.T) {
+	m := randomCOO(12, 12, 50, 3).ToCSC()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Row) > 0 {
+		m.Row[0] = 99
+		if err := m.Validate(); err == nil {
+			t.Fatal("out-of-range row should fail")
+		}
+	}
+}
+
+func TestCSCColumnsSortedByRow(t *testing.T) {
+	m := randomCOO(40, 30, 400, 4)
+	csc := m.ToCSC()
+	for c := int32(0); c < csc.NumCols; c++ {
+		for i := csc.ColPtr[c] + 1; i < csc.ColPtr[c+1]; i++ {
+			if csc.Row[i] < csc.Row[i-1] {
+				t.Fatalf("column %d rows not ascending", c)
+			}
+		}
+	}
+}
+
+func TestCSCAgainstCSRTranspose(t *testing.T) {
+	// CSC of A holds the same data as CSR of A^T.
+	m := randomCOO(20, 25, 150, 5)
+	m.Dedup()
+	csc := m.ToCSC()
+	csrT := m.Transpose().ToCSR()
+	if csc.NNZ() != csrT.NNZ() {
+		t.Fatal("nnz mismatch")
+	}
+	for c := int32(0); c < csc.NumCols; c++ {
+		if csc.ColPtr[c] != csrT.RowPtr[c] {
+			t.Fatalf("pointer mismatch at %d", c)
+		}
+	}
+	for i := range csc.Row {
+		if csc.Row[i] != csrT.Col[i] || csc.Val[i] != csrT.Val[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+// shuffledBanded builds a banded matrix and destroys its ordering with a
+// random symmetric permutation.
+func shuffledBanded(t *testing.T, n int32, band int32, seed uint64) (*COO, *COO) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	banded := NewCOO(n, n, 0)
+	for r := int32(0); r < n; r++ {
+		banded.Append(r, r, 1)
+		for k := 0; k < 4; k++ {
+			c := r + rng.Int32N(2*band+1) - band
+			if c >= 0 && c < n {
+				banded.Append(r, c, 1)
+			}
+		}
+	}
+	banded.Dedup()
+	shufflePerm := make([]int32, n)
+	for i := range shufflePerm {
+		shufflePerm[i] = int32(i)
+	}
+	rng.Shuffle(int(n), func(i, j int) { shufflePerm[i], shufflePerm[j] = shufflePerm[j], shufflePerm[i] })
+	shuffled, err := banded.PermuteSymmetric(shufflePerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return banded, shuffled
+}
+
+func TestRCMRecoversBandedness(t *testing.T) {
+	banded, shuffled := shuffledBanded(t, 300, 6, 7)
+	if shuffled.Bandwidth() < 100 {
+		t.Fatalf("shuffle did not destroy bandwidth: %d", shuffled.Bandwidth())
+	}
+	perm, err := RCM(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := shuffled.PermuteSymmetric(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, orig := reordered.Bandwidth(), banded.Bandwidth(); got > 4*orig {
+		t.Fatalf("RCM bandwidth %d, original %d, shuffled %d", got, orig, shuffled.Bandwidth())
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(60, 60, 200, seed)
+		perm, err := RCM(m)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, 60)
+		for _, p := range perm {
+			if p < 0 || p >= 60 || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMDisconnectedComponents(t *testing.T) {
+	// Two disjoint cliques plus isolated vertices must all be covered.
+	m := NewCOO(10, 10, 0)
+	for _, grp := range [][]int32{{0, 1, 2}, {5, 6, 7}} {
+		for _, a := range grp {
+			for _, b := range grp {
+				if a != b {
+					m.Append(a, b, 1)
+				}
+			}
+		}
+	}
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 10 {
+		t.Fatalf("perm length %d", len(perm))
+	}
+}
+
+func TestRCMErrors(t *testing.T) {
+	if _, err := RCM(NewCOO(3, 4, 0)); err == nil {
+		t.Fatal("non-square should fail")
+	}
+}
+
+func TestPermuteSymmetricValidation(t *testing.T) {
+	m := randomCOO(5, 5, 10, 9)
+	if _, err := m.PermuteSymmetric([]int32{0, 1, 2}); err == nil {
+		t.Fatal("short permutation should fail")
+	}
+	if _, err := m.PermuteSymmetric([]int32{0, 1, 2, 3, 3}); err == nil {
+		t.Fatal("repeated index should fail")
+	}
+	if _, err := m.PermuteSymmetric([]int32{0, 1, 2, 3, 9}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	if _, err := randomCOO(4, 5, 6, 1).PermuteSymmetric([]int32{0, 1, 2, 3}); err == nil {
+		t.Fatal("non-square should fail")
+	}
+}
+
+func TestPermuteSymmetricPreservesSpMM(t *testing.T) {
+	// (P A P^T)(P B) = P (A B): permuting consistently permutes the result.
+	m := randomCOO(30, 30, 150, 11)
+	m.Dedup()
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := m.PermuteSymmetric(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural check: nnz and value multiset preserved.
+	if pm.NNZ() != m.NNZ() {
+		t.Fatal("permutation changed nnz")
+	}
+	if pm.Bandwidth() == 0 && m.NNZ() > 30 {
+		t.Fatal("suspicious zero bandwidth")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m := NewCOO(10, 10, 0)
+	if m.Bandwidth() != 0 {
+		t.Fatal("empty matrix bandwidth should be 0")
+	}
+	m.Append(2, 7, 1)
+	m.Append(8, 8, 1)
+	if m.Bandwidth() != 5 {
+		t.Fatalf("Bandwidth = %d, want 5", m.Bandwidth())
+	}
+}
+
+func TestSDDMMReferenceInSparsePackage(t *testing.T) {
+	m := randomCOO(15, 12, 40, 31)
+	x := dense.Random(15, 3, 1)
+	y := dense.Random(12, 3, 2)
+	out, err := m.SDDMM(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range out.Entries {
+		var want float64
+		for k := 0; k < 3; k++ {
+			want += x.At(int(m.Entries[i].Row), k) * y.At(int(m.Entries[i].Col), k)
+		}
+		want *= m.Entries[i].Val
+		if d := e.Val - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("entry %d = %v, want %v", i, e.Val, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sparse
+
+import "fmt"
+
+// CSR is a sparse matrix in compressed sparse row format. Row r's nonzeros
+// occupy Col[RowPtr[r]:RowPtr[r+1]] and Val[RowPtr[r]:RowPtr[r+1]], ordered
+// by ascending column.
+type CSR struct {
+	NumRows int32
+	NumCols int32
+	RowPtr  []int64 // len NumRows+1
+	Col     []int32
+	Val     []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// ToCSR converts a COO matrix to CSR. The input is not modified; entries may
+// be in any order. Duplicates are preserved (not summed), matching the
+// behaviour of the kernels, which accumulate every stored entry.
+func (m *COO) ToCSR() *CSR {
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  make([]int64, m.NumRows+1),
+		Col:     make([]int32, len(m.Entries)),
+		Val:     make([]float64, len(m.Entries)),
+	}
+	for _, e := range m.Entries {
+		out.RowPtr[e.Row+1]++
+	}
+	for r := int32(0); r < m.NumRows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	next := make([]int64, m.NumRows)
+	copy(next, out.RowPtr[:m.NumRows])
+	for _, e := range m.Entries {
+		i := next[e.Row]
+		next[e.Row]++
+		out.Col[i] = e.Col
+		out.Val[i] = e.Val
+	}
+	// Counting sort above preserves input order within a row; establish the
+	// ascending-column invariant with per-row insertion sort (rows are short
+	// for the matrices of interest).
+	for r := int32(0); r < m.NumRows; r++ {
+		lo, hi := out.RowPtr[r], out.RowPtr[r+1]
+		cols, vals := out.Col[lo:hi], out.Val[lo:hi]
+		for i := 1; i < len(cols); i++ {
+			c, v := cols[i], vals[i]
+			j := i - 1
+			for j >= 0 && cols[j] > c {
+				cols[j+1], vals[j+1] = cols[j], vals[j]
+				j--
+			}
+			cols[j+1], vals[j+1] = c, v
+		}
+	}
+	return out
+}
+
+// ToCOO converts back to coordinate format in row-major order.
+func (m *CSR) ToCOO() *COO {
+	out := &COO{NumRows: m.NumRows, NumCols: m.NumCols, Entries: make([]NZ, 0, len(m.Col))}
+	for r := int32(0); r < m.NumRows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out.Entries = append(out.Entries, NZ{Row: r, Col: m.Col[i], Val: m.Val[i]})
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: monotone row pointers, column
+// bounds, and ascending columns within each row.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != int(m.NumRows)+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.NumRows+1)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.NumRows] != int64(len(m.Col)) {
+		return fmt.Errorf("sparse: RowPtr endpoints [%d,%d], want [0,%d]", m.RowPtr[0], m.RowPtr[m.NumRows], len(m.Col))
+	}
+	if len(m.Col) != len(m.Val) {
+		return fmt.Errorf("sparse: Col/Val length mismatch %d vs %d", len(m.Col), len(m.Val))
+	}
+	for r := int32(0); r < m.NumRows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", r)
+		}
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			if m.Col[i] < 0 || m.Col[i] >= m.NumCols {
+				return fmt.Errorf("sparse: column %d out of range at row %d", m.Col[i], r)
+			}
+			if i > m.RowPtr[r] && m.Col[i] < m.Col[i-1] {
+				return fmt.Errorf("sparse: columns not ascending in row %d", r)
+			}
+		}
+	}
+	return nil
+}

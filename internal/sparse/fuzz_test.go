@@ -1,0 +1,62 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Decoder robustness: arbitrary bytes must never panic the readers, and
+// anything that parses must re-serialize and re-parse consistently.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"))
+	f.Add([]byte("not a matrix"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n-1 -1 -1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid matrix: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.NNZ() != m.NNZ() {
+			t.Fatalf("re-parse changed nnz: %d vs %d", back.NNZ(), m.NNZ())
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	m := NewCOO(3, 3, 2)
+	m.Append(0, 1, 2.5)
+	m.Append(2, 2, -1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TFCOO1\x00\x00garbage"))
+	f.Add([]byte(strings.Repeat("\x00", 40)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid matrix: %v", err)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package sparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func coosEqual(a, b *COO) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixMarketRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(12, 17, 40, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return coosEqual(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 2\n1 2\n3 3\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 2 || m.Entries[0].Val != 1 || m.Entries[0].Row != 0 || m.Entries[0].Col != 1 {
+		t.Fatalf("pattern parse: %+v", m.Entries)
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n2 2 7.0\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal expands to 2 entries, diagonal stays 1 -> 3 total.
+	if len(m.Entries) != 3 {
+		t.Fatalf("symmetric expansion: %d entries, want 3", len(m.Entries))
+	}
+}
+
+func TestMatrixMarketInteger(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 42\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Entries[0].Val != 42 {
+		t.Fatalf("integer value = %v", m.Entries[0].Val)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"not a header\n1 1 0\n",
+		"%%MatrixMarket matrix array real general\n1 1\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",     // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",     // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",         // missing value
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y 1.0\n",     // bad indices
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 notanum\n", // bad value
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n",             // negative size
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d should have failed: %q", i, in)
+		}
+	}
+}
+
+func TestMatrixMarketSkipsCommentsAndBlanks(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n%a\n\n%b\n2 2 1\n\n% mid comment\n2 2 3.5\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 1 || m.Entries[0].Val != 3.5 {
+		t.Fatalf("parse: %+v", m.Entries)
+	}
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(30, 30, 120, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return coosEqual(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	m := randomCOO(5, 5, 10, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	// Truncated body.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-5])); err == nil {
+		t.Fatal("truncated body should fail")
+	}
+	// Truncated header.
+	if _, err := ReadBinary(bytes.NewReader(good[:10])); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+	// Out-of-range entry: flip a column index beyond NumCols.
+	bad2 := append([]byte{}, good...)
+	bad2[8+16+4] = 0xFF // first record's col low byte
+	bad2[8+16+5] = 0xFF
+	bad2[8+16+6] = 0xFF
+	bad2[8+16+7] = 0x7F
+	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("out-of-range entry should fail")
+	}
+}
+
+func TestFileRoundtrips(t *testing.T) {
+	dir := t.TempDir()
+	m := randomCOO(8, 8, 20, 2)
+
+	mmPath := filepath.Join(dir, "m.mtx")
+	if err := WriteMatrixMarketFile(mmPath, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketFile(mmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coosEqual(m, back) {
+		t.Fatal("MatrixMarket file roundtrip mismatch")
+	}
+
+	binPath := filepath.Join(dir, "m.bin")
+	if err := WriteBinaryFile(binPath, m); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ReadBinaryFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coosEqual(m, back2) {
+		t.Fatal("binary file roundtrip mismatch")
+	}
+
+	if _, err := ReadMatrixMarketFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := ReadBinaryFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestMatrixMarketGzipFile(t *testing.T) {
+	dir := t.TempDir()
+	m := randomCOO(10, 10, 30, 3)
+	path := filepath.Join(dir, "m.mtx.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if err := WriteMatrixMarket(gz, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coosEqual(m, back) {
+		t.Fatal("gzip roundtrip mismatch")
+	}
+	// A .gz path with non-gzip bytes must fail cleanly.
+	badPath := filepath.Join(dir, "bad.mtx.gz")
+	if err := WriteMatrixMarketFile(badPath, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMatrixMarketFile(badPath); err == nil {
+		t.Fatal("non-gzip .gz content should fail")
+	}
+}

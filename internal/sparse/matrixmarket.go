@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market coordinate-format I/O (paper section 7.3: the original sparse
+// matrix is read "in a textual Matrix Market format"). The reader supports
+// the common subset used by SuiteSparse downloads:
+//
+//	%%MatrixMarket matrix coordinate {real|integer|pattern} {general|symmetric}
+//
+// Pattern entries get value 1.0. Symmetric matrices are expanded: each
+// off-diagonal entry (i, j) also yields (j, i). Indices are 1-based on disk
+// and 0-based in memory.
+
+// ReadMatrixMarket parses a Matrix Market stream into a COO matrix.
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
+	}
+	if fields[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", fields[2])
+	}
+	valType := fields[3]
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field type %q", valType)
+	}
+	symmetry := fields[4]
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var sizeLine string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: MatrixMarket missing size line: %w", err)
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "%") {
+			if err != nil {
+				return nil, fmt.Errorf("sparse: MatrixMarket missing size line: %w", err)
+			}
+			continue
+		}
+		sizeLine = trimmed
+		break
+	}
+	var rows, cols int32
+	var nnz int64
+	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", sizeLine, err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative MatrixMarket sizes in %q", sizeLine)
+	}
+	if symmetry == "symmetric" && rows != cols {
+		return nil, fmt.Errorf("sparse: symmetric MatrixMarket matrix must be square, got %dx%d", rows, cols)
+	}
+
+	// The size line is untrusted input: cap the preallocation and let the
+	// slice grow as entries actually parse.
+	capHint := nnz
+	if symmetry == "symmetric" {
+		capHint *= 2
+	}
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	m := NewCOO(rows, cols, int(capHint))
+	for count := int64(0); count < nnz; {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "%") {
+			if err != nil {
+				return nil, fmt.Errorf("sparse: MatrixMarket truncated after %d of %d entries", count, nnz)
+			}
+			continue
+		}
+		f := strings.Fields(trimmed)
+		want := 3
+		if valType == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
+		}
+		i, err1 := strconv.ParseInt(f[0], 10, 32)
+		j, err2 := strconv.ParseInt(f[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket indices in %q", trimmed)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket value in %q: %w", trimmed, err)
+			}
+		}
+		row, col := int32(i-1), int32(j-1)
+		if row < 0 || row >= rows || col < 0 || col >= cols {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		m.Append(row, col, v)
+		if symmetry == "symmetric" && row != col {
+			m.Append(col, row, v)
+		}
+		count++
+	}
+	return m, nil
+}
+
+// WriteMatrixMarket writes m as "coordinate real general" with 1-based
+// indices, in the entries' current order.
+func WriteMatrixMarket(w io.Writer, m *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		m.NumRows, m.NumCols, len(m.Entries)); err != nil {
+		return err
+	}
+	for _, e := range m.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.Row+1, e.Col+1, e.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarketFile reads a Matrix Market file from disk. Files ending
+// in ".gz" are transparently gunzipped (SuiteSparse distributes matrices
+// gzip-compressed).
+func ReadMatrixMarketFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: opening gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		return ReadMatrixMarket(gz)
+	}
+	return ReadMatrixMarket(f)
+}
+
+// WriteMatrixMarketFile writes m to path in Matrix Market format.
+func WriteMatrixMarketFile(path string, m *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteMatrixMarket(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,141 @@
+// Package sparse provides the sparse-matrix formats, reference SpMM kernels,
+// and file I/O that every distributed algorithm in this repository builds on.
+//
+// The central type is COO, a coordinate-format list of nonzeros. The
+// distributed algorithms reorder COO entries into the paper's modified-COO
+// layouts (row-major row panels for synchronous work, column-major stripes
+// for asynchronous work); CSR is provided for the bulk local kernels used by
+// the sparsity-unaware baselines.
+//
+// Row and column indices are int32: the paper's largest matrix (friendster)
+// has 65.6M rows, comfortably within range, and 12-byte nonzeros keep the
+// memory footprint of billion-edge matrices tractable.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NZ is a single nonzero element of a sparse matrix.
+type NZ struct {
+	Row int32
+	Col int32
+	Val float64
+}
+
+// COO is a sparse matrix in coordinate format. Entries may be in any order
+// unless a function documents an ordering requirement.
+type COO struct {
+	NumRows int32
+	NumCols int32
+	Entries []NZ
+}
+
+// NewCOO returns an empty matrix with the given shape and capacity hint.
+func NewCOO(rows, cols int32, capHint int) *COO {
+	return &COO{NumRows: rows, NumCols: cols, Entries: make([]NZ, 0, capHint)}
+}
+
+// NNZ returns the number of stored entries.
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// Append adds a nonzero without validation. Call Validate before relying on
+// index bounds.
+func (m *COO) Append(row, col int32, val float64) {
+	m.Entries = append(m.Entries, NZ{Row: row, Col: col, Val: val})
+}
+
+// Validate checks that every entry is inside the matrix bounds.
+func (m *COO) Validate() error {
+	if m.NumRows < 0 || m.NumCols < 0 {
+		return fmt.Errorf("sparse: negative shape %dx%d", m.NumRows, m.NumCols)
+	}
+	for i, e := range m.Entries {
+		if e.Row < 0 || e.Row >= m.NumRows || e.Col < 0 || e.Col >= m.NumCols {
+			return fmt.Errorf("sparse: entry %d at (%d,%d) outside %dx%d", i, e.Row, e.Col, m.NumRows, m.NumCols)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *COO) Clone() *COO {
+	out := &COO{NumRows: m.NumRows, NumCols: m.NumCols, Entries: make([]NZ, len(m.Entries))}
+	copy(out.Entries, m.Entries)
+	return out
+}
+
+// SortRowMajor sorts entries by (row, col) ascending.
+func (m *COO) SortRowMajor() {
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+}
+
+// SortColMajor sorts entries by (col, row) ascending.
+func (m *COO) SortColMajor() {
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Row < b.Row
+	})
+}
+
+// IsSortedRowMajor reports whether entries are ordered by (row, col).
+func (m *COO) IsSortedRowMajor() bool {
+	return sort.SliceIsSorted(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+}
+
+// Dedup sums duplicate (row, col) entries in place. The result is row-major
+// sorted. Entries whose sum is exactly zero are kept (structural nonzeros).
+func (m *COO) Dedup() {
+	if len(m.Entries) == 0 {
+		return
+	}
+	m.SortRowMajor()
+	out := m.Entries[:1]
+	for _, e := range m.Entries[1:] {
+		last := &out[len(out)-1]
+		if e.Row == last.Row && e.Col == last.Col {
+			last.Val += e.Val
+		} else {
+			out = append(out, e)
+		}
+	}
+	m.Entries = out
+}
+
+// Transpose returns a new matrix with rows and columns swapped.
+func (m *COO) Transpose() *COO {
+	out := &COO{NumRows: m.NumCols, NumCols: m.NumRows, Entries: make([]NZ, len(m.Entries))}
+	for i, e := range m.Entries {
+		out.Entries[i] = NZ{Row: e.Col, Col: e.Row, Val: e.Val}
+	}
+	return out
+}
+
+// RowSlice returns the sub-matrix restricted to global rows [lo, hi), with
+// rows re-indexed to start at zero. Column indices are unchanged. Entries
+// must not be assumed sorted.
+func (m *COO) RowSlice(lo, hi int32) *COO {
+	out := NewCOO(hi-lo, m.NumCols, 0)
+	for _, e := range m.Entries {
+		if e.Row >= lo && e.Row < hi {
+			out.Entries = append(out.Entries, NZ{Row: e.Row - lo, Col: e.Col, Val: e.Val})
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+
+	"twoface/internal/dense"
+)
+
+// Mul computes C = A x B with a sequential CSR kernel. It is the reference
+// implementation every distributed algorithm is checked against.
+func (m *CSR) Mul(b *dense.Matrix) (*dense.Matrix, error) {
+	if int(m.NumCols) != b.Rows {
+		return nil, fmt.Errorf("sparse: shape mismatch %dx%d x %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols)
+	}
+	c := dense.New(int(m.NumRows), b.Cols)
+	m.MulInto(b, c, 0, int(m.NumRows))
+	return c, nil
+}
+
+// MulInto accumulates rows [rowLo, rowHi) of A x B into the matching rows of
+// c, which must already be shaped NumRows x b.Cols. It does not zero c first.
+func (m *CSR) MulInto(b *dense.Matrix, c *dense.Matrix, rowLo, rowHi int) {
+	k := b.Cols
+	for r := rowLo; r < rowHi; r++ {
+		crow := c.Row(r)
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			v := m.Val[i]
+			brow := b.Data[int(m.Col[i])*k : (int(m.Col[i])+1)*k]
+			for j := 0; j < k; j++ {
+				crow[j] += v * brow[j]
+			}
+		}
+	}
+}
+
+// MulParallel computes C = A x B using the given number of worker
+// goroutines, splitting rows into contiguous chunks. Results are identical
+// to Mul because each output row is written by exactly one worker.
+func (m *CSR) MulParallel(b *dense.Matrix, workers int) (*dense.Matrix, error) {
+	if int(m.NumCols) != b.Rows {
+		return nil, fmt.Errorf("sparse: shape mismatch %dx%d x %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c := dense.New(int(m.NumRows), b.Cols)
+	n := int(m.NumRows)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		m.MulInto(b, c, 0, n)
+		return c, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.MulInto(b, c, lo, hi)
+		}()
+	}
+	wg.Wait()
+	return c, nil
+}
+
+// MulIntoParallel accumulates A x B into c (shaped NumRows x b.Cols) using
+// the given number of worker goroutines over contiguous row chunks. Unlike
+// MulParallel it writes into an existing matrix without zeroing it, so
+// callers can accumulate multiple partial products.
+func (m *CSR) MulIntoParallel(b *dense.Matrix, c *dense.Matrix, workers int) {
+	n := int(m.NumRows)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		m.MulInto(b, c, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.MulInto(b, c, lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// MulCOO computes C = A x B directly from coordinate format. It is slower
+// than the CSR kernel and exists as an independent oracle for tests.
+func (m *COO) MulCOO(b *dense.Matrix) (*dense.Matrix, error) {
+	if int(m.NumCols) != b.Rows {
+		return nil, fmt.Errorf("sparse: shape mismatch %dx%d x %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols)
+	}
+	c := dense.New(int(m.NumRows), b.Cols)
+	for _, e := range m.Entries {
+		c.AddScaledRow(int(e.Row), e.Val, b.Row(int(e.Col)))
+	}
+	return c, nil
+}

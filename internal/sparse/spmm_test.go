@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twoface/internal/dense"
+)
+
+func TestMulTiny(t *testing.T) {
+	// A = [[2, 0], [0, 3]], B = [[1, 2], [3, 4]] -> C = [[2, 4], [9, 12]]
+	a := NewCOO(2, 2, 2)
+	a.Append(0, 0, 2)
+	a.Append(1, 1, 3)
+	b, _ := dense.FromData(2, 2, []float64{1, 2, 3, 4})
+	c, err := a.ToCSR().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 9, 12}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("C = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewCOO(2, 3, 0)
+	b := dense.New(2, 2)
+	if _, err := a.ToCSR().Mul(b); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	if _, err := a.MulCOO(b); err == nil {
+		t.Fatal("shape mismatch should error (COO)")
+	}
+	if _, err := a.ToCSR().MulParallel(b, 4); err == nil {
+		t.Fatal("shape mismatch should error (parallel)")
+	}
+}
+
+func TestMulAgainstCOOOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(15, 12, 60, seed)
+		b := dense.Random(12, 7, seed)
+		c1, err1 := m.ToCSR().Mul(b)
+		c2, err2 := m.MulCOO(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1.AlmostEqual(c2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulParallelMatchesSequential(t *testing.T) {
+	m := randomCOO(200, 150, 3000, 11)
+	b := dense.Random(150, 16, 3)
+	csr := m.ToCSR()
+	seq, _ := csr.Mul(b)
+	for _, workers := range []int{1, 2, 4, 7, 300} {
+		par, err := csr.MulParallel(b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := seq.MaxAbsDiff(par); d != 0 {
+			t.Fatalf("workers=%d: parallel differs by %v", workers, d)
+		}
+	}
+}
+
+func TestMulParallelZeroWorkers(t *testing.T) {
+	m := randomCOO(10, 10, 20, 12)
+	b := dense.Random(10, 3, 4)
+	if _, err := m.ToCSR().MulParallel(b, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulEmptyMatrix(t *testing.T) {
+	m := NewCOO(5, 5, 0)
+	b := dense.Random(5, 4, 5)
+	c, err := m.ToCSR().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FrobeniusNorm() != 0 {
+		t.Fatal("empty A should give zero C")
+	}
+}
+
+func TestMulIntoAccumulates(t *testing.T) {
+	m := randomCOO(6, 6, 12, 13)
+	b := dense.Random(6, 3, 6)
+	csr := m.ToCSR()
+	c := dense.New(6, 3)
+	csr.MulInto(b, c, 0, 6)
+	csr.MulInto(b, c, 0, 6) // accumulate twice
+	once, _ := csr.Mul(b)
+	once.Scale(2)
+	if !c.AlmostEqual(once, 1e-12) {
+		t.Fatal("MulInto should accumulate, not overwrite")
+	}
+}
+
+func TestMulIntoParallelAccumulates(t *testing.T) {
+	m := randomCOO(80, 60, 900, 21)
+	b := dense.Random(60, 5, 22)
+	csr := m.ToCSR()
+	want, _ := csr.Mul(b)
+	for _, workers := range []int{1, 3, 200} {
+		c := dense.New(80, 5)
+		csr.MulIntoParallel(b, c, workers)
+		if d, _ := c.MaxAbsDiff(want); d != 0 {
+			t.Fatalf("workers=%d: differs by %v", workers, d)
+		}
+		// Accumulation semantics: a second call doubles.
+		csr.MulIntoParallel(b, c, workers)
+		doubled := want.Clone()
+		doubled.Scale(2)
+		if !c.AlmostEqual(doubled, 1e-12) {
+			t.Fatalf("workers=%d: second call did not accumulate", workers)
+		}
+	}
+}

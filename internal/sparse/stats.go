@@ -1,0 +1,63 @@
+package sparse
+
+// Stats summarizes the nonzero structure of a matrix. The distributed
+// algorithms care about the distribution of nonzeros over columns, because
+// column popularity determines how widely each dense input row must travel.
+type Stats struct {
+	NumRows, NumCols int32
+	NNZ              int64
+	AvgPerRow        float64
+	MaxRowNNZ        int64
+	MaxColNNZ        int64
+	EmptyRows        int64
+	EmptyCols        int64
+}
+
+// ComputeStats scans the matrix once and returns its Stats.
+func (m *COO) ComputeStats() Stats {
+	rowCnt := make([]int64, m.NumRows)
+	colCnt := make([]int64, m.NumCols)
+	for _, e := range m.Entries {
+		rowCnt[e.Row]++
+		colCnt[e.Col]++
+	}
+	s := Stats{NumRows: m.NumRows, NumCols: m.NumCols, NNZ: int64(len(m.Entries))}
+	if m.NumRows > 0 {
+		s.AvgPerRow = float64(s.NNZ) / float64(m.NumRows)
+	}
+	for _, c := range rowCnt {
+		if c > s.MaxRowNNZ {
+			s.MaxRowNNZ = c
+		}
+		if c == 0 {
+			s.EmptyRows++
+		}
+	}
+	for _, c := range colCnt {
+		if c > s.MaxColNNZ {
+			s.MaxColNNZ = c
+		}
+		if c == 0 {
+			s.EmptyCols++
+		}
+	}
+	return s
+}
+
+// ColCounts returns the number of nonzeros in each column.
+func (m *COO) ColCounts() []int64 {
+	cnt := make([]int64, m.NumCols)
+	for _, e := range m.Entries {
+		cnt[e.Col]++
+	}
+	return cnt
+}
+
+// RowCounts returns the number of nonzeros in each row.
+func (m *COO) RowCounts() []int64 {
+	cnt := make([]int64, m.NumRows)
+	for _, e := range m.Entries {
+		cnt[e.Row]++
+	}
+	return cnt
+}

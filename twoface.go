@@ -1,0 +1,139 @@
+// Package twoface is a from-scratch Go implementation of Two-Face, the
+// hybrid collective/one-sided distributed SpMM algorithm of Block et al.
+// (ASPLOS 2024), together with the full substrate its evaluation needs: a
+// simulated multi-node message-passing runtime with a calibrated
+// virtual-time network model, the paper's baselines (dense shifting, full
+// replication, coarse- and fine-grained one-sided), synthetic analogs of the
+// paper's eight benchmark matrices, and a harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	a := twoface.Generate("web", 0.1, 42)          // a paper-matrix analog
+//	b := twoface.RandomDense(int(a.NumCols), 128, 1)
+//	sys, err := twoface.New(twoface.Options{Nodes: 8, DenseColumns: 128})
+//	if err != nil { ... }
+//	plan, err := sys.Preprocess(a)                 // classify stripes once
+//	if err != nil { ... }
+//	res, err := plan.Multiply(b)                   // C = A x B, many times
+//	if err != nil { ... }
+//	_ = res.C                                      // the product
+//	_ = res.ModeledSeconds                         // time on the modeled cluster
+//
+// Preprocessing is the expensive step (the paper amortizes it over hundreds
+// of SpMM iterations in GNN training); Multiply may be called repeatedly
+// with different dense inputs against the same plan.
+//
+// # Layout
+//
+// The paper's primary contribution lives in internal/core (partitioner,
+// preprocessing model, Algorithms 1-3); internal/cluster is the simulated
+// machine; internal/baselines holds the compared algorithms;
+// internal/harness regenerates the evaluation. See DESIGN.md for the full
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package twoface
+
+import (
+	"twoface/internal/cluster"
+	"twoface/internal/core"
+	"twoface/internal/dense"
+	"twoface/internal/gen"
+	"twoface/internal/model"
+	"twoface/internal/sparse"
+)
+
+// Re-exported substrate types. The facade keeps downstream code to a single
+// import for common use; power users can reach the internal packages'
+// functionality through these aliases.
+type (
+	// SparseMatrix is a coordinate-format sparse matrix (the A operand).
+	SparseMatrix = sparse.COO
+	// DenseMatrix is a row-major dense matrix (the B and C operands).
+	DenseMatrix = dense.Matrix
+	// NetModel describes the simulated machine's performance.
+	NetModel = cluster.NetModel
+	// Coefficients are the preprocessing model's classifier parameters.
+	Coefficients = model.Coefficients
+	// Breakdown is a per-node modeled-time ledger (Figure 10 categories).
+	Breakdown = cluster.Breakdown
+	// Result is the outcome of one distributed SpMM.
+	Result = core.Result
+	// SDDMMResult is the outcome of one distributed SDDMM.
+	SDDMMResult = core.SDDMMResult
+	// PrepStats summarizes a preprocessing run.
+	PrepStats = core.PrepStats
+)
+
+// NewSparse returns an empty sparse matrix with the given shape.
+func NewSparse(rows, cols int32) *SparseMatrix { return sparse.NewCOO(rows, cols, 0) }
+
+// NewDense returns a zeroed dense matrix.
+func NewDense(rows, cols int) *DenseMatrix { return dense.New(rows, cols) }
+
+// RandomDense returns a dense matrix with entries uniform in [-1, 1),
+// deterministic in seed.
+func RandomDense(rows, cols int, seed uint64) *DenseMatrix { return dense.Random(rows, cols, seed) }
+
+// DefaultNet returns the simulated machine model calibrated to the paper's
+// Table 3 measurements of NCSA Delta.
+func DefaultNet() NetModel { return cluster.Default() }
+
+// Generate builds a synthetic analog of one of the paper's Table 1 matrices
+// ("mawi", "queen", "stokes", "kmer", "arabic", "twitter", "web",
+// "friendster") at the given scale (1.0 is roughly 1/512 of the paper's
+// dimensions). It panics on an unknown name; use Matrices for the roster.
+func Generate(name string, scale float64, seed uint64) *SparseMatrix {
+	spec, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec.Build(scale, seed)
+}
+
+// StripeWidthFor returns the paper-scaled stripe width for a registry matrix
+// at the given scale.
+func StripeWidthFor(name string, scale float64) int32 {
+	spec, err := gen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec.ScaledWidth(scale)
+}
+
+// Matrices lists the short names of the paper's evaluation matrices.
+func Matrices() []string {
+	specs := gen.Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Short
+	}
+	return names
+}
+
+// ReadMatrixMarketFile loads a sparse matrix from a Matrix Market file.
+func ReadMatrixMarketFile(path string) (*SparseMatrix, error) {
+	return sparse.ReadMatrixMarketFile(path)
+}
+
+// WriteMatrixMarketFile stores a sparse matrix as Matrix Market text.
+func WriteMatrixMarketFile(path string, m *SparseMatrix) error {
+	return sparse.WriteMatrixMarketFile(path, m)
+}
+
+// ReadBinaryFile loads a sparse matrix from the bespoke binary format.
+func ReadBinaryFile(path string) (*SparseMatrix, error) { return sparse.ReadBinaryFile(path) }
+
+// WriteBinaryFile stores a sparse matrix in the bespoke binary format.
+func WriteBinaryFile(path string, m *SparseMatrix) error { return sparse.WriteBinaryFile(path, m) }
+
+// Reference computes C = A x B with the sequential reference kernel, for
+// checking distributed results.
+func Reference(a *SparseMatrix, b *DenseMatrix) (*DenseMatrix, error) {
+	return a.ToCSR().Mul(b)
+}
+
+// DeriveCoefficients returns the classifier coefficients that describe the
+// given machine, as the paper's calibration would fit them.
+func DeriveCoefficients(net NetModel) Coefficients {
+	return core.CoefficientsFromNet(net, 8)
+}
