@@ -14,15 +14,18 @@ package twoface
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
 
+	"twoface/internal/atomicfloat"
 	"twoface/internal/baselines"
 	"twoface/internal/cluster"
 	"twoface/internal/core"
 	"twoface/internal/gen"
 	"twoface/internal/harness"
+	"twoface/internal/kernels"
 	"twoface/internal/sparse"
 )
 
@@ -466,6 +469,162 @@ func BenchmarkKernelDenseShift(b *testing.B) {
 		if _, err := sys.RunBaseline(DenseShift2, a, bm); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Kernel-layer microbenchmarks (hot-path overhaul). ---
+//
+// These isolate the inner loops of internal/kernels as wired into the
+// executor: the raw AXPY kernel, the async-stripe accumulate path (legacy
+// per-scalar atomics vs the stripe-local accumulator that replaced them),
+// and the sync row-panel multiply with its pre-resolved column table.
+// scripts/bench.sh records them into BENCH_kernels.json.
+
+var benchKs = []int{32, 128, 512}
+
+// BenchmarkKernelAxpy measures the shared 4-way-unrolled AXPY at the
+// paper's dense widths.
+func BenchmarkKernelAxpy(b *testing.B) {
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			x := RandomDense(1, k, 1).Data
+			y := RandomDense(1, k, 2).Data
+			b.ReportAllocs()
+			b.SetBytes(int64(16 * k))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.Axpy(1.0000001, x, y)
+			}
+		})
+	}
+}
+
+// benchStripe builds a synthetic async stripe in the executor's column-major
+// entry order: 64 distinct columns over a 256-row block, 8 rows per column
+// (ascending within each column), with the unique-column and buffer-row
+// tables the fetch path would produce.
+func benchStripe() (entries []sparse.NZ, cols, bufRow []int32) {
+	const w, rows, perCol = 64, 256, 8
+	cols = make([]int32, w)
+	bufRow = make([]int32, w)
+	for c := 0; c < w; c++ {
+		cols[c] = int32(c)
+		bufRow[c] = int32(c)
+		rs := make([]int, 0, perCol)
+		for t := 0; t < perCol; t++ {
+			rs = append(rs, (c*37+t*31)%rows)
+		}
+		sort.Ints(rs)
+		for _, r := range rs {
+			entries = append(entries, sparse.NZ{Row: int32(r), Col: int32(c), Val: 0.5 + 0.1*float64(c%7)})
+		}
+	}
+	return entries, cols, bufRow
+}
+
+// BenchmarkKernelAsyncStripeAccumulate measures Algorithm 3's accumulate
+// phase two ways: "atomic" is the pre-overhaul path (one CAS-looped atomic
+// add per scalar per nonzero); "stripelocal" is the shipped path (dense
+// stripe-local accumulation flushed once per touched C row through
+// AddRange). The stripelocal variant must be ≥2x faster at K=128 and run
+// allocation-free in steady state.
+func BenchmarkKernelAsyncStripeAccumulate(b *testing.B) {
+	entries, cols, bufRow := benchStripe()
+	const rows = 256
+	for _, k := range benchKs {
+		drows := RandomDense(len(cols), k, 3).Data
+		b.Run(fmt.Sprintf("K=%d/atomic", k), func(b *testing.B) {
+			out := atomicfloat.NewSlice(rows * k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				ci := 0
+				for _, e := range entries {
+					for cols[ci] != e.Col {
+						ci++
+					}
+					brow := drows[int(bufRow[ci])*k : (int(bufRow[ci])+1)*k]
+					cOff := int(e.Row) * k
+					for j := 0; j < k; j++ {
+						if v := e.Val * brow[j]; v != 0 {
+							out.Add(cOff+j, v)
+						}
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("K=%d/stripelocal", k), func(b *testing.B) {
+			out := atomicfloat.NewSlice(rows * k)
+			var acc kernels.RowAccumulator
+			// Warm the scratch to its high-water mark so steady state is
+			// measured, as the pooled executor workspaces reach after their
+			// first stripe.
+			acc.Begin(rows, k)
+			for _, e := range entries {
+				acc.Accumulate(e.Row, e.Val, drows[:k])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				acc.Begin(rows, k)
+				ci := 0
+				for _, e := range entries {
+					for cols[ci] != e.Col {
+						ci++
+					}
+					off := int(bufRow[ci]) * k
+					acc.Accumulate(e.Row, e.Val, drows[off:off+k])
+				}
+				for i, row := range acc.Touched() {
+					out.AddRange(int(row)*k, acc.Vals(i))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelPanelMultiply measures Algorithm 2's row-panel multiply as
+// shipped: pre-resolved column table, AXPY accumulation into a panel-local
+// row, one atomic AddRange per output row. Steady state must not allocate.
+func BenchmarkKernelPanelMultiply(b *testing.B) {
+	const rows, nCols, perRow = 32, 128, 16
+	var entries []sparse.NZ
+	for r := 0; r < rows; r++ {
+		cs := make([]int, 0, perRow)
+		for t := 0; t < perRow; t++ {
+			cs = append(cs, (r*5+t*7)%nCols)
+		}
+		sort.Ints(cs)
+		for _, c := range cs {
+			entries = append(entries, sparse.NZ{Row: int32(r), Col: int32(c), Val: 1.5 - 0.2*float64(c%5)})
+		}
+	}
+	for _, k := range benchKs {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			bm := RandomDense(nCols, k, 4)
+			table := make([][]float64, nCols)
+			for c := 0; c < nCols; c++ {
+				table[c] = bm.Row(c)
+			}
+			out := atomicfloat.NewSlice(rows * k)
+			acc := make([]float64, k)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(entries) * k * 16))
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				clear(acc)
+				prevRow := entries[0].Row
+				for _, e := range entries {
+					if e.Row != prevRow {
+						out.AddRange(int(prevRow)*k, acc)
+						clear(acc)
+						prevRow = e.Row
+					}
+					kernels.Axpy(e.Val, table[e.Col], acc)
+				}
+				out.AddRange(int(prevRow)*k, acc)
+			}
+		})
 	}
 }
 

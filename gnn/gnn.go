@@ -251,8 +251,7 @@ func (m *Model) Step(x *twoface.DenseMatrix, labels []int, lr float64) (Metrics,
 			dZ = res.C
 			m.Layers[l-1].Act.maskGrad(dZ, st.pres[l-1])
 		}
-		dW.Scale(-lr)
-		if err := layer.W.Add(dW); err != nil {
+		if err := layer.W.AddScaled(-lr, dW); err != nil {
 			return Metrics{}, err
 		}
 	}

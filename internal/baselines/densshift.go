@@ -92,7 +92,9 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 					if err != nil {
 						return err
 					}
-					na.perBlock[blockID].MulIntoParallel(bBlock, cView, opts.Workers)
+					if err := na.perBlock[blockID].MulIntoParallel(bBlock, cView, opts.Workers); err != nil {
+						return err
+					}
 				}
 				stepNNZ += na.blockNNZ[blockID]
 			}

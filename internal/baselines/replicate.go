@@ -59,7 +59,9 @@ func Allgather(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Option
 				if err != nil {
 					return err
 				}
-				na.perBlock[j].MulIntoParallel(bBlock, cView, opts.Workers)
+				if err := na.perBlock[j].MulIntoParallel(bBlock, cView, opts.Workers); err != nil {
+					return err
+				}
 			}
 			nnz += na.blockNNZ[j]
 		}
@@ -141,7 +143,9 @@ func AsyncCoarse(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Opti
 				if err != nil {
 					return err
 				}
-				na.perBlock[j].MulIntoParallel(bBlock, cView, opts.Workers)
+				if err := na.perBlock[j].MulIntoParallel(bBlock, cView, opts.Workers); err != nil {
+					return err
+				}
 			}
 			nnz += na.blockNNZ[j]
 		}

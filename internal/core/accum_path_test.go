@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"twoface/internal/atomicfloat"
+	"twoface/internal/cluster"
+	"twoface/internal/dense"
+	"twoface/internal/gen"
+)
+
+// The stripe-local accumulation path must match the sequential reference on
+// every registry matrix archetype — banded, uniform, hub-traffic, community
+// web, and RMAT structures stress different stripe shapes and touched-row
+// densities. 1e-9 absorbs the reassociation the per-stripe buffering
+// introduces relative to per-element atomic adds.
+func TestExecAccumulationExactOnRegistry(t *testing.T) {
+	for _, spec := range gen.Specs() {
+		spec := spec
+		t.Run(spec.Short, func(t *testing.T) {
+			t.Parallel()
+			const scale, k = 0.004, 16
+			a := spec.Build(scale, 7)
+			b := dense.Random(int(a.NumCols), k, 8)
+			want, err := a.ToCSR().Mul(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := Params{P: 4, K: k, W: spec.ScaledWidth(scale)}
+			prep, err := Preprocess(a, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clu, err := cluster.New(4, cluster.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Exec(prep, b, clu, ExecOptions{AsyncWorkers: 3, SyncWorkers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.C.AlmostEqual(want, 1e-9) {
+				d, _ := res.C.MaxAbsDiff(want)
+				t.Fatalf("%s: Two-Face differs from reference by %v", spec.Short, d)
+			}
+		})
+	}
+}
+
+// Force every remote stripe asynchronous with many workers per node so
+// several stripe-local accumulators flush concurrently into the same C rows;
+// run under -race by scripts/check.sh, and check the sums survive the
+// concurrent AddRange flushes.
+func TestExecConcurrentStripeFlushRace(t *testing.T) {
+	frac := 1.0
+	m := buildCase(t, 160, 4000, 8, 91)
+	params := basicParams(4, 8, 4)
+	params.ForceSplit = &frac
+	prep, err := Preprocess(m.coo, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := cluster.New(4, cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(prep, m.b, clu, ExecOptions{AsyncWorkers: 8, SyncWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.C.AlmostEqual(m.want, 1e-9) {
+		d, _ := res.C.MaxAbsDiff(m.want)
+		t.Fatalf("concurrent flush corrupted C by %v", d)
+	}
+}
+
+// Pooled workspaces from different goroutines flushing through
+// atomicfloat.AddRange into one shared slice: the minimal reproduction of
+// the executor's write pattern, independent of the cluster machinery.
+func TestStripeFlushSharedOutputRace(t *testing.T) {
+	const rows, k, workers, rounds = 32, 8, 8, 25
+	out := atomicfloat.NewSlice(rows * k)
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = 0.5
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := asyncScratchPool.Get().(*asyncScratch)
+			defer asyncScratchPool.Put(ws)
+			for round := 0; round < rounds; round++ {
+				ws.acc.Begin(rows, k)
+				for row := int32(0); row < rows; row++ {
+					ws.acc.Accumulate(row, 1, x)
+					ws.acc.Accumulate(row, 1, x)
+				}
+				for i, row := range ws.acc.Touched() {
+					out.AddRange(int(row)*k, ws.acc.Vals(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(workers * rounds)
+	for i := 0; i < rows*k; i++ {
+		if got := out.Load(i); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// The pooled-scratch wrappers must agree with the allocating variants.
+func TestScratchVariantsMatch(t *testing.T) {
+	entries := randomCOO(50, 40, 300, 5).Entries
+	// Column-major order, as async stripes store entries.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && (entries[j].Col < entries[j-1].Col ||
+			(entries[j].Col == entries[j-1].Col && entries[j].Row < entries[j-1].Row)); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	want := uniqueCols(entries)
+	got := appendUniqueCols(make([]int32, 0, 2), entries)
+	if len(got) != len(want) {
+		t.Fatalf("appendUniqueCols len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("appendUniqueCols[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if cap(got) < len(entries) {
+		t.Fatalf("scratch must be sized from the entry count, got cap %d", cap(got))
+	}
+
+	wantReg, wantBuf, wantFetched := coalesceRegions(want, 2, 0, 4)
+	gotReg, gotBuf, gotFetched := coalesceRegionsInto(make([]cluster.Region, 0, 1), make([]int32, 1), want, 2, 0, 4)
+	if gotFetched != wantFetched || len(gotReg) != len(wantReg) || len(gotBuf) != len(wantBuf) {
+		t.Fatalf("coalesceRegionsInto shape mismatch")
+	}
+	for i := range wantReg {
+		if gotReg[i] != wantReg[i] {
+			t.Fatalf("region %d: %+v != %+v", i, gotReg[i], wantReg[i])
+		}
+	}
+	for i := range wantBuf {
+		if gotBuf[i] != wantBuf[i] {
+			t.Fatalf("bufRow %d: %d != %d", i, gotBuf[i], wantBuf[i])
+		}
+	}
+}
+
+// A panel workspace's column table must serve repeats from the table and
+// reset across panels (epochs).
+func TestPanelScratchResolvedTable(t *testing.T) {
+	ws := panelScratchPool.Get().(*panelScratch)
+	defer panelScratchPool.Put(ws)
+	calls := 0
+	resolve := func(col int32) ([]float64, error) {
+		calls++
+		return []float64{float64(col)}, nil
+	}
+	ws.begin(10, 1)
+	for _, c := range []int32{3, 7, 3, 3, 7} {
+		row, err := ws.resolved(c, resolve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] != float64(c) {
+			t.Fatalf("resolved(%d) = %v", c, row)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("resolver called %d times, want 2 (once per distinct column)", calls)
+	}
+	ws.begin(10, 1)
+	if _, err := ws.resolved(3, resolve); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("new panel must re-resolve; calls = %d", calls)
+	}
+}

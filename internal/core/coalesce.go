@@ -13,14 +13,29 @@ func uniqueCols(entries []sparse.NZ) []int32 {
 	if len(entries) == 0 {
 		return nil
 	}
-	cols := make([]int32, 0, 16)
-	cols = append(cols, entries[0].Col)
+	return appendUniqueCols(nil, entries)
+}
+
+// appendUniqueCols is uniqueCols writing into dst (which it resets),
+// reusing dst's capacity so pooled callers allocate nothing in steady state.
+// The scratch is sized from the entry count — the worst case of all-distinct
+// columns — rather than a fixed small capacity, so a stripe never regrows it
+// mid-scan.
+func appendUniqueCols(dst []int32, entries []sparse.NZ) []int32 {
+	if cap(dst) < len(entries) {
+		dst = make([]int32, 0, len(entries))
+	}
+	dst = dst[:0]
+	if len(entries) == 0 {
+		return dst
+	}
+	dst = append(dst, entries[0].Col)
 	for _, e := range entries[1:] {
-		if e.Col != cols[len(cols)-1] {
-			cols = append(cols, e.Col)
+		if e.Col != dst[len(dst)-1] {
+			dst = append(dst, e.Col)
 		}
 	}
-	return cols
+	return dst
 }
 
 // coalesceRegions converts the sorted distinct columns of an async stripe
@@ -37,7 +52,20 @@ func coalesceRegions(cols []int32, maxGap int32, ownerColLo int32, k int) (regio
 	if len(cols) == 0 {
 		return nil, nil, 0
 	}
-	bufRow = make([]int32, len(cols))
+	return coalesceRegionsInto(nil, nil, cols, maxGap, ownerColLo, k)
+}
+
+// coalesceRegionsInto is coalesceRegions writing into the provided region
+// and bufRow scratch slices (which it resets), reusing their capacity.
+func coalesceRegionsInto(regionScratch []cluster.Region, bufRowScratch []int32, cols []int32, maxGap int32, ownerColLo int32, k int) (regions []cluster.Region, bufRow []int32, fetchedRows int64) {
+	regions = regionScratch[:0]
+	if len(cols) == 0 {
+		return regions, bufRowScratch[:0], 0
+	}
+	if cap(bufRowScratch) < len(cols) {
+		bufRowScratch = make([]int32, len(cols))
+	}
+	bufRow = bufRowScratch[:len(cols)]
 	start, end := cols[0], cols[0] // current run [start, end], inclusive
 	base := int64(0)               // buffer row offset of `start`
 	bufRow[0] = 0

@@ -9,6 +9,7 @@ import (
 	"twoface/internal/atomicfloat"
 	"twoface/internal/cluster"
 	"twoface/internal/dense"
+	"twoface/internal/kernels"
 )
 
 // ExecOptions controls the real goroutine parallelism of one node's
@@ -149,12 +150,14 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	for w := 0; w < opts.AsyncWorkers; w++ {
 		go func() {
 			defer wg.Done()
+			ws := asyncScratchPool.Get().(*asyncScratch)
+			defer asyncScratchPool.Put(ws)
 			for {
 				n := asyncCursor.Add(1) - 1
 				if n >= nAsync {
 					return
 				}
-				if err := processAsyncStripe(prep, b, r, np, out, int(n), opts.SkipCompute, opts.sampling()); err != nil {
+				if err := processAsyncStripe(prep, b, r, np, out, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
 					asyncMu.Lock()
 					if asyncErr == nil {
 						asyncErr = err
@@ -182,13 +185,14 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	for w := 0; w < opts.SyncWorkers; w++ {
 		go func() {
 			defer panelWg.Done()
-			acc := make([]float64, k)
+			ws := panelScratchPool.Get().(*panelScratch)
+			defer panelScratchPool.Put(ws)
 			for {
 				n := panelCursor.Add(1) - 1
 				if n >= nPanels {
 					return
 				}
-				if err := processSyncRowPanel(prep, r, np, out, resolver, acc, int(n), opts.SkipCompute, opts.sampling()); err != nil {
+				if err := processSyncRowPanel(prep, r, np, out, resolver, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
 					panelMu.Lock()
 					if panelErr == nil {
 						panelErr = err
@@ -246,8 +250,11 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 
 // processAsyncStripe is Algorithm 3: fetch the distinct dense rows of one
 // asynchronous stripe with a one-sided indexed get, then accumulate its
-// nonzeros into C with per-element atomics.
-func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, n int, skipCompute bool, smp sampling) error {
+// nonzeros into a stripe-local dense buffer that is flushed once per touched
+// C row. The flush is the only atomic traffic: each output row takes a
+// single AddRange pass instead of one CAS loop per scalar per nonzero, and
+// all scratch comes from the worker's pooled workspace.
+func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, ws *asyncScratch, n int, skipCompute bool, smp sampling) error {
 	layout, params := prep.Layout, prep.Params
 	net := r.Net()
 	k := params.K
@@ -259,19 +266,23 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 	owner := layout.StripeOwner(sid)
 	ownerBlock := layout.ColBlock(owner)
 
-	cols := uniqueCols(entries)
-	regions, bufRow, fetchedRows := coalesceRegions(cols, params.MaxCoalesceGap, int32(ownerBlock.Lo), k)
-	drows := make([]float64, fetchedRows*int64(k))
-	if _, err := r.GetIndexed(owner, "B", regions, drows); err != nil {
+	ws.cols = appendUniqueCols(ws.cols, entries)
+	cols := ws.cols
+	var fetchedRows int64
+	ws.regions, ws.bufRow, fetchedRows = coalesceRegionsInto(ws.regions, ws.bufRow, cols, params.MaxCoalesceGap, int32(ownerBlock.Lo), k)
+	drows := ws.fetchBuf(int(fetchedRows) * k)
+	if _, err := r.GetIndexed(owner, "B", ws.regions, drows); err != nil {
 		return err
 	}
-	r.Charge(cluster.AsyncComm, net.OneSidedCost(len(regions), fetchedRows*int64(k)))
+	r.Charge(cluster.AsyncComm, net.OneSidedCost(len(ws.regions), fetchedRows*int64(k)))
 
 	if !skipCompute {
 		// Column-major walk: advance the unique-column cursor as the column
-		// changes, then atomically accumulate val * Brow into C row by row.
+		// changes, accumulating val * Brow into the stripe-local buffer.
+		acc := &ws.acc
+		acc.Begin(int(np.RowHi-np.RowLo), k)
+		bufRow := ws.bufRow
 		ci := 0
-		base := int(np.RowLo) * k
 		for _, e := range entries {
 			for cols[ci] != e.Col {
 				ci++
@@ -279,13 +290,12 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 			if smp.masked(np.RowLo+e.Row, e.Col) {
 				continue
 			}
-			brow := drows[int(bufRow[ci])*k : (int(bufRow[ci])+1)*k]
-			cOff := base + int(e.Row)*k
-			for j := 0; j < k; j++ {
-				if v := e.Val * brow[j]; v != 0 {
-					out.Add(cOff+j, v)
-				}
-			}
+			off := int(bufRow[ci]) * k
+			acc.Accumulate(e.Row, e.Val, drows[off:off+k])
+		}
+		base := int(np.RowLo) * k
+		for i, row := range acc.Touched() {
+			out.AddRange(base+int(row)*k, acc.Vals(i))
 		}
 	}
 	kept := float64(len(entries)) * smp.computeScale()
@@ -317,8 +327,10 @@ func makeRowResolver(prep *Prep, b *dense.Matrix, rank int, recvBufs [][]float64
 
 // processSyncRowPanel is Algorithm 2: multiply one row panel with a
 // thread-local accumulation buffer, flushing to C with one atomic pass per
-// output row.
-func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, acc []float64, n int, skipCompute bool, smp sampling) error {
+// output row. Each of the panel's distinct columns is resolved to its dense
+// B row once, into the workspace's flat slice table; the per-nonzero loop is
+// then a table lookup plus a shared AXPY kernel, with no closure calls.
+func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, ws *panelScratch, n int, skipCompute bool, smp sampling) error {
 	params := prep.Params
 	net := r.Net()
 	k := params.K
@@ -327,6 +339,8 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 		return nil
 	}
 	if !skipCompute {
+		ws.begin(int(prep.Layout.NumCols), k)
+		acc := ws.acc
 		base := int(np.RowLo) * k
 		clear(acc)
 		prevRow := panel[0].Row
@@ -339,13 +353,11 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 			if smp.masked(np.RowLo+e.Row, e.Col) {
 				continue
 			}
-			brow, err := resolve(e.Col)
+			brow, err := ws.resolved(e.Col, resolve)
 			if err != nil {
 				return err
 			}
-			for j := 0; j < k; j++ {
-				acc[j] += e.Val * brow[j]
-			}
+			kernels.Axpy(e.Val, brow, acc)
 		}
 		out.AddRange(base+int(prevRow)*k, acc)
 	}

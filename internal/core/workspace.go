@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"twoface/internal/cluster"
+	"twoface/internal/kernels"
+)
+
+// Per-worker scratch buffers for the executor's hot loops. Each worker
+// goroutine checks one workspace out of a package-level sync.Pool for its
+// lifetime and returns it on exit, so steady-state execution — including
+// repeated Exec calls during GNN training — allocates nothing per stripe or
+// panel: every buffer grows to its high-water mark and is reused.
+
+// asyncScratch backs processAsyncStripe: the unique-column scan, the
+// coalesced fetch regions, the one-sided fetch buffer, and the stripe-local
+// accumulator.
+type asyncScratch struct {
+	cols    []int32
+	bufRow  []int32
+	regions []cluster.Region
+	drows   []float64
+	acc     kernels.RowAccumulator
+}
+
+var asyncScratchPool = sync.Pool{New: func() any { return new(asyncScratch) }}
+
+// fetchBuf returns the fetch buffer resized to n elements, reusing capacity.
+func (ws *asyncScratch) fetchBuf(n int) []float64 {
+	if cap(ws.drows) < n {
+		ws.drows = make([]float64, n)
+	}
+	return ws.drows[:n]
+}
+
+// panelScratch backs processSyncRowPanel: the per-panel accumulator row and
+// the pre-resolved column table. slot/stamp map a global column to its table
+// entry; stamps are epoch-guarded so starting a panel never clears them.
+type panelScratch struct {
+	acc   []float64
+	table [][]float64
+	slot  []int32
+	stamp []uint32
+	epoch uint32
+}
+
+var panelScratchPool = sync.Pool{New: func() any { return new(panelScratch) }}
+
+// begin sizes the scratch for a panel over numCols global columns with dense
+// width k and opens a fresh epoch.
+func (ws *panelScratch) begin(numCols, k int) {
+	if cap(ws.acc) < k {
+		ws.acc = make([]float64, k)
+	}
+	ws.acc = ws.acc[:k]
+	if len(ws.stamp) < numCols {
+		ws.slot = make([]int32, numCols)
+		ws.stamp = make([]uint32, numCols)
+	}
+	ws.epoch++
+	if ws.epoch == 0 {
+		clear(ws.stamp)
+		ws.epoch = 1
+	}
+	ws.table = ws.table[:0]
+}
+
+// resolved returns the dense B row for col, resolving each distinct column
+// once per panel through `resolve` and serving repeats from the flat table,
+// so the caller's innermost loop is closure-free.
+func (ws *panelScratch) resolved(col int32, resolve rowResolver) ([]float64, error) {
+	if ws.stamp[col] != ws.epoch {
+		brow, err := resolve(col)
+		if err != nil {
+			return nil, err
+		}
+		ws.stamp[col] = ws.epoch
+		ws.slot[col] = int32(len(ws.table))
+		ws.table = append(ws.table, brow)
+		return brow, nil
+	}
+	return ws.table[ws.slot[col]], nil
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"twoface/internal/kernels"
 )
 
 // Matrix is a row-major dense matrix.
@@ -96,18 +98,13 @@ func (m *Matrix) Fill(v float64) {
 
 // Scale multiplies every element by s in place.
 func (m *Matrix) Scale(s float64) {
-	for i := range m.Data {
-		m.Data[i] *= s
-	}
+	kernels.Scale(s, m.Data)
 }
 
 // AddScaledRow computes dst += s * src where dst aliases row r of m.
 // len(src) must equal m.Cols.
 func (m *Matrix) AddScaledRow(r int, s float64, src []float64) {
-	dst := m.Row(r)
-	for i, v := range src {
-		dst[i] += s * v
-	}
+	kernels.Axpy(s, src, m.Row(r))
 }
 
 // Add computes m += other element-wise. The shapes must match.
@@ -115,9 +112,17 @@ func (m *Matrix) Add(other *Matrix) error {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		return fmt.Errorf("dense: shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
 	}
-	for i, v := range other.Data {
-		m.Data[i] += v
+	kernels.Add(m.Data, other.Data)
+	return nil
+}
+
+// AddScaled computes m += s * other element-wise (one fused pass, used for
+// gradient updates W += -lr * dW). The shapes must match.
+func (m *Matrix) AddScaled(s float64, other *Matrix) error {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return fmt.Errorf("dense: shape mismatch %dx%d += s*%dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
 	}
+	kernels.Axpy(s, other.Data, m.Data)
 	return nil
 }
 

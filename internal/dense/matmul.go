@@ -1,10 +1,14 @@
 package dense
 
-import "fmt"
+import (
+	"fmt"
+
+	"twoface/internal/kernels"
+)
 
 // Local dense-dense products. These are the small per-node projections of
 // GNN layers (feature-dim x feature-dim), not the distributed kernels; a
-// straightforward blocked loop is plenty.
+// blocked loop over the shared AXPY/dot kernels is plenty.
 
 // MatMul returns a x b (a is m x k, b is k x n).
 func MatMul(a, b *Matrix) (*Matrix, error) {
@@ -19,10 +23,7 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 			if v == 0 {
 				continue
 			}
-			brow := b.Row(kk)
-			for j := range crow {
-				crow[j] += v * brow[j]
-			}
+			kernels.Axpy(v, b.Row(kk), crow)
 		}
 	}
 	return c, nil
@@ -42,10 +43,7 @@ func MatMulT1(a, b *Matrix) (*Matrix, error) {
 			if v == 0 {
 				continue
 			}
-			crow := c.Row(i)
-			for j, w := range brow {
-				crow[j] += v * w
-			}
+			kernels.Axpy(v, brow, c.Row(i))
 		}
 	}
 	return c, nil
@@ -62,12 +60,7 @@ func MatMulT2(a, b *Matrix) (*Matrix, error) {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for kk, v := range arow {
-				s += v * brow[kk]
-			}
-			crow[j] = s
+			crow[j] = kernels.Dot(arow, b.Row(j))
 		}
 	}
 	return c, nil

@@ -1,0 +1,159 @@
+package kernels
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// The accumulator must reproduce the naive "dense C += alpha * x per row"
+// result for arbitrary touch orders, including repeated rows.
+func TestRowAccumulatorMatchesDense(t *testing.T) {
+	const rows, k = 37, 9
+	rng := rand.New(rand.NewPCG(11, 12))
+	var acc RowAccumulator
+	for trial := 0; trial < 20; trial++ {
+		want := make([]float64, rows*k)
+		acc.Begin(rows, k)
+		n := rng.IntN(200)
+		for i := 0; i < n; i++ {
+			row := int32(rng.IntN(rows))
+			alpha := 2*rng.Float64() - 1
+			x := randSlice(k, rng)
+			for j := 0; j < k; j++ {
+				want[int(row)*k+j] += alpha * x[j]
+			}
+			acc.Accumulate(row, alpha, x)
+		}
+		got := make([]float64, rows*k)
+		touched := acc.Touched()
+		seen := map[int32]bool{}
+		for i, row := range touched {
+			if seen[row] {
+				t.Fatalf("trial %d: row %d flushed twice", trial, row)
+			}
+			seen[row] = true
+			copy(got[int(row)*k:(int(row)+1)*k], acc.Vals(i))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: element %d: %v != %v", trial, i, got[i], want[i])
+			}
+		}
+		// Untouched rows must not appear.
+		for row := range seen {
+			var any bool
+			for j := 0; j < k; j++ {
+				if want[int(row)*k+j] != 0 {
+					any = true
+				}
+			}
+			if !any && len(touched) > n {
+				t.Fatalf("trial %d: spurious touched row %d", trial, row)
+			}
+		}
+	}
+}
+
+// Reuse across Begin calls must not leak prior epochs' state, including when
+// the dense width changes.
+func TestRowAccumulatorReuse(t *testing.T) {
+	var acc RowAccumulator
+	acc.Begin(8, 4)
+	acc.Accumulate(3, 2, []float64{1, 1, 1, 1})
+	acc.Begin(8, 2)
+	acc.Accumulate(3, 1, []float64{5, 7})
+	if got := acc.Touched(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("touched = %v", got)
+	}
+	if v := acc.Vals(0); v[0] != 5 || v[1] != 7 {
+		t.Fatalf("vals = %v (prior epoch leaked)", v)
+	}
+	acc.Begin(16, 3) // grow the row space
+	acc.Accumulate(15, 1, []float64{1, 2, 3})
+	if v := acc.Vals(0); v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("vals after grow = %v", v)
+	}
+}
+
+func TestRowAccumulatorEpochWraparound(t *testing.T) {
+	var acc RowAccumulator
+	acc.Begin(4, 1)
+	acc.Accumulate(2, 1, []float64{9})
+	acc.epoch = math.MaxUint32 // force the next Begin to wrap
+	acc.Begin(4, 1)
+	if len(acc.Touched()) != 0 {
+		t.Fatal("wrapped epoch must start empty")
+	}
+	acc.Accumulate(2, 1, []float64{4})
+	if v := acc.Vals(0); v[0] != 4 {
+		t.Fatalf("vals after wraparound = %v (stale stamp matched)", v)
+	}
+}
+
+// Independent accumulators flushing concurrently into one shared output must
+// be race-free and sum correctly — the async-stripe flush pattern, run under
+// -race by scripts/check.sh.
+func TestRowAccumulatorConcurrentFlush(t *testing.T) {
+	const rows, k, workers, stripes = 16, 8, 8, 40
+	shared := make([]float64, rows*k)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var acc RowAccumulator
+			x := make([]float64, k)
+			for i := range x {
+				x[i] = 1
+			}
+			for s := 0; s < stripes; s++ {
+				acc.Begin(rows, k)
+				for row := int32(0); row < rows; row++ {
+					acc.Accumulate(row, 1, x)
+					acc.Accumulate(row, 1, x)
+				}
+				mu.Lock()
+				for i, row := range acc.Touched() {
+					Add(shared[int(row)*k:(int(row)+1)*k], acc.Vals(i))
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := float64(2 * workers * stripes)
+	for i, v := range shared {
+		if v != want {
+			t.Fatalf("shared[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+// BenchmarkRowAccumulator measures the steady-state accumulate path; after
+// warm-up it must not allocate.
+func BenchmarkRowAccumulator(b *testing.B) {
+	for _, k := range []int{32, 128, 512} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			const rows = 256
+			rng := rand.New(rand.NewPCG(21, 22))
+			x := randSlice(k, rng)
+			var acc RowAccumulator
+			acc.Begin(rows, k) // warm up the buffers
+			for r := int32(0); r < rows; r++ {
+				acc.Accumulate(r, 1, x)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Begin(rows, k)
+				for r := int32(0); r < rows; r++ {
+					acc.Accumulate(r, 0.5, x)
+					acc.Accumulate(r, 0.5, x)
+				}
+			}
+		})
+	}
+}

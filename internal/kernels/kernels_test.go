@@ -1,0 +1,167 @@
+package kernels
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(n int, rng *rand.Rand) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 2*rng.Float64() - 1
+	}
+	return s
+}
+
+// Every kernel must agree with its naive one-line loop for all lengths,
+// including the 1..3 remainders of the 4-way unroll.
+func TestKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for n := 0; n <= 67; n++ {
+		x := randSlice(n, rng)
+		y := randSlice(n, rng)
+		alpha := 2*rng.Float64() - 1
+
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = y[i] + alpha*x[i]
+		}
+		got := append([]float64(nil), y...)
+		Axpy(alpha, x, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Axpy n=%d i=%d: %v != %v", n, i, got[i], want[i])
+			}
+		}
+
+		got = make([]float64, n)
+		ScaleTo(got, alpha, x)
+		for i := range got {
+			if got[i] != alpha*x[i] {
+				t.Fatalf("ScaleTo n=%d i=%d", n, i)
+			}
+		}
+
+		got = make([]float64, n)
+		AxpyTo(got, alpha, x, y)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AxpyTo n=%d i=%d", n, i)
+			}
+		}
+
+		got = append([]float64(nil), y...)
+		Add(got, x)
+		for i := range got {
+			if got[i] != y[i]+x[i] {
+				t.Fatalf("Add n=%d i=%d", n, i)
+			}
+		}
+
+		got = append([]float64(nil), x...)
+		Scale(alpha, got)
+		for i := range got {
+			if got[i] != alpha*x[i] {
+				t.Fatalf("Scale n=%d i=%d", n, i)
+			}
+		}
+
+		var dot float64
+		for i := range x {
+			dot += x[i] * y[i]
+		}
+		if d := Dot(x, y); math.Abs(d-dot) > 1e-12*float64(n+1) {
+			t.Fatalf("Dot n=%d: %v != %v", n, d, dot)
+		}
+	}
+}
+
+// Kernels operate over the common length, so mismatched slices must neither
+// panic nor touch elements beyond it.
+func TestKernelsCommonLength(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 24 || y[2] != 36 {
+		t.Fatalf("Axpy short y: %v", y)
+	}
+	y = []float64{10, 20, 30, 40, 50, 60}
+	Axpy(2, x[:2], y)
+	if y[2] != 30 || y[5] != 60 {
+		t.Fatalf("Axpy short x wrote past common length: %v", y)
+	}
+	if d := Dot(x, y[:3]); d != 1*12+2*24+3*30 {
+		t.Fatalf("Dot common length: %v", d)
+	}
+	dst := make([]float64, 2)
+	AxpyTo(dst, 1, x, y)
+	if dst[0] != 13 || dst[1] != 26 {
+		t.Fatalf("AxpyTo short dst: %v", dst)
+	}
+}
+
+func TestAxpyProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := int(nRaw % 300)
+		x, y := randSlice(n, rng), randSlice(n, rng)
+		alpha := 2*rng.Float64() - 1
+		got := append([]float64(nil), y...)
+		Axpy(alpha, x, got)
+		for i := range got {
+			if got[i] != y[i]+alpha*x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, k := range []int{32, 128, 512} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(3, 4))
+			x, y := randSlice(k, rng), randSlice(k, rng)
+			b.ReportAllocs()
+			b.SetBytes(int64(16 * k))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Axpy(1.0000001, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, k := range []int{32, 128, 512} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(5, 6))
+			x, y := randSlice(k, rng), randSlice(k, rng)
+			var sink float64
+			b.ReportAllocs()
+			b.SetBytes(int64(16 * k))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += Dot(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func sizeName(k int) string {
+	switch k {
+	case 32:
+		return "K=32"
+	case 128:
+		return "K=128"
+	case 512:
+		return "K=512"
+	}
+	return "K=?"
+}

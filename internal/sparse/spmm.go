@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"twoface/internal/dense"
+	"twoface/internal/kernels"
 )
 
 // Mul computes C = A x B with a sequential CSR kernel. It is the reference
@@ -25,11 +26,8 @@ func (m *CSR) MulInto(b *dense.Matrix, c *dense.Matrix, rowLo, rowHi int) {
 	for r := rowLo; r < rowHi; r++ {
 		crow := c.Row(r)
 		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
-			v := m.Val[i]
-			brow := b.Data[int(m.Col[i])*k : (int(m.Col[i])+1)*k]
-			for j := 0; j < k; j++ {
-				crow[j] += v * brow[j]
-			}
+			col := int(m.Col[i])
+			kernels.Axpy(m.Val[i], b.Data[col*k:(col+1)*k], crow)
 		}
 	}
 }
@@ -67,18 +65,25 @@ func (m *CSR) MulParallel(b *dense.Matrix, workers int) (*dense.Matrix, error) {
 	return c, nil
 }
 
-// MulIntoParallel accumulates A x B into c (shaped NumRows x b.Cols) using
-// the given number of worker goroutines over contiguous row chunks. Unlike
-// MulParallel it writes into an existing matrix without zeroing it, so
-// callers can accumulate multiple partial products.
-func (m *CSR) MulIntoParallel(b *dense.Matrix, c *dense.Matrix, workers int) {
+// MulIntoParallel accumulates A x B into c using the given number of worker
+// goroutines over contiguous row chunks. Unlike MulParallel it writes into
+// an existing matrix without zeroing it, so callers can accumulate multiple
+// partial products. It validates all three shapes first: an out-of-shape c
+// would otherwise be silently corrupted through the row arithmetic.
+func (m *CSR) MulIntoParallel(b *dense.Matrix, c *dense.Matrix, workers int) error {
+	if int(m.NumCols) != b.Rows {
+		return fmt.Errorf("sparse: shape mismatch %dx%d x %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols)
+	}
+	if c.Rows != int(m.NumRows) || c.Cols != b.Cols {
+		return fmt.Errorf("sparse: output is %dx%d, want %dx%d", c.Rows, c.Cols, m.NumRows, b.Cols)
+	}
 	n := int(m.NumRows)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		m.MulInto(b, c, 0, n)
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -90,6 +95,7 @@ func (m *CSR) MulIntoParallel(b *dense.Matrix, c *dense.Matrix, workers int) {
 		}()
 	}
 	wg.Wait()
+	return nil
 }
 
 // MulCOO computes C = A x B directly from coordinate format. It is slower

@@ -112,16 +112,39 @@ func TestMulIntoParallelAccumulates(t *testing.T) {
 	want, _ := csr.Mul(b)
 	for _, workers := range []int{1, 3, 200} {
 		c := dense.New(80, 5)
-		csr.MulIntoParallel(b, c, workers)
+		if err := csr.MulIntoParallel(b, c, workers); err != nil {
+			t.Fatal(err)
+		}
 		if d, _ := c.MaxAbsDiff(want); d != 0 {
 			t.Fatalf("workers=%d: differs by %v", workers, d)
 		}
 		// Accumulation semantics: a second call doubles.
-		csr.MulIntoParallel(b, c, workers)
+		if err := csr.MulIntoParallel(b, c, workers); err != nil {
+			t.Fatal(err)
+		}
 		doubled := want.Clone()
 		doubled.Scale(2)
 		if !c.AlmostEqual(doubled, 1e-12) {
 			t.Fatalf("workers=%d: second call did not accumulate", workers)
 		}
+	}
+}
+
+func TestMulIntoParallelValidatesShapes(t *testing.T) {
+	m := randomCOO(8, 6, 20, 31)
+	csr := m.ToCSR()
+	b := dense.Random(6, 4, 32)
+	// Mul/MulParallel already reject a bad B; MulIntoParallel must too.
+	if err := csr.MulIntoParallel(dense.Random(5, 4, 33), dense.New(8, 4), 2); err == nil {
+		t.Fatal("B with wrong row count should error")
+	}
+	// A mis-shaped output used to be silently corrupted.
+	for _, c := range []*dense.Matrix{dense.New(7, 4), dense.New(8, 3), dense.New(1, 1)} {
+		if err := csr.MulIntoParallel(b, c, 2); err == nil {
+			t.Fatalf("output %dx%d should error", c.Rows, c.Cols)
+		}
+	}
+	if err := csr.MulIntoParallel(b, dense.New(8, 4), 2); err != nil {
+		t.Fatalf("well-shaped call failed: %v", err)
 	}
 }

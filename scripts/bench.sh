@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Record the kernel-layer microbenchmarks into BENCH_kernels.json at the
+# repo root: one object per benchmark with ns/op, B/op, and allocs/op, plus
+# a small header identifying the toolchain. Compare runs with
+#   git diff BENCH_kernels.json
+# Usage: scripts/bench.sh [benchtime]   (default 1s per benchmark)
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_kernels.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench '^BenchmarkKernel(Axpy|AsyncStripeAccumulate|PanelMultiply)$' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v goversion="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", goversion
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

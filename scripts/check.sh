@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: vet, build, race-enabled tests, and a smoke pass over the
+# kernel microbenchmarks. ROADMAP.md documents this as the check every PR
+# must keep green. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== kernel benchmark smoke (1 iteration each)"
+go test -run '^$' -bench '^BenchmarkKernel(Axpy|AsyncStripeAccumulate|PanelMultiply)$' \
+    -benchtime 1x .
+
+echo "== check.sh: all green"
