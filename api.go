@@ -47,6 +47,16 @@ type Options struct {
 	UseColumnClassifier bool
 	// ColumnSyncThreshold tunes the column classifier; 0 means max(2, Nodes/4).
 	ColumnSyncThreshold int
+	// TraceEvents, when positive, enables per-rank transfer tracing (capped
+	// at this many events per rank) on every cluster the system creates —
+	// plans and baselines alike. Results then carry TraceEvents and
+	// per-rank TraceDropped counts.
+	TraceEvents int
+	// SpanRecorder, when non-nil, receives a virtual-time span for every
+	// ledger charge on every cluster the system creates (see obs.Tracer for
+	// the standard recorder and its Chrome-trace exporter). Nil keeps
+	// instrumentation off and modeled time bit-identical.
+	SpanRecorder SpanRecorder
 }
 
 // System is a configured simulated cluster ready to preprocess and multiply.
@@ -127,6 +137,22 @@ func (s *System) params(net NetModel) core.Params {
 	return p
 }
 
+// newCluster builds a cluster with the system's observability options
+// (transfer tracing, span recording) applied.
+func (s *System) newCluster(net NetModel) (*cluster.Cluster, error) {
+	clu, err := cluster.New(s.opts.Nodes, net)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.TraceEvents > 0 {
+		clu.EnableTrace(s.opts.TraceEvents)
+	}
+	if s.opts.SpanRecorder != nil {
+		clu.SetSpanRecorder(s.opts.SpanRecorder)
+	}
+	return clu, nil
+}
+
 // Preprocess classifies the matrix's stripes and builds the runtime state.
 // The plan is valid for any dense input with a.NumCols rows and the
 // configured DenseColumns width.
@@ -140,7 +166,7 @@ func (s *System) Preprocess(a *SparseMatrix) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	clu, err := cluster.New(s.opts.Nodes, net)
+	clu, err := s.newCluster(net)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +221,8 @@ type TraceSummary struct {
 	OneSidedElems   int64
 	OneSidedMsgs    int64
 	Events          int
+	// Dropped counts events this rank discarded after its buffer filled.
+	Dropped int64
 }
 
 // EnableTrace turns on per-rank transfer tracing for subsequent Multiply /
@@ -205,12 +233,28 @@ func (p *Plan) EnableTrace(limit int) { p.clu.EnableTrace(limit) }
 // TraceSummaries aggregates the traced events per rank. Call after a
 // Multiply with tracing enabled.
 func (p *Plan) TraceSummaries() []TraceSummary {
-	events, _ := p.clu.Trace()
-	out := make([]TraceSummary, p.sys.opts.Nodes)
+	events, dropped := p.clu.TraceByRank()
+	var all []TraceEvent
+	for _, ev := range events {
+		all = append(all, ev...)
+	}
+	return SummarizeTrace(all, dropped, p.sys.opts.Nodes)
+}
+
+// SummarizeTrace aggregates traced transfer events per rank. dropped is the
+// per-rank dropped-event count (as in Result.TraceDropped) and may be nil.
+func SummarizeTrace(events []TraceEvent, dropped []int64, p int) []TraceSummary {
+	out := make([]TraceSummary, p)
 	for i := range out {
 		out[i].Rank = i
+		if i < len(dropped) {
+			out[i].Dropped = dropped[i]
+		}
 	}
 	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= p {
+			continue
+		}
 		s := &out[e.Rank]
 		s.Events++
 		switch e.Op {
@@ -242,7 +286,7 @@ func (s *System) LoadPlan(path string) (*Plan, error) {
 	if prep.Params.K != s.opts.DenseColumns {
 		return nil, fmt.Errorf("twoface: plan was built for K=%d, system has K=%d", prep.Params.K, s.opts.DenseColumns)
 	}
-	clu, err := cluster.New(s.opts.Nodes, s.netFor(prep.Layout.NumRows))
+	clu, err := s.newCluster(s.netFor(prep.Layout.NumRows))
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +337,7 @@ const (
 // AsyncFine, the stripe width follows the system's StripeWidth (or the
 // Table 1 auto rule).
 func (s *System) RunBaseline(alg Baseline, a *SparseMatrix, b *DenseMatrix) (*Result, error) {
-	clu, err := cluster.New(s.opts.Nodes, s.netFor(a.NumRows))
+	clu, err := s.newCluster(s.netFor(a.NumRows))
 	if err != nil {
 		return nil, err
 	}

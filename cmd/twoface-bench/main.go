@@ -12,32 +12,117 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"twoface/internal/harness"
+	"twoface/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: table1|fig2|fig7|fig8|fig9|table3|table5|fig10|fig11|table6|fig12|volume|seeds|all")
-		scale   = flag.Float64("scale", 1.0, "matrix scale relative to the registry (1.0 = 1/512 of the paper)")
-		p       = flag.Int("p", 8, "number of simulated nodes")
-		seed    = flag.Uint64("seed", 42, "generator seed")
-		workers = flag.Int("workers", 4, "real goroutines per node")
-		verify  = flag.Bool("verify", false, "run real arithmetic (slow) instead of timing-only mode")
-		full    = flag.Bool("full", false, "extend fig11 to 32 and 64 nodes")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		exp        = flag.String("exp", "all", "experiment to run: table1|fig2|fig7|fig8|fig9|table3|table5|fig10|fig11|table6|fig12|volume|seeds|all")
+		scale      = flag.Float64("scale", 1.0, "matrix scale relative to the registry (1.0 = 1/512 of the paper)")
+		p          = flag.Int("p", 8, "number of simulated nodes")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		workers    = flag.Int("workers", 4, "real goroutines per node")
+		verify     = flag.Bool("verify", false, "run real arithmetic (slow) instead of timing-only mode")
+		full       = flag.Bool("full", false, "extend fig11 to 32 and 64 nodes")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		report     = flag.String("report", "", "write a structured JSON report of this invocation")
+		runsFile   = flag.String("runs-file", "BENCH_runs.json", "trajectory file appended to when -report is set (empty disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *report != "" {
+		obs.Default.SetEnabled(true)
+	}
+
+	start := time.Now()
 	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify}
 	if err := run(cfg, strings.ToLower(*exp), *full, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
 		os.Exit(1)
 	}
+	if *report != "" {
+		if err := writeReport(*report, *runsFile, cfg, strings.ToLower(*exp), time.Since(start)); err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeReport emits the invocation-level report (there is no single modeled
+// run to validate here, so it is written directly) and appends a compact
+// entry to the BENCH_runs.json trajectory — the run-level sibling of
+// BENCH_kernels.json that lets sessions compare harness behavior PR over
+// PR.
+func writeReport(path, runsFile string, cfg harness.Config, exp string, wall time.Duration) error {
+	rep := obs.NewReport("twoface-bench")
+	rep.Config = map[string]any{
+		"exp": exp, "scale": cfg.Scale, "p": cfg.P, "seed": cfg.Seed,
+		"workers": cfg.Workers, "verify": cfg.Verify,
+	}
+	rep.WallSeconds = wall.Seconds()
+	snap := obs.Default.Snapshot()
+	rep.Metrics = &snap
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench report: %s\n", path)
+	if runsFile == "" {
+		return nil
+	}
+	entry := map[string]any{
+		"unix_time":    time.Now().Unix(),
+		"tool":         "twoface-bench",
+		"go_version":   rep.GoVersion,
+		"commit":       rep.Commit,
+		"config":       rep.Config,
+		"wall_seconds": rep.WallSeconds,
+	}
+	if err := obs.AppendTrajectory(runsFile, entry); err != nil {
+		return err
+	}
+	fmt.Printf("trajectory: appended to %s\n", runsFile)
+	return nil
 }
 
 func run(cfg harness.Config, exp string, full bool, asJSON bool) error {

@@ -7,140 +7,250 @@
 //	twoface-run -matrix web -scale 0.25 -algo twoface -K 128 -p 8
 //	twoface-run -in graph.mtx.gz -algo ds2 -K 64
 //	twoface-run -plan web.tfp -K 128 -p 8        # run a saved plan
+//
+// Observability (any algorithm):
+//
+//	-trace               print a per-node transfer-trace summary
+//	-trace-out t.json    write a Chrome/Perfetto-loadable virtual-time trace
+//	-report r.json       write a structured JSON run report
+//	-cpuprofile p.out    write a pprof CPU profile of the (wall-clock) run
+//	-memprofile m.out    write a pprof heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"twoface"
 )
 
+type cli struct {
+	in, name   string
+	scale      float64
+	seed       uint64
+	plan, algo string
+	k, p       int
+	verify     bool
+	trace      bool
+	traceOut   string
+	traceCap   int
+	report     string
+	cpuProfile string
+	memProfile string
+}
+
 func main() {
-	var (
-		in     = flag.String("in", "", "input matrix file (.mtx, .mtx.gz, or .bin)")
-		name   = flag.String("matrix", "", "or: generate a registry analog by name")
-		scale  = flag.Float64("scale", 0.25, "scale for -matrix")
-		seed   = flag.Uint64("seed", 42, "seed for -matrix and B")
-		plan   = flag.String("plan", "", "or: load a saved preprocessing plan (.tfp)")
-		algo   = flag.String("algo", "twoface", "algorithm: twoface|ds1|ds2|ds4|ds8|allgather|asynccoarse|asyncfine")
-		k      = flag.Int("K", 128, "dense matrix columns")
-		p      = flag.Int("p", 8, "simulated nodes")
-		verify = flag.Bool("verify", true, "check the result against the reference kernel")
-		trace  = flag.Bool("trace", false, "print a per-node transfer trace summary (twoface only)")
-	)
+	var c cli
+	flag.StringVar(&c.in, "in", "", "input matrix file (.mtx, .mtx.gz, or .bin)")
+	flag.StringVar(&c.name, "matrix", "", "or: generate a registry analog by name")
+	flag.Float64Var(&c.scale, "scale", 0.25, "scale for -matrix")
+	flag.Uint64Var(&c.seed, "seed", 42, "seed for -matrix and B")
+	flag.StringVar(&c.plan, "plan", "", "or: load a saved preprocessing plan (.tfp)")
+	flag.StringVar(&c.algo, "algo", "twoface", "algorithm: twoface|ds1|ds2|ds4|ds8|allgather|asynccoarse|asyncfine")
+	flag.IntVar(&c.k, "K", 128, "dense matrix columns")
+	flag.IntVar(&c.p, "p", 8, "simulated nodes")
+	flag.BoolVar(&c.verify, "verify", true, "check the result against the reference kernel")
+	flag.BoolVar(&c.trace, "trace", false, "print a per-node transfer trace summary")
+	flag.StringVar(&c.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the run's virtual-time spans")
+	flag.IntVar(&c.traceCap, "trace-cap", 1<<16, "per-node transfer-trace event cap for -trace")
+	flag.StringVar(&c.report, "report", "", "write a structured JSON run report")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile")
 	flag.Parse()
 
-	sys, err := twoface.New(twoface.Options{Nodes: *p, DenseColumns: *k, TimingOnly: !*verify})
-	if err != nil {
-		fatal(err)
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-run:", err)
+		os.Exit(1)
 	}
+}
 
-	if *plan != "" {
-		runPlan(sys, *plan, *k, *seed)
-		return
-	}
-
-	a, err := loadMatrix(*in, *name, *scale, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	b := twoface.RandomDense(int(a.NumCols), *k, *seed+1)
-	st := a.ComputeStats()
-	fmt.Printf("A: %dx%d, %d nonzeros (avg %.2f/row); K=%d, p=%d, algo=%s\n",
-		st.NumRows, st.NumCols, st.NNZ, st.AvgPerRow, *k, *p, *algo)
-
-	var res *twoface.Result
-	switch strings.ToLower(*algo) {
-	case "twoface":
-		pl, err := sys.Preprocess(a)
+func run(c cli) error {
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		ps := pl.Stats()
-		fmt.Printf("classified: %d sync stripes, %d async stripes, fan-out avg %.1f\n",
-			ps.SyncStripes, ps.AsyncStripes, ps.AvgMulticastFanout)
-		if *trace {
-			pl.EnableTrace(1 << 16)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
 		}
-		res, err = pl.Multiply(b)
-		if err != nil {
-			fatal(err)
-		}
-		if *trace {
-			fmt.Println("per-node transfer trace:")
-			for _, s := range pl.TraceSummaries() {
-				fmt.Printf("  node %d: %d events, %.2f MB collective, %.2f MB one-sided in %d regions\n",
-					s.Rank, s.Events, float64(8*s.CollectiveElems)/1e6, float64(8*s.OneSidedElems)/1e6, s.OneSidedMsgs)
-			}
-		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var tracer *twoface.Tracer
+	if c.traceOut != "" {
+		tracer = twoface.NewTracer(0)
+	}
+	if c.report != "" {
+		twoface.DefaultMetrics().SetEnabled(true)
+	}
+
+	opts := twoface.Options{Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify}
+	if c.trace {
+		opts.TraceEvents = c.traceCap
+	}
+	if tracer != nil {
+		opts.SpanRecorder = tracer
+	}
+	sys, err := twoface.New(opts)
+	if err != nil {
+		return err
+	}
+
+	var (
+		res *twoface.Result
+		a   *twoface.SparseMatrix
+	)
+	switch {
+	case c.plan != "":
+		res, err = runPlan(sys, c)
 	default:
-		var base twoface.Baseline
-		switch strings.ToLower(*algo) {
-		case "ds1":
-			base = twoface.DenseShift1
-		case "ds2":
-			base = twoface.DenseShift2
-		case "ds4":
-			base = twoface.DenseShift4
-		case "ds8":
-			base = twoface.DenseShift8
-		case "allgather":
-			base = twoface.Allgather
-		case "asynccoarse":
-			base = twoface.AsyncCoarse
-		case "asyncfine":
-			base = twoface.AsyncFine
-		default:
-			fatal(fmt.Errorf("unknown algorithm %q", *algo))
-		}
-		res, err = sys.RunBaseline(base, a, b)
-		if twoface.IsOutOfMemory(err) {
-			fmt.Println("result: OUT OF MEMORY (replication exceeds the per-node budget)")
-			return
-		}
+		a, err = loadMatrix(c.in, c.name, c.scale, c.seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		res, err = runMatrix(sys, a, c)
+	}
+	if err != nil {
+		return err
+	}
+	if res == nil { // OOM already reported
+		return nil
 	}
 
-	if *verify {
-		want, err := twoface.Reference(a, b)
+	if c.verify && a != nil {
+		want, err := twoface.Reference(a, twoface.RandomDense(int(a.NumCols), c.k, c.seed+1))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if !res.C.AlmostEqual(want, 1e-9) {
-			fatal(fmt.Errorf("result does not match the reference kernel"))
+			return fmt.Errorf("result does not match the reference kernel")
 		}
 		fmt.Println("verified against the reference kernel")
 	}
 	report(res)
+
+	if c.trace {
+		fmt.Println("per-node transfer trace:")
+		for _, s := range twoface.SummarizeTrace(res.TraceEvents, res.TraceDropped, c.p) {
+			fmt.Printf("  node %d: %d events (%d dropped), %.2f MB collective, %.2f MB one-sided in %d regions\n",
+				s.Rank, s.Events, s.Dropped, float64(8*s.CollectiveElems)/1e6, float64(8*s.OneSidedElems)/1e6, s.OneSidedMsgs)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(c.traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("virtual-time trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", c.traceOut)
+	}
+	if c.report != "" {
+		if err := writeReport(c, res, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("run report: %s\n", c.report)
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func runPlan(sys *twoface.System, path string, k int, seed uint64) {
-	pl, err := sys.LoadPlan(path)
+func runMatrix(sys *twoface.System, a *twoface.SparseMatrix, c cli) (*twoface.Result, error) {
+	b := twoface.RandomDense(int(a.NumCols), c.k, c.seed+1)
+	st := a.ComputeStats()
+	fmt.Printf("A: %dx%d, %d nonzeros (avg %.2f/row); K=%d, p=%d, algo=%s\n",
+		st.NumRows, st.NumCols, st.NNZ, st.AvgPerRow, c.k, c.p, c.algo)
+
+	switch strings.ToLower(c.algo) {
+	case "twoface":
+		pl, err := sys.Preprocess(a)
+		if err != nil {
+			return nil, err
+		}
+		ps := pl.Stats()
+		fmt.Printf("classified: %d sync stripes, %d async stripes, fan-out avg %.1f\n",
+			ps.SyncStripes, ps.AsyncStripes, ps.AvgMulticastFanout)
+		return pl.Multiply(b)
+	default:
+		base, err := baselineFor(c.algo)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.RunBaseline(base, a, b)
+		if twoface.IsOutOfMemory(err) {
+			fmt.Println("result: OUT OF MEMORY (replication exceeds the per-node budget)")
+			return nil, nil
+		}
+		return res, err
+	}
+}
+
+func baselineFor(algo string) (twoface.Baseline, error) {
+	switch strings.ToLower(algo) {
+	case "ds1":
+		return twoface.DenseShift1, nil
+	case "ds2":
+		return twoface.DenseShift2, nil
+	case "ds4":
+		return twoface.DenseShift4, nil
+	case "ds8":
+		return twoface.DenseShift8, nil
+	case "allgather":
+		return twoface.Allgather, nil
+	case "asynccoarse":
+		return twoface.AsyncCoarse, nil
+	case "asyncfine":
+		return twoface.AsyncFine, nil
+	}
+	return "", fmt.Errorf("unknown algorithm %q", algo)
+}
+
+func runPlan(sys *twoface.System, c cli) (*twoface.Result, error) {
+	pl, err := sys.LoadPlan(c.plan)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	st := pl.Stats()
-	rows := st.TotalNNZ // plan stores nnz, not dims; report what we have
-	fmt.Printf("loaded plan: %d nonzeros, %d sync / %d async stripes\n", rows, st.SyncStripes, st.AsyncStripes)
-	// The plan knows its own dense width; B's rows come from the layout via
-	// a probe multiply with a fresh random input.
-	b := twoface.RandomDense(planCols(pl), k, seed+1)
-	res, err := pl.Multiply(b)
-	if err != nil {
-		fatal(err)
-	}
-	report(res)
+	fmt.Printf("loaded plan: %d nonzeros, %d sync / %d async stripes\n", st.TotalNNZ, st.SyncStripes, st.AsyncStripes)
+	// The plan knows B's required row count through its layout.
+	b := twoface.RandomDense(pl.NumCols(), c.k, c.seed+1)
+	return pl.Multiply(b)
 }
 
-// planCols infers B's row count by asking the plan's stats — the plan's
-// matrix is square in all registry workloads; for the general case the
-// executor validates and reports the expected shape in its error.
-func planCols(pl *twoface.Plan) int { return pl.NumCols() }
+func writeReport(c cli, res *twoface.Result, tracer *twoface.Tracer) error {
+	rep := twoface.NewRunReport("twoface-run")
+	rep.Config = map[string]any{
+		"in": c.in, "matrix": c.name, "plan": c.plan, "scale": c.scale,
+		"seed": c.seed, "algo": strings.ToLower(c.algo), "K": c.k, "p": c.p,
+		"verify": c.verify,
+	}
+	rep.SetRun(res.Breakdowns, res.Transfer, res.ModeledSeconds, res.Wall)
+	snap := twoface.DefaultMetrics().Snapshot()
+	rep.Metrics = &snap
+	if tracer != nil {
+		rep.Trace = tracer.Info()
+		rep.Trace.File = c.traceOut
+	}
+	return rep.WriteFile(c.report)
+}
 
 func report(res *twoface.Result) {
 	fmt.Printf("modeled time: %.4g s (wall %v)\n", res.ModeledSeconds, res.Wall)
@@ -148,6 +258,11 @@ func report(res *twoface.Result) {
 	fmt.Printf("  %4s  %10s %10s %10s %10s %10s\n", "node", "SyncComm", "SyncComp", "AsyncComm", "AsyncComp", "Other")
 	for i, bd := range res.Breakdowns {
 		fmt.Printf("  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g\n", i, bd.SyncComm, bd.SyncComp, bd.AsyncComm, bd.AsyncComp, bd.Other)
+	}
+	t := res.TotalTransfer
+	if t.TotalBytes() > 0 {
+		fmt.Printf("data moved: %.2f MB collective in %d ops, %.2f MB one-sided in %d regions\n",
+			float64(t.CollectiveBytes)/1e6, t.CollectiveMsgs, float64(t.OneSidedBytes)/1e6, t.OneSidedMsgs)
 	}
 }
 
@@ -169,9 +284,4 @@ func loadMatrix(in, name string, scale float64, seed uint64) (*twoface.SparseMat
 		return nil, fmt.Errorf("unknown matrix %q (see twoface-gen -list)", name)
 	}
 	return nil, fmt.Errorf("one of -in, -matrix, or -plan is required")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "twoface-run:", err)
-	os.Exit(1)
 }

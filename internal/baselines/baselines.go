@@ -124,10 +124,12 @@ func maxBlockElems(numCols int32, p, k int) int64 {
 }
 
 func finishResult(clu *cluster.Cluster, c *dense.Matrix, start time.Time) *core.Result {
-	return &core.Result{
+	res := &core.Result{
 		C:              c,
 		Breakdowns:     clu.Breakdowns(),
 		ModeledSeconds: clu.TotalTime(),
 		Wall:           time.Since(start),
 	}
+	res.FillObservability(clu)
+	return res
 }

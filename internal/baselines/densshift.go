@@ -54,7 +54,7 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 		if err := r.Barrier(); err != nil {
 			return err
 		}
-		r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(p))
+		r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(p))
 
 		// Initial intra-group allgather: pull the group's blocks from their
 		// owners' windows. The ring-allgather cost covers the c-1 remote
@@ -74,7 +74,7 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 			held[j] = buf
 		}
 		if c > 1 {
-			r.Charge(cluster.SyncComm, net.AllgatherCost(c, maxBlockElems(a.NumCols, p, k)))
+			r.ChargeOp(cluster.SyncComm, "allgather.group", net.AllgatherCost(c, maxBlockElems(a.NumCols, p, k)))
 		}
 
 		// p/c compute+shift steps. At step t this node holds the blocks of
@@ -99,7 +99,7 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 				stepNNZ += na.blockNNZ[blockID]
 			}
 			if stepNNZ > 0 {
-				r.Charge(cluster.SyncComp, net.SyncComputeCost(stepNNZ, k, opts.Threads))
+				r.ChargeOp(cluster.SyncComp, "compute.sync.step", net.SyncComputeCost(stepNNZ, k, opts.Threads))
 			}
 			if t == groups-1 {
 				break
@@ -114,7 +114,7 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 			// Unpack: the incoming set belongs to group (group - t - 1).
 			nextGroup := ((group-t-1)%groups + groups) % groups
 			held = unflatten(recvBuf, colBlocks, nextGroup, c, k)
-			r.Charge(cluster.SyncComm, net.SendrecvCost(int64(len(sendBuf))))
+			r.ChargeOp(cluster.SyncComm, "sendrecv.shift", net.SendrecvCost(int64(len(sendBuf))))
 		}
 		return r.Barrier()
 	})

@@ -41,13 +41,13 @@ func Allgather(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Option
 		net := r.Net()
 		na := nodes[r.ID]
 		cView := out.SliceRows(rowBlocks[r.ID])
-		r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(p))
+		r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(p))
 
 		all, err := r.Allgather(b.RowRange(colBlocks[r.ID].Lo, colBlocks[r.ID].Hi))
 		if err != nil {
 			return err
 		}
-		r.Charge(cluster.SyncComm, net.AllgatherCost(p, maxBlockElems(a.NumCols, p, k)))
+		r.ChargeOp(cluster.SyncComm, "allgather", net.AllgatherCost(p, maxBlockElems(a.NumCols, p, k)))
 
 		var nnz int64
 		for j := 0; j < p; j++ {
@@ -66,7 +66,7 @@ func Allgather(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Option
 			nnz += na.blockNNZ[j]
 		}
 		if nnz > 0 {
-			r.Charge(cluster.SyncComp, net.SyncComputeCost(nnz, k, opts.Threads))
+			r.ChargeOp(cluster.SyncComp, "compute.sync.block", net.SyncComputeCost(nnz, k, opts.Threads))
 		}
 		return r.Barrier()
 	})
@@ -119,7 +119,7 @@ func AsyncCoarse(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Opti
 		if err := r.Barrier(); err != nil {
 			return err
 		}
-		r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(p))
+		r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(p))
 
 		var nnz int64
 		for j := 0; j < p; j++ {
@@ -135,7 +135,7 @@ func AsyncCoarse(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Opti
 				if _, err := r.Get(j, "B", cluster.Region{Off: 0, Elems: blockElems}, buf); err != nil {
 					return err
 				}
-				r.Charge(cluster.AsyncComm, net.OneSidedCost(1, blockElems))
+				r.ChargeOp(cluster.AsyncComm, "get.block", net.OneSidedCost(1, blockElems))
 				data = buf
 			}
 			if !opts.SkipCompute {
@@ -150,7 +150,7 @@ func AsyncCoarse(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Opti
 			nnz += na.blockNNZ[j]
 		}
 		if nnz > 0 {
-			r.Charge(cluster.AsyncComp, net.SyncComputeCost(nnz, k, opts.Threads))
+			r.ChargeOp(cluster.AsyncComp, "compute.async.block", net.SyncComputeCost(nnz, k, opts.Threads))
 		}
 		return r.Barrier()
 	})

@@ -111,6 +111,31 @@ func (c *Cluster) Reset() {
 	}
 }
 
+// SpanRecorder observes virtual-time activity on the cluster's ranks. Span
+// is called once per Charge with the interval [start, end) on that
+// category's cumulative clock (intervals within one rank and category are
+// non-overlapping and tile the category total exactly); Instant is called
+// for zero-duration markers (barrier entry, epilogue flush), stamped at the
+// rank's current modeled makespan. Implementations must be safe for
+// concurrent use; obs.Tracer is the standard one. A nil recorder (the
+// default) costs one nil check per charge and leaves modeled time
+// bit-identical, since recording never feeds back into the simulation.
+type SpanRecorder interface {
+	Span(rank int, cat Category, op string, start, end float64)
+	Instant(rank int, op string, at float64)
+}
+
+// SetSpanRecorder attaches (or, with nil, detaches) a span recorder on
+// every rank. Call it before Run; charges made while it is attached are
+// reported as spans.
+func (c *Cluster) SetSpanRecorder(sr SpanRecorder) {
+	for _, r := range c.ranks {
+		r.mu.Lock()
+		r.rec = sr
+		r.mu.Unlock()
+	}
+}
+
 // Rank is one node's handle into the cluster. All methods are safe for use
 // by multiple goroutines of the same node (the paper's per-node OpenMP
 // threads map to goroutines sharing one Rank).
@@ -121,6 +146,7 @@ type Rank struct {
 
 	mu       sync.Mutex
 	bd       Breakdown
+	rec      SpanRecorder
 	counters transferCounters
 	trace    traceBuf
 }
@@ -129,26 +155,53 @@ type Rank struct {
 func (r *Rank) Net() NetModel { return r.c.net }
 
 // Charge adds dt seconds of virtual time to the given category of this
-// node's ledger. Negative charges are rejected.
+// node's ledger. Negative charges are rejected. An attached span recorder
+// sees the charge under the category's generic label; use ChargeOp to name
+// the phase.
 func (r *Rank) Charge(cat Category, dt float64) {
+	r.charge(cat, "", dt)
+}
+
+// ChargeOp is Charge with a phase label for span tracing: "multicast.recv",
+// "get.indexed", "compute.sync.panel", ... The label has no effect on the
+// ledger.
+func (r *Rank) ChargeOp(cat Category, op string, dt float64) {
+	r.charge(cat, op, dt)
+}
+
+func (r *Rank) charge(cat Category, op string, dt float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("cluster: negative charge %v to %v", dt, cat))
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	switch cat {
-	case SyncComm:
-		r.bd.SyncComm += dt
-	case SyncComp:
-		r.bd.SyncComp += dt
-	case AsyncComm:
-		r.bd.AsyncComm += dt
-	case AsyncComp:
-		r.bd.AsyncComp += dt
-	case Other:
-		r.bd.Other += dt
-	default:
+	f := r.bd.field(cat)
+	if f == nil {
+		r.mu.Unlock()
 		panic(fmt.Sprintf("cluster: unknown category %d", cat))
+	}
+	start := *f
+	*f += dt
+	end := *f
+	rec := r.rec
+	r.mu.Unlock()
+	if rec != nil {
+		if op == "" {
+			op = cat.String()
+		}
+		rec.Span(r.ID, cat, op, start, end)
+	}
+}
+
+// Instant reports a zero-duration marker to the attached span recorder,
+// stamped at this rank's current modeled makespan. A no-op without a
+// recorder.
+func (r *Rank) Instant(op string) {
+	r.mu.Lock()
+	rec := r.rec
+	at := r.bd.NodeTime()
+	r.mu.Unlock()
+	if rec != nil {
+		rec.Instant(r.ID, op, at)
 	}
 }
 
@@ -167,7 +220,9 @@ func (r *Rank) resetClock() {
 }
 
 // Barrier blocks until every rank has reached it. It returns an error if
-// the cluster was aborted by another rank's failure.
+// the cluster was aborted by another rank's failure. With a span recorder
+// attached, entry is reported as a "barrier" instant.
 func (r *Rank) Barrier() error {
+	r.Instant("barrier")
 	return r.c.barrier.wait()
 }

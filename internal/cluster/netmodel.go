@@ -208,6 +208,23 @@ func (b Breakdown) NodeTime() float64 {
 	return b.Other + sync
 }
 
+// field returns the ledger slot for a category, or nil if unknown.
+func (b *Breakdown) field(cat Category) *float64 {
+	switch cat {
+	case SyncComm:
+		return &b.SyncComm
+	case SyncComp:
+		return &b.SyncComp
+	case AsyncComm:
+		return &b.AsyncComm
+	case AsyncComp:
+		return &b.AsyncComp
+	case Other:
+		return &b.Other
+	}
+	return nil
+}
+
 // Plus returns the category-wise sum of two breakdowns.
 func (b Breakdown) Plus(o Breakdown) Breakdown {
 	return Breakdown{

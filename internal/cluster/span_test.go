@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordedSpan mirrors one SpanRecorder.Span call.
+type recordedSpan struct {
+	rank       int
+	cat        Category
+	op         string
+	start, end float64
+}
+
+type fakeRecorder struct {
+	mu       sync.Mutex
+	spans    []recordedSpan
+	instants []string
+}
+
+func (f *fakeRecorder) Span(rank int, cat Category, op string, start, end float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spans = append(f.spans, recordedSpan{rank, cat, op, start, end})
+}
+
+func (f *fakeRecorder) Instant(rank int, op string, at float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.instants = append(f.instants, op)
+}
+
+// TestSpanRecorderTiling checks the contract SetSpanRecorder documents: the
+// spans of one (rank, category) pair tile that category's ledger total
+// exactly — each span starts where the previous ended and the last end
+// equals the Breakdown entry bit-for-bit.
+func TestSpanRecorderTiling(t *testing.T) {
+	clu, err := New(1, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &fakeRecorder{}
+	clu.SetSpanRecorder(rec)
+	charges := []float64{1e-6, 2.5e-7, 3e-5, 4.25e-6}
+	err = clu.Run(func(r *Rank) error {
+		for _, dt := range charges {
+			r.ChargeOp(SyncComp, "compute", dt)
+		}
+		r.ChargeOp(AsyncComm, "get", 1e-6) // other categories don't interleave
+		r.Instant("epilogue.flush")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var syncSpans []recordedSpan
+	for _, s := range rec.spans {
+		if s.cat == SyncComp {
+			syncSpans = append(syncSpans, s)
+		}
+	}
+	if len(syncSpans) != len(charges) {
+		t.Fatalf("%d SyncComp spans, want %d", len(syncSpans), len(charges))
+	}
+	clock := 0.0
+	for i, s := range syncSpans {
+		if s.start != clock {
+			t.Fatalf("span %d starts at %g, previous ended at %g", i, s.start, clock)
+		}
+		if s.op != "compute" || s.rank != 0 {
+			t.Fatalf("span %d mislabeled: %+v", i, s)
+		}
+		clock = s.end
+	}
+	if bd := clu.Breakdowns()[0]; clock != bd.SyncComp {
+		t.Fatalf("last span end %g != ledger total %g", clock, bd.SyncComp)
+	}
+	if len(rec.instants) != 1 || rec.instants[0] != "epilogue.flush" {
+		t.Fatalf("instants = %v", rec.instants)
+	}
+}
+
+// TestSpanRecorderDefaultOp checks that a plain Charge reports the
+// category's generic label and that Barrier emits its instant.
+func TestSpanRecorderDefaultOp(t *testing.T) {
+	clu, err := New(2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &fakeRecorder{}
+	clu.SetSpanRecorder(rec)
+	err = clu.Run(func(r *Rank) error {
+		r.Charge(Other, 1e-9)
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.spans {
+		if s.op != Other.String() {
+			t.Fatalf("unnamed charge labeled %q, want %q", s.op, Other.String())
+		}
+	}
+	barriers := 0
+	for _, op := range rec.instants {
+		if op == "barrier" {
+			barriers++
+		}
+	}
+	if barriers != 2 {
+		t.Fatalf("%d barrier instants, want one per rank", barriers)
+	}
+}
+
+// TestModeledTimeUnchangedByRecorder is the off-by-default guarantee: the
+// same program with and without a recorder attached produces bit-identical
+// ledgers.
+func TestModeledTimeUnchangedByRecorder(t *testing.T) {
+	program := func(r *Rank) error {
+		r.ChargeOp(SyncComm, "multicast.recv", 1.00000000012e-5)
+		r.ChargeOp(SyncComp, "compute", 7.25e-6)
+		r.ChargeOp(AsyncComp, "stripe", 3.1e-7)
+		return r.Barrier()
+	}
+	run := func(rec SpanRecorder) []Breakdown {
+		clu, err := New(2, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu.SetSpanRecorder(rec)
+		if err := clu.Run(program); err != nil {
+			t.Fatal(err)
+		}
+		return clu.Breakdowns()
+	}
+	plain := run(nil)
+	traced := run(&fakeRecorder{})
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("rank %d: traced ledger %+v != plain %+v", i, traced[i], plain[i])
+		}
+	}
+}

@@ -1,6 +1,6 @@
 package cluster
 
-import "sync"
+import "sync/atomic"
 
 // TransferStats counts the actual data an algorithm moved through the
 // cluster's mechanics, independent of the virtual-time model. Because the
@@ -9,6 +9,11 @@ import "sync"
 // volume: an algorithm cannot under-report what it moved. The experiment
 // harness uses them for the communication-volume analysis that explains the
 // paper's speedups.
+//
+// Unit convention: all payloads in this repository are float64 elements, so
+// byte counters are exactly 8 x the element counts that the transfer
+// primitives (and the trace's Event.Elems) report. Event.Bytes applies the
+// same convention, so trace events and these stats cross-check directly.
 type TransferStats struct {
 	// CollectiveBytes counts payload received through collective primitives
 	// (multicast pulls, allgather, sendrecv shifts).
@@ -35,36 +40,46 @@ func (t TransferStats) Plus(o TransferStats) TransferStats {
 // TotalBytes returns all payload received by this rank.
 func (t TransferStats) TotalBytes() int64 { return t.CollectiveBytes + t.OneSidedBytes }
 
-// transferCounters is the mutable, mutex-guarded holder embedded in Rank.
+// transferCounters is the mutable holder embedded in Rank. The fields are
+// independent atomics rather than a mutex-guarded struct: the adds sit on
+// the one-sided hot path (every indexed get of every async stripe, from
+// multiple worker goroutines of the same rank), where four uncontended
+// atomic adds are markedly cheaper than a lock/unlock pair — see
+// BenchmarkTransferCounters. The trade-off is that a concurrent snapshot
+// may observe one transfer's fields partially applied; totals are exact
+// whenever the counters are quiescent (after Run returns), which is the
+// only time the harness reads them.
 type transferCounters struct {
-	mu sync.Mutex
-	ts TransferStats
+	collectiveBytes atomic.Int64
+	collectiveMsgs  atomic.Int64
+	oneSidedBytes   atomic.Int64
+	oneSidedMsgs    atomic.Int64
 }
 
 func (c *transferCounters) addCollective(elems int64, msgs int64) {
-	c.mu.Lock()
-	c.ts.CollectiveBytes += 8 * elems
-	c.ts.CollectiveMsgs += msgs
-	c.mu.Unlock()
+	c.collectiveBytes.Add(8 * elems)
+	c.collectiveMsgs.Add(msgs)
 }
 
 func (c *transferCounters) addOneSided(elems int64, msgs int64) {
-	c.mu.Lock()
-	c.ts.OneSidedBytes += 8 * elems
-	c.ts.OneSidedMsgs += msgs
-	c.mu.Unlock()
+	c.oneSidedBytes.Add(8 * elems)
+	c.oneSidedMsgs.Add(msgs)
 }
 
 func (c *transferCounters) snapshot() TransferStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ts
+	return TransferStats{
+		CollectiveBytes: c.collectiveBytes.Load(),
+		CollectiveMsgs:  c.collectiveMsgs.Load(),
+		OneSidedBytes:   c.oneSidedBytes.Load(),
+		OneSidedMsgs:    c.oneSidedMsgs.Load(),
+	}
 }
 
 func (c *transferCounters) reset() {
-	c.mu.Lock()
-	c.ts = TransferStats{}
-	c.mu.Unlock()
+	c.collectiveBytes.Store(0)
+	c.collectiveMsgs.Store(0)
+	c.oneSidedBytes.Store(0)
+	c.oneSidedMsgs.Store(0)
 }
 
 // TransferStats returns a copy of this rank's data-movement counters.

@@ -22,6 +22,10 @@ const (
 )
 
 // Event is one traced transfer, from the receiving rank's perspective.
+// Payload sizes are recorded in float64 elements, the unit the transfer
+// primitives work in; Bytes converts with the repository-wide 8-byte
+// convention shared with TransferStats, so summing Bytes over a rank's get
+// events reproduces that rank's OneSidedBytes exactly.
 type Event struct {
 	Rank  int     // the rank recording the event
 	Op    TraceOp // what kind of transfer
@@ -29,6 +33,10 @@ type Event struct {
 	Elems int64   // float64 elements received
 	Msgs  int64   // network transactions (regions for indexed gets)
 }
+
+// Bytes returns the event's payload in bytes (8 bytes per float64 element,
+// matching TransferStats' byte counters).
+func (e Event) Bytes() int64 { return 8 * e.Elems }
 
 func (e Event) String() string {
 	return fmt.Sprintf("rank %d %s peer=%d elems=%d msgs=%d", e.Rank, e.Op, e.Peer, e.Elems, e.Msgs)
@@ -95,12 +103,34 @@ func (c *Cluster) DisableTrace() {
 // Trace returns every rank's buffered events (rank-major order) and the
 // total number of events dropped to the per-rank cap.
 func (c *Cluster) Trace() ([]Event, int64) {
+	events, dropped := c.TraceByRank()
 	var all []Event
-	var dropped int64
-	for _, r := range c.ranks {
-		ev, d := r.trace.snapshot()
+	var total int64
+	for i, ev := range events {
 		all = append(all, ev...)
-		dropped += d
+		total += dropped[i]
 	}
-	return all, dropped
+	return all, total
+}
+
+// TraceByRank returns each rank's buffered events and per-rank dropped
+// counts, indexed by rank.
+func (c *Cluster) TraceByRank() ([][]Event, []int64) {
+	events := make([][]Event, c.p)
+	dropped := make([]int64, c.p)
+	for i, r := range c.ranks {
+		events[i], dropped[i] = r.trace.snapshot()
+	}
+	return events, dropped
+}
+
+// TraceEnabled reports whether transfer tracing is currently on.
+func (c *Cluster) TraceEnabled() bool {
+	if len(c.ranks) == 0 {
+		return false
+	}
+	t := &c.ranks[0].trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
 }

@@ -73,7 +73,7 @@ func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float
 		// true one-sided traffic pays it; multicast pulls (record=false)
 		// model root-driven collectives whose cost the root already carries.
 		if f := r.c.net.TargetContention; f > 0 && target != r.ID {
-			r.c.ranks[target].Charge(AsyncComm, f*r.c.net.OneSidedCost(len(regions), n))
+			r.c.ranks[target].ChargeOp(AsyncComm, "get.target_contention", f*r.c.net.OneSidedCost(len(regions), n))
 		}
 	}
 	return n, nil

@@ -10,6 +10,23 @@ import (
 	"twoface/internal/cluster"
 	"twoface/internal/dense"
 	"twoface/internal/kernels"
+	"twoface/internal/obs"
+)
+
+// Executor metrics, registered on the default registry and inert until it is
+// enabled (obs.Default.SetEnabled). Granularity is per stripe / per panel /
+// per get — never per nonzero — so even when enabled the cost is a handful
+// of atomic operations per work unit.
+var (
+	metricAsyncStripes  = obs.Default.Counter("exec.async.stripes")
+	metricSyncPanels    = obs.Default.Counter("exec.sync.panels")
+	metricQueueDepth    = obs.Default.Histogram("exec.async.queue_depth", obs.ExpBuckets(1, 2, 16))
+	metricStripeSeconds = obs.Default.Histogram("exec.async.stripe_seconds", obs.ExpBuckets(1e-8, 4, 18))
+	metricPanelSeconds  = obs.Default.Histogram("exec.sync.panel_seconds", obs.ExpBuckets(1e-8, 4, 18))
+	metricRegionsPerGet = obs.Default.Histogram("exec.async.regions_per_get", obs.ExpBuckets(1, 2, 16))
+	metricRegionElems   = obs.Default.Histogram("exec.async.region_elems", obs.ExpBuckets(8, 4, 14))
+	metricPoolAsyncGet  = obs.Default.Counter("core.pool.async.get")
+	metricPoolPanelGet  = obs.Default.Counter("core.pool.panel.get")
 )
 
 // ExecOptions controls the real goroutine parallelism of one node's
@@ -66,6 +83,34 @@ type Result struct {
 	// Wall is the wall-clock duration of the simulated run. It measures
 	// this host, not the modeled machine.
 	Wall time.Duration
+	// Transfer holds each rank's data-movement counters for this run, and
+	// TotalTransfer their cluster-wide sum (Table 5's accounting).
+	Transfer      []cluster.TransferStats
+	TotalTransfer cluster.TransferStats
+	// TraceEvents and TraceDropped carry the transfer trace when the
+	// cluster had tracing enabled: all ranks' events in rank-major order,
+	// and the number of events each rank dropped to its buffer cap.
+	TraceEvents  []cluster.Event
+	TraceDropped []int64
+}
+
+// FillObservability populates the transfer counters and (when tracing is
+// on) the transfer-trace view of a finished run, and publishes straggler
+// gauges when the metrics registry is live. The executors and baselines
+// call it after every run.
+func (res *Result) FillObservability(clu *cluster.Cluster) {
+	res.Transfer = clu.TransferStats()
+	res.TotalTransfer = clu.TotalTransfer()
+	if clu.TraceEnabled() {
+		events, dropped := clu.TraceByRank()
+		for _, ev := range events {
+			res.TraceEvents = append(res.TraceEvents, ev...)
+		}
+		res.TraceDropped = dropped
+	}
+	if obs.Default.Enabled() {
+		obs.RecordSkew(obs.Default, res.Breakdowns)
+	}
 }
 
 // Exec runs Two-Face (Algorithm 1) for C = A x B on the given cluster using
@@ -96,12 +141,14 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 
 	c := dense.New(int(prep.Layout.NumRows), k)
 	out.CopyTo(c.Data)
-	return &Result{
+	res := &Result{
 		C:              c,
 		Breakdowns:     clu.Breakdowns(),
 		ModeledSeconds: clu.TotalTime(),
 		Wall:           wall,
-	}, nil
+	}
+	res.FillObservability(clu)
+	return res, nil
 }
 
 // execNode is Algorithm 1 for one node.
@@ -127,7 +174,7 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 			rooted++
 		}
 	}
-	r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
+	r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
 
 	recvBufs := make([][]float64, layout.NumStripes())
 	syncReady := make(chan error, 1)
@@ -150,6 +197,7 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	for w := 0; w < opts.AsyncWorkers; w++ {
 		go func() {
 			defer wg.Done()
+			metricPoolAsyncGet.Inc()
 			ws := asyncScratchPool.Get().(*asyncScratch)
 			defer asyncScratchPool.Put(ws)
 			for {
@@ -157,6 +205,8 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 				if n >= nAsync {
 					return
 				}
+				metricAsyncStripes.Inc()
+				metricQueueDepth.Observe(float64(nAsync - n))
 				if err := processAsyncStripe(prep, b, r, np, out, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
 					asyncMu.Lock()
 					if asyncErr == nil {
@@ -185,6 +235,7 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	for w := 0; w < opts.SyncWorkers; w++ {
 		go func() {
 			defer panelWg.Done()
+			metricPoolPanelGet.Inc()
 			ws := panelScratchPool.Get().(*panelScratch)
 			defer panelScratchPool.Put(ws)
 			for {
@@ -192,6 +243,7 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 				if n >= nPanels {
 					return
 				}
+				metricSyncPanels.Inc()
 				if err := processSyncRowPanel(prep, r, np, out, resolver, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
 					panelMu.Lock()
 					if panelErr == nil {
@@ -211,6 +263,7 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	if panelErr != nil {
 		return panelErr
 	}
+	r.Instant("epilogue.flush")
 	return r.Barrier()
 }
 
@@ -227,7 +280,7 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 	for sid := lo; sid < hi; sid++ {
 		if n := len(prep.Dests[sid]); n > 0 {
 			elems := int64(layout.StripeWidthOf(sid)) * int64(k)
-			r.Charge(cluster.SyncComm, net.MulticastCost(elems, n))
+			r.ChargeOp(cluster.SyncComm, "multicast.root", net.MulticastCost(elems, n))
 		}
 	}
 
@@ -243,7 +296,7 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 			return err
 		}
 		recvBufs[sid] = buf
-		r.Charge(cluster.SyncComm, net.MulticastCost(elems, len(prep.Dests[sid])))
+		r.ChargeOp(cluster.SyncComm, "multicast.recv", net.MulticastCost(elems, len(prep.Dests[sid])))
 	}
 	return nil
 }
@@ -274,7 +327,14 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 	if _, err := r.GetIndexed(owner, "B", ws.regions, drows); err != nil {
 		return err
 	}
-	r.Charge(cluster.AsyncComm, net.OneSidedCost(len(ws.regions), fetchedRows*int64(k)))
+	commCost := net.OneSidedCost(len(ws.regions), fetchedRows*int64(k))
+	r.ChargeOp(cluster.AsyncComm, "get.indexed", commCost)
+	if obs.Default.Enabled() {
+		metricRegionsPerGet.Observe(float64(len(ws.regions)))
+		for _, reg := range ws.regions {
+			metricRegionElems.Observe(float64(reg.Elems))
+		}
+	}
 
 	if !skipCompute {
 		// Column-major walk: advance the unique-column cursor as the column
@@ -299,7 +359,9 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 		}
 	}
 	kept := float64(len(entries)) * smp.computeScale()
-	r.Charge(cluster.AsyncComp, net.AsyncComputeCost(int64(kept), k, params.ModelAsyncCompThreads, 1))
+	compCost := net.AsyncComputeCost(int64(kept), k, params.ModelAsyncCompThreads, 1)
+	r.ChargeOp(cluster.AsyncComp, "compute.async.stripe", compCost)
+	metricStripeSeconds.Observe(commCost + compCost)
 	return nil
 }
 
@@ -362,6 +424,8 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 		out.AddRange(base+int(prevRow)*k, acc)
 	}
 	kept := float64(len(panel)) * smp.computeScale()
-	r.Charge(cluster.SyncComp, net.SyncComputeCost(int64(kept), k, params.ModelSyncThreads))
+	cost := net.SyncComputeCost(int64(kept), k, params.ModelSyncThreads)
+	r.ChargeOp(cluster.SyncComp, "compute.sync.panel", cost)
+	metricPanelSeconds.Observe(cost)
 	return nil
 }

@@ -32,6 +32,9 @@ type SDDMMResult struct {
 	Breakdowns     []cluster.Breakdown
 	ModeledSeconds float64
 	Wall           time.Duration
+	// Transfer and TotalTransfer mirror core.Result's per-rank counters.
+	Transfer      []cluster.TransferStats
+	TotalTransfer cluster.TransferStats
 }
 
 // ExecSDDMM runs distributed SDDMM using an SpMM preprocessing plan. X must
@@ -75,6 +78,8 @@ func ExecSDDMM(prep *Prep, x, y *dense.Matrix, clu *cluster.Cluster, opts ExecOp
 		Breakdowns:     clu.Breakdowns(),
 		ModeledSeconds: clu.TotalTime(),
 		Wall:           wall,
+		Transfer:       clu.TransferStats(),
+		TotalTransfer:  clu.TotalTransfer(),
 	}, nil
 }
 
@@ -99,7 +104,7 @@ func sddmmNode(prep *Prep, x, y *dense.Matrix, r *cluster.Rank, opts ExecOptions
 			rooted++
 		}
 	}
-	r.Charge(cluster.Other, net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
+	r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
 
 	out := make([]sparse.NZ, 0, len(np.Sync.Entries)+len(np.Async.Entries))
 	var outMu sync.Mutex
@@ -209,7 +214,7 @@ func sddmmSyncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]
 	for sid := lo; sid < hi; sid++ {
 		if n := len(prep.Dests[sid]); n > 0 {
 			elems := int64(layout.StripeWidthOf(sid)) * int64(k)
-			r.Charge(cluster.SyncComm, net.MulticastCost(elems, n))
+			r.ChargeOp(cluster.SyncComm, "multicast.root", net.MulticastCost(elems, n))
 		}
 	}
 	for _, sid := range np.RecvStripes {
@@ -223,7 +228,7 @@ func sddmmSyncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]
 			return err
 		}
 		recvBufs[sid] = buf
-		r.Charge(cluster.SyncComm, net.MulticastCost(elems, len(prep.Dests[sid])))
+		r.ChargeOp(cluster.SyncComm, "multicast.recv", net.MulticastCost(elems, len(prep.Dests[sid])))
 	}
 	return nil
 }
@@ -246,7 +251,7 @@ func sddmmAsyncStripe(prep *Prep, x *dense.Matrix, r *cluster.Rank, np *NodePart
 	if _, err := r.GetIndexed(owner, "Y", regions, yrows); err != nil {
 		return nil, err
 	}
-	r.Charge(cluster.AsyncComm, net.OneSidedCost(len(regions), fetchedRows*int64(k)))
+	r.ChargeOp(cluster.AsyncComm, "get.indexed", net.OneSidedCost(len(regions), fetchedRows*int64(k)))
 
 	var out []sparse.NZ
 	if !skipCompute {
@@ -261,7 +266,7 @@ func sddmmAsyncStripe(prep *Prep, x *dense.Matrix, r *cluster.Rank, np *NodePart
 			out[i] = sparse.NZ{Row: np.RowLo + e.Row, Col: e.Col, Val: e.Val * dotProduct(xrow, yrow)}
 		}
 	}
-	r.Charge(cluster.AsyncComp, net.AsyncComputeCost(int64(len(entries)), k, params.ModelAsyncCompThreads, 1))
+	r.ChargeOp(cluster.AsyncComp, "compute.async.stripe", net.AsyncComputeCost(int64(len(entries)), k, params.ModelAsyncCompThreads, 1))
 	return out, nil
 }
 
@@ -285,7 +290,7 @@ func sddmmSyncPanel(prep *Prep, x *dense.Matrix, r *cluster.Rank, np *NodePart, 
 			out[i] = sparse.NZ{Row: np.RowLo + e.Row, Col: e.Col, Val: e.Val * dotProduct(xrow, yrow)}
 		}
 	}
-	r.Charge(cluster.SyncComp, net.SyncComputeCost(int64(len(panel)), k, params.ModelSyncThreads))
+	r.ChargeOp(cluster.SyncComp, "compute.sync.panel", net.SyncComputeCost(int64(len(panel)), k, params.ModelSyncThreads))
 	return out, nil
 }
 

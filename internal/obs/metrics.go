@@ -1,0 +1,262 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms), a virtual-time span tracer that renders whole runs as
+// Chrome/Perfetto-loadable Gantt charts, and structured machine-readable run
+// reports. Everything is off by default: with the registry disabled and no
+// span recorder attached, instrumentation reduces to a single atomic load on
+// already-cold paths and modeled time is bit-identical to an uninstrumented
+// run (virtual-time charges never depend on observation).
+//
+// The split mirrors the cluster package's mechanics-vs-model separation:
+// cluster and core report *what happened* (spans, counts, sizes); obs stores
+// and exports it without ever feeding back into the simulation.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of named metrics. Registration
+// is idempotent: asking for an existing name returns the existing metric, so
+// packages may register handles in package-level var blocks without
+// coordination. A disabled registry (the initial state) turns every Add /
+// Set / Observe into a single atomic load and branch.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Default is the process-wide registry that the executor and workspace
+// instrumentation write to. It starts disabled.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// SetEnabled turns metric collection on or off. Metrics registered while
+// disabled still exist; they simply ignore updates.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Reset zeroes every registered metric (the registrations survive).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+		g.set.Store(false)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{reg: r}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{reg: r}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds on first use (an implicit +Inf
+// overflow bucket is always appended). Re-registering an existing name
+// returns the existing histogram; the bounds argument is then ignored.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	upper := make([]float64, len(bounds))
+	copy(upper, bounds)
+	sort.Float64s(upper)
+	h := &Histogram{reg: r, upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and multiplying by factor: start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// Add increments the counter by n when the registry is enabled.
+func (c *Counter) Add(n int64) {
+	if c.reg.enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one when the registry is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 (last write wins).
+type Gauge struct {
+	reg  *Registry
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set stores v when the registry is enabled.
+func (g *Gauge) Set(v float64) {
+	if g.reg.enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+		g.set.Store(true)
+	}
+}
+
+// Value returns the last stored value (0 if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts and a
+// lock-free running sum. Bucket i counts observations v <= upper[i]; the
+// final bucket is the +Inf overflow.
+type Histogram struct {
+	reg    *Registry
+	upper  []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records v when the registry is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !h.reg.enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramSnapshot is the JSON-friendly view of a histogram.
+type HistogramSnapshot struct {
+	// UpperBounds are the finite bucket upper bounds; Counts has one more
+	// entry, the +Inf overflow bucket.
+	UpperBounds []float64 `json:"upper_bounds"`
+	Counts      []int64   `json:"counts"`
+	Count       int64     `json:"count"`
+	Sum         float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every touched metric, ordered by
+// encoding/json's sorted-key map marshaling. Untouched metrics (zero
+// counters, never-set gauges, empty histograms) are omitted so reports only
+// carry signal.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			s.Counters[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		if g.set.Load() {
+			if s.Gauges == nil {
+				s.Gauges = map[string]float64{}
+			}
+			s.Gauges[name] = g.Value()
+		}
+	}
+	for name, h := range r.histograms {
+		if h.Count() == 0 {
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		hs := HistogramSnapshot{
+			UpperBounds: append([]float64(nil), h.upper...),
+			Counts:      make([]int64, len(h.counts)),
+			Count:       h.Count(),
+			Sum:         h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGatedOnEnabled(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a")
+	c.Inc()
+	c.Add(5)
+	if v := c.Value(); v != 0 {
+		t.Fatalf("disabled counter advanced to %d", v)
+	}
+	reg.SetEnabled(true)
+	c.Inc()
+	c.Add(5)
+	if v := c.Value(); v != 6 {
+		t.Fatalf("counter = %d, want 6", v)
+	}
+	reg.SetEnabled(false)
+	c.Inc()
+	if v := c.Value(); v != 6 {
+		t.Fatalf("counter advanced while disabled: %d", v)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g")
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("disabled gauge took a value")
+	}
+	reg.SetEnabled(true)
+	g.Set(3.5)
+	g.Set(-1.25)
+	if v := g.Value(); v != -1.25 {
+		t.Fatalf("gauge = %g, want -1.25 (last write wins)", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+2+50+1000; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	snap := reg.Snapshot().Histograms["h"]
+	// v <= 1 -> bucket 0; v <= 10 -> bucket 1; v <= 100 -> bucket 2; overflow.
+	if want := []int64{2, 1, 1, 1}; !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	if want := []float64{1, 10, 100}; !reflect.DeepEqual(snap.UpperBounds, want) {
+		t.Fatalf("upper bounds = %v, want %v", snap.UpperBounds, want)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("Counter re-registration returned a new handle")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Fatal("Gauge re-registration returned a new handle")
+	}
+	h := reg.Histogram("x", []float64{1, 2})
+	if reg.Histogram("x", []float64{99}) != h {
+		t.Fatal("Histogram re-registration returned a new handle")
+	}
+	if got := len(h.upper); got != 2 {
+		t.Fatalf("re-registration rewrote bounds: %d", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	if want := []float64{1, 2, 4, 8}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotOmitsUntouchedAndRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("touched").Inc()
+	reg.Counter("untouched")
+	reg.Gauge("set").Set(0) // explicitly set to zero: must survive
+	reg.Gauge("never")
+	reg.Histogram("observed", []float64{1}).Observe(0.5)
+	reg.Histogram("empty", []float64{1})
+
+	snap := reg.Snapshot()
+	if _, ok := snap.Counters["untouched"]; ok {
+		t.Fatal("zero counter present in snapshot")
+	}
+	if _, ok := snap.Gauges["never"]; ok {
+		t.Fatal("never-set gauge present in snapshot")
+	}
+	if _, ok := snap.Gauges["set"]; !ok {
+		t.Fatal("explicitly zero gauge dropped from snapshot")
+	}
+	if _, ok := snap.Histograms["empty"]; ok {
+		t.Fatal("empty histogram present in snapshot")
+	}
+
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot did not round-trip:\n%+v\n%+v", snap, back)
+	}
+}
+
+func TestReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	c := reg.Counter("c")
+	c.Add(7)
+	g := reg.Gauge("g")
+	g.Set(1)
+	h := reg.Histogram("h", []float64{1})
+	h.Observe(2)
+	reg.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("Reset snapshot not empty: %+v", snap)
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("registration did not survive Reset")
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines, including
+// concurrent registration and snapshots, and checks the final totals. Run
+// under -race it doubles as the metrics data-race test.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	const (
+		workers = 8
+		iters   = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared")
+			h := reg.Histogram("lat", ExpBuckets(1, 2, 8))
+			g := reg.Gauge("last")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 7))
+				g.Set(float64(i))
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Counters["shared"]; got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	h := snap.Histograms["lat"]
+	if h.Count != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+	var perWorker float64
+	for i := 0; i < iters; i++ {
+		perWorker += float64(i % 7)
+	}
+	if h.Sum != perWorker*workers {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum, perWorker*workers)
+	}
+}

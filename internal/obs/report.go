@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"twoface/internal/cluster"
+)
+
+// Structured run reports: one JSON document per run, carrying everything a
+// later analysis (or a regression bot diffing two PRs) needs — the
+// configuration, the per-rank modeled-time breakdown, the honest
+// data-movement counters, a metrics snapshot, and build provenance. The
+// trajectory file (BENCH_runs.json) is the append-only history of such
+// documents across sessions, the run-level sibling of BENCH_kernels.json.
+
+// RankReport is one rank's slice of a run report.
+type RankReport struct {
+	Rank      int                   `json:"rank"`
+	Breakdown cluster.Breakdown     `json:"breakdown"`
+	NodeTime  float64               `json:"node_time"`
+	Transfer  cluster.TransferStats `json:"transfer"`
+}
+
+// Skew summarizes load imbalance across ranks: the straggler's modeled
+// makespan against the mean.
+type Skew struct {
+	MaxNodeTime  float64 `json:"max_node_time"`
+	MeanNodeTime float64 `json:"mean_node_time"`
+	MaxOverMean  float64 `json:"max_over_mean"`
+}
+
+// TraceInfo summarizes an attached span tracer.
+type TraceInfo struct {
+	Spans          int     `json:"spans"`
+	Instants       int     `json:"instants"`
+	DroppedPerRank []int64 `json:"dropped_per_rank,omitempty"`
+	File           string  `json:"file,omitempty"`
+}
+
+// Report is one run's machine-readable record.
+type Report struct {
+	Tool      string         `json:"tool"`
+	GoVersion string         `json:"go_version"`
+	Commit    string         `json:"commit,omitempty"`
+	Config    map[string]any `json:"config"`
+
+	ModeledSeconds float64               `json:"modeled_seconds"`
+	WallSeconds    float64               `json:"wall_seconds"`
+	Breakdown      cluster.Breakdown     `json:"breakdown_total"`
+	Ranks          []RankReport          `json:"ranks,omitempty"`
+	Transfer       cluster.TransferStats `json:"transfer_total"`
+	Skew           *Skew                 `json:"skew,omitempty"`
+
+	Metrics *Snapshot  `json:"metrics,omitempty"`
+	Trace   *TraceInfo `json:"trace,omitempty"`
+}
+
+// NewReport starts a report for the named tool, stamped with the build's Go
+// version and (when the binary carries VCS build info) commit hash.
+func NewReport(tool string) *Report {
+	r := &Report{Tool: tool, GoVersion: runtime.Version(), Config: map[string]any{}}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				r.Commit = s.Value
+			}
+		}
+	}
+	return r
+}
+
+// SetRun fills the run outcome: per-rank breakdowns and transfer counters,
+// the modeled makespan, wall-clock duration, and the derived totals and
+// straggler skew. breakdowns and transfers must be rank-aligned (transfers
+// may be nil when unavailable).
+func (r *Report) SetRun(breakdowns []cluster.Breakdown, transfers []cluster.TransferStats, modeled float64, wall time.Duration) {
+	r.ModeledSeconds = modeled
+	r.WallSeconds = wall.Seconds()
+	r.Ranks = r.Ranks[:0]
+	r.Breakdown = cluster.Breakdown{}
+	r.Transfer = cluster.TransferStats{}
+	var sum, max float64
+	for i, bd := range breakdowns {
+		rr := RankReport{Rank: i, Breakdown: bd, NodeTime: bd.NodeTime()}
+		if i < len(transfers) {
+			rr.Transfer = transfers[i]
+			r.Transfer = r.Transfer.Plus(transfers[i])
+		}
+		r.Breakdown = r.Breakdown.Plus(bd)
+		sum += rr.NodeTime
+		if rr.NodeTime > max {
+			max = rr.NodeTime
+		}
+		r.Ranks = append(r.Ranks, rr)
+	}
+	if n := len(breakdowns); n > 0 {
+		mean := sum / float64(n)
+		sk := Skew{MaxNodeTime: max, MeanNodeTime: mean}
+		if mean > 0 {
+			sk.MaxOverMean = max / mean
+		}
+		r.Skew = &sk
+	}
+}
+
+// Validate sanity-checks the report before it is written: a run report must
+// carry a positive modeled time and per-rank entries consistent with the
+// reported makespan.
+func (r *Report) Validate() error {
+	if r.ModeledSeconds <= 0 {
+		return fmt.Errorf("obs: report has non-positive modeled time %g", r.ModeledSeconds)
+	}
+	var max float64
+	for _, rr := range r.Ranks {
+		if t := rr.Breakdown.NodeTime(); t > max {
+			max = t
+		}
+	}
+	if len(r.Ranks) > 0 && !approxEqual(max, r.ModeledSeconds) {
+		return fmt.Errorf("obs: report makespan %g disagrees with max rank node time %g", r.ModeledSeconds, max)
+	}
+	return nil
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return d <= 1e-9*scale
+}
+
+// WriteFile validates the report and writes it as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// AppendTrajectory appends entry to the JSON array stored at path, creating
+// the file if needed. The write is atomic (temp file + rename), so a crash
+// never corrupts the history.
+func AppendTrajectory(path string, entry any) error {
+	var arr []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &arr); err != nil {
+			return fmt.Errorf("obs: %s is not a JSON array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	arr = append(arr, raw)
+	out, err := json.MarshalIndent(arr, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RecordSkew publishes straggler gauges for the given breakdowns into the
+// registry (exec.node_time.max, exec.node_time.mean, exec.node_time.skew).
+func RecordSkew(reg *Registry, breakdowns []cluster.Breakdown) {
+	if len(breakdowns) == 0 {
+		return
+	}
+	var sum, max float64
+	for _, bd := range breakdowns {
+		t := bd.NodeTime()
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	mean := sum / float64(len(breakdowns))
+	reg.Gauge("exec.node_time.max").Set(max)
+	reg.Gauge("exec.node_time.mean").Set(mean)
+	if mean > 0 {
+		reg.Gauge("exec.node_time.skew").Set(max / mean)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"twoface/internal/cluster"
+)
+
+// Span tracing on virtual time. The cluster's per-rank ledgers already
+// accumulate modeled seconds by category; the tracer additionally records
+// each individual charge as a [start, end) interval on that category's
+// cumulative clock. Within one (rank, category) pair charges are serialized
+// by the rank's mutex, so the intervals tile the category's total exactly:
+// the sum of span durations per rank and category equals the rank's
+// Breakdown entry bit-for-bit. Exported as Chrome trace-event JSON, a run
+// renders as a per-rank Gantt chart (one process per rank, one track per
+// category) in chrome://tracing or https://ui.perfetto.dev — the
+// reproduction's own Figure 10, zoomable.
+
+// Span is one recorded virtual-time interval.
+type Span struct {
+	Rank  int              `json:"rank"`
+	Cat   cluster.Category `json:"cat"`
+	Op    string           `json:"op"`
+	Start float64          `json:"start"` // virtual seconds on the category clock
+	End   float64          `json:"end"`
+}
+
+// Instant is a zero-duration marker (barrier entry, epilogue flush) stamped
+// at the rank's current modeled makespan.
+type Instant struct {
+	Rank int     `json:"rank"`
+	Op   string  `json:"op"`
+	At   float64 `json:"at"`
+}
+
+// Tracer collects spans from a cluster run. It implements
+// cluster.SpanRecorder; attach it with Cluster.SetSpanRecorder (or the
+// twoface facade's trace options) before Run. Storage is bounded per rank;
+// past the cap, spans are dropped but their durations still accumulate into
+// the per-category totals, so Totals stays exact regardless.
+type Tracer struct {
+	mu       sync.Mutex
+	limit    int
+	spans    []Span
+	instants []Instant
+	perRank  []int   // stored span count per rank
+	dropped  []int64 // dropped span count per rank
+	totals   []cluster.Breakdown
+}
+
+// DefaultSpanLimit is the per-rank stored-span cap when NewTracer is given
+// a non-positive limit.
+const DefaultSpanLimit = 1 << 20
+
+// NewTracer returns an empty tracer with the given per-rank span cap
+// (<= 0 uses DefaultSpanLimit).
+func NewTracer(perRankLimit int) *Tracer {
+	if perRankLimit <= 0 {
+		perRankLimit = DefaultSpanLimit
+	}
+	return &Tracer{limit: perRankLimit}
+}
+
+func (t *Tracer) grow(rank int) {
+	for len(t.perRank) <= rank {
+		t.perRank = append(t.perRank, 0)
+		t.dropped = append(t.dropped, 0)
+		t.totals = append(t.totals, cluster.Breakdown{})
+	}
+}
+
+// Span records one charge interval. It is safe for concurrent use.
+func (t *Tracer) Span(rank int, cat cluster.Category, op string, start, end float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.grow(rank)
+	t.totals[rank] = t.totals[rank].Plus(breakdownOf(cat, end-start))
+	if t.perRank[rank] >= t.limit {
+		t.dropped[rank]++
+		return
+	}
+	t.perRank[rank]++
+	t.spans = append(t.spans, Span{Rank: rank, Cat: cat, Op: op, Start: start, End: end})
+}
+
+// Instant records a zero-duration marker. It is safe for concurrent use.
+func (t *Tracer) Instant(rank int, op string, at float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.grow(rank)
+	t.instants = append(t.instants, Instant{Rank: rank, Op: op, At: at})
+}
+
+// breakdownOf returns a Breakdown with dt in the given category.
+func breakdownOf(cat cluster.Category, dt float64) cluster.Breakdown {
+	var b cluster.Breakdown
+	switch cat {
+	case cluster.SyncComm:
+		b.SyncComm = dt
+	case cluster.SyncComp:
+		b.SyncComp = dt
+	case cluster.AsyncComm:
+		b.AsyncComm = dt
+	case cluster.AsyncComp:
+		b.AsyncComp = dt
+	default:
+		b.Other = dt
+	}
+	return b
+}
+
+// Reset clears all recorded spans, instants, totals, and drop counts.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans, t.instants, t.perRank, t.dropped, t.totals = nil, nil, nil, nil, nil
+}
+
+// Spans returns a copy of the stored spans.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Totals returns each rank's per-category span-duration sums. Because every
+// charge contributes (stored or dropped), these equal the cluster's
+// Breakdowns for the traced run.
+func (t *Tracer) Totals() []cluster.Breakdown {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]cluster.Breakdown(nil), t.totals...)
+}
+
+// Dropped returns the per-rank count of spans dropped to the storage cap.
+func (t *Tracer) Dropped() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int64(nil), t.dropped...)
+}
+
+// Info summarizes the tracer's contents for a run report.
+func (t *Tracer) Info() *TraceInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := &TraceInfo{Spans: len(t.spans), Instants: len(t.instants)}
+	for _, d := range t.dropped {
+		if d > 0 {
+			info.DroppedPerRank = append([]int64(nil), t.dropped...)
+			break
+		}
+	}
+	return info
+}
+
+// ChromeTraceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// complete spans use ph "X" with ts/dur in microseconds; instants use ph
+// "i"; metadata events (ph "M") name the per-rank processes and
+// per-category threads.
+type ChromeTraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the trace-event format, the shape
+// both chrome://tracing and Perfetto load directly.
+type ChromeTrace struct {
+	TraceEvents     []ChromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+	OtherData       map[string]string  `json:"otherData,omitempty"`
+}
+
+// chromeCategories orders the per-rank tracks top-to-bottom in the viewer.
+var chromeCategories = []cluster.Category{
+	cluster.SyncComm, cluster.SyncComp, cluster.AsyncComm, cluster.AsyncComp, cluster.Other,
+}
+
+// ChromeTrace assembles the recorded spans into a trace-event document.
+// Virtual seconds map to trace microseconds (ts = 1e6 * start).
+func (t *Tracer) ChromeTrace() *ChromeTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ct := &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"clock": "virtual (modeled) time", "source": "twoface span tracer"},
+	}
+	for rank := range t.perRank {
+		ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+			Name: "process_name", Ph: "M", Pid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+		for _, cat := range chromeCategories {
+			ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+				Name: "thread_name", Ph: "M", Pid: rank, Tid: int(cat),
+				Args: map[string]any{"name": cat.String()},
+			})
+		}
+	}
+	for _, s := range t.spans {
+		ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+			Name: s.Op, Cat: s.Cat.String(), Ph: "X",
+			Ts: 1e6 * s.Start, Dur: 1e6 * (s.End - s.Start),
+			Pid: s.Rank, Tid: int(s.Cat),
+		})
+	}
+	for _, in := range t.instants {
+		ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+			Name: in.Op, Ph: "i", Ts: 1e6 * in.At,
+			Pid: in.Rank, Tid: int(cluster.Other), S: "t",
+		})
+	}
+	return ct
+}
+
+// WriteChromeTrace writes the trace-event JSON document to w.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.ChromeTrace())
+}
+
+// WriteChromeTraceFile writes the trace-event JSON document to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

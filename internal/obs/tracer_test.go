@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"twoface/internal/cluster"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func approxEq(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+// TestTracerConcurrent records spans from many goroutines across several
+// ranks and checks that the per-rank totals are exact. Run under -race it
+// doubles as the span-recording data-race test.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0)
+	const (
+		ranks = 4
+		iters = 500
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var clock float64
+			for i := 0; i < iters; i++ {
+				tr.Span(rank, cluster.SyncComp, "compute", clock, clock+1e-6)
+				clock += 1e-6
+				tr.Instant(rank, "mark", clock)
+			}
+		}(r)
+	}
+	wg.Wait()
+	totals := tr.Totals()
+	if len(totals) != ranks {
+		t.Fatalf("totals for %d ranks, want %d", len(totals), ranks)
+	}
+	for r, bd := range totals {
+		if want := iters * 1e-6; !approxEq(bd.SyncComp, want) {
+			t.Fatalf("rank %d SyncComp = %g, want %g", r, bd.SyncComp, want)
+		}
+	}
+	if got := len(tr.Spans()); got != ranks*iters {
+		t.Fatalf("%d spans stored, want %d", got, ranks*iters)
+	}
+	for _, d := range tr.Dropped() {
+		if d != 0 {
+			t.Fatalf("unexpected drops: %v", tr.Dropped())
+		}
+	}
+}
+
+// TestTracerDropCap checks that the per-rank cap drops spans but keeps the
+// totals exact, and that Info reports the drop counts.
+func TestTracerDropCap(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		start := float64(i)
+		tr.Span(0, cluster.AsyncComm, "get", start, start+0.5)
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("%d spans stored, want 2", got)
+	}
+	if d := tr.Dropped(); len(d) != 1 || d[0] != 3 {
+		t.Fatalf("dropped = %v, want [3]", d)
+	}
+	if got := tr.Totals()[0].AsyncComm; !approxEq(got, 2.5) {
+		t.Fatalf("total = %g, want 2.5 (drops must still accumulate)", got)
+	}
+	info := tr.Info()
+	if info.Spans != 2 || len(info.DroppedPerRank) != 1 || info.DroppedPerRank[0] != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	tr.Reset()
+	if len(tr.Spans()) != 0 || len(tr.Totals()) != 0 || tr.Info().Spans != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+// goldenRun drives a deterministic 2-rank cluster run with the tracer
+// attached. Ranks take turns via a token channel so the recorded span order
+// (and therefore the exported JSON) is reproducible byte-for-byte.
+func goldenRun(t *testing.T, tr *Tracer) *cluster.Cluster {
+	t.Helper()
+	clu, err := cluster.New(2, cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu.SetSpanRecorder(tr)
+	turn := make(chan int, 1)
+	turn <- 0
+	err = clu.Run(func(r *cluster.Rank) error {
+		for phase := 0; phase < 2; phase++ {
+			for got := range turn {
+				if got == r.ID {
+					break
+				}
+				turn <- got
+			}
+			scale := float64(r.ID + 1)
+			r.ChargeOp(cluster.SyncComm, "multicast.recv", 1e-5*scale)
+			r.ChargeOp(cluster.SyncComp, "compute.sync.panel", 3e-5*scale)
+			r.ChargeOp(cluster.AsyncComm, "get.indexed", 2e-6*scale)
+			r.ChargeOp(cluster.AsyncComp, "compute.async.stripe", 4e-6*scale)
+			r.Charge(cluster.Other, 1e-6)
+			r.Instant("epilogue.flush")
+			turn <- (r.ID + 1) % 2
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clu
+}
+
+// TestChromeTraceGolden runs a deterministic 2-rank cluster, exports the
+// Chrome trace-event JSON, schema-checks it by unmarshalling, verifies the
+// per-rank span totals equal the cluster's virtual-time breakdown, and
+// compares the bytes against the checked-in golden file
+// (go test ./internal/obs -run Golden -update to regenerate).
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(0)
+	clu := goldenRun(t, tr)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema check: the document must unmarshal into the trace-event shape
+	// Perfetto loads, with the fields the viewer keys on.
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("trace JSON does not unmarshal: %v", err)
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	var meta, complete, instants int
+	durByRankCat := map[[2]int]float64{}
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			if _, ok := ev.Args["name"]; !ok {
+				t.Fatalf("metadata event without args.name: %+v", ev)
+			}
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.Ts < 0 || ev.Name == "" {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+			durByRankCat[[2]int{ev.Pid, ev.Tid}] += ev.Dur
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Fatalf("instant event without thread scope: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+		if ev.Pid < 0 || ev.Pid >= clu.P() {
+			t.Fatalf("event pid %d out of range", ev.Pid)
+		}
+	}
+	if meta != clu.P()*(1+5) { // process_name + five category tracks per rank
+		t.Fatalf("%d metadata events, want %d", meta, clu.P()*6)
+	}
+	if complete != 2*2*5 { // 2 phases x 2 ranks x 5 charges
+		t.Fatalf("%d complete events, want 20", complete)
+	}
+	if instants != 2*2 { // two explicit flushes per rank, no barriers in goldenRun
+		t.Fatalf("%d instant events, want 4", instants)
+	}
+
+	// Span totals must equal the cluster's own ledger, category by category
+	// (trace microseconds vs ledger seconds).
+	for rank, bd := range clu.Breakdowns() {
+		for cat, want := range map[int]float64{
+			int(cluster.SyncComm):  bd.SyncComm,
+			int(cluster.SyncComp):  bd.SyncComp,
+			int(cluster.AsyncComm): bd.AsyncComm,
+			int(cluster.AsyncComp): bd.AsyncComp,
+			int(cluster.Other):     bd.Other,
+		} {
+			if got := durByRankCat[[2]int{rank, cat}] / 1e6; !approxEq(got, want) {
+				t.Fatalf("rank %d cat %d: span total %g != breakdown %g", rank, cat, got, want)
+			}
+		}
+	}
+	// And the tracer's running totals match the ledger too.
+	for rank, bd := range tr.Totals() {
+		if want := clu.Breakdowns()[rank]; bd != want {
+			t.Fatalf("rank %d tracer totals %+v != breakdown %+v", rank, bd, want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON differs from %s (run with -update to regenerate)\ngot:  %s\nwant: %s",
+			golden, truncate(buf.String()), truncate(string(want)))
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}
+
+func TestTracerInstantOrdering(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Instant(1, "barrier", 0.5)
+	ct := tr.ChromeTrace()
+	found := false
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "i" && ev.Name == "barrier" {
+			found = true
+			if ev.Ts != 0.5e6 || ev.Pid != 1 {
+				t.Fatalf("instant mapped wrong: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("instant missing from Chrome trace")
+	}
+}

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate: vet, build, race-enabled tests, and a smoke pass over the
-# kernel microbenchmarks. ROADMAP.md documents this as the check every PR
-# must keep green. Run from anywhere inside the repo.
+# Tier-1 gate: formatting, vet, build, race-enabled tests, a smoke pass over
+# the kernel microbenchmarks, and an end-to-end observability smoke.
+# ROADMAP.md documents this as the check every PR must keep green. Run from
+# anywhere inside the repo.
 set -euo pipefail
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -17,5 +26,14 @@ go test -race ./...
 echo "== kernel benchmark smoke (1 iteration each)"
 go test -run '^$' -bench '^BenchmarkKernel(Axpy|AsyncStripeAccumulate|PanelMultiply)$' \
     -benchtime 1x .
+
+echo "== observability smoke (trace + report on a small run)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface -verify=false \
+    -trace -trace-out "$tmp/run.trace.json" -report "$tmp/run.json" >/dev/null
+grep -q '"traceEvents"' "$tmp/run.trace.json"
+grep -q '"go_version"' "$tmp/run.json"
+grep -q '"modeled_seconds"' "$tmp/run.json"
 
 echo "== check.sh: all green"

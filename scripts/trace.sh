@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run one Two-Face SpMM and drop a ready-to-open virtual-time trace.
+#
+#   scripts/trace.sh [matrix] [scale] [extra twoface-run flags...]
+#
+# Defaults: matrix=web, scale=0.25. The trace lands in ./run.trace.json and
+# the matching report in ./run.json; open the trace at
+# https://ui.perfetto.dev or chrome://tracing.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+matrix="${1:-web}"
+scale="${2:-0.25}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+go run ./cmd/twoface-run -matrix "$matrix" -scale "$scale" -algo twoface \
+    -verify=false -trace -trace-out run.trace.json -report run.json "$@"
+
+echo
+echo "trace:  run.trace.json  (open at https://ui.perfetto.dev)"
+echo "report: run.json"

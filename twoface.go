@@ -39,6 +39,7 @@ import (
 	"twoface/internal/dense"
 	"twoface/internal/gen"
 	"twoface/internal/model"
+	"twoface/internal/obs"
 	"twoface/internal/sparse"
 )
 
@@ -62,7 +63,34 @@ type (
 	SDDMMResult = core.SDDMMResult
 	// PrepStats summarizes a preprocessing run.
 	PrepStats = core.PrepStats
+	// TransferStats are one rank's honest data-movement counters.
+	TransferStats = cluster.TransferStats
+	// TraceEvent is one traced transfer (see Options.TraceEvents).
+	TraceEvent = cluster.Event
+	// SpanRecorder observes virtual-time spans (see Options.SpanRecorder).
+	SpanRecorder = cluster.SpanRecorder
+	// Tracer collects virtual-time spans and exports Chrome trace JSON.
+	Tracer = obs.Tracer
+	// Metrics is the counter/gauge/histogram registry of internal/obs.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's values.
+	MetricsSnapshot = obs.Snapshot
+	// RunReport is the structured JSON document describing one run.
+	RunReport = obs.Report
 )
+
+// NewTracer returns an empty virtual-time span tracer (per-rank span cap;
+// <= 0 uses the default). Attach it through Options.SpanRecorder.
+func NewTracer(perRankLimit int) *Tracer { return obs.NewTracer(perRankLimit) }
+
+// DefaultMetrics returns the process-wide metrics registry that the
+// executor's instrumentation writes to. It starts disabled; call
+// SetEnabled(true) before a run to collect.
+func DefaultMetrics() *Metrics { return obs.Default }
+
+// NewRunReport starts a run report for the named tool, stamped with build
+// provenance (Go version, VCS commit when available).
+func NewRunReport(tool string) *RunReport { return obs.NewReport(tool) }
 
 // NewSparse returns an empty sparse matrix with the given shape.
 func NewSparse(rows, cols int32) *SparseMatrix { return sparse.NewCOO(rows, cols, 0) }
