@@ -57,6 +57,14 @@ type Options struct {
 	// the standard recorder and its Chrome-trace exporter). Nil keeps
 	// instrumentation off and modeled time bit-identical.
 	SpanRecorder SpanRecorder
+	// Chaos, when non-nil, attaches the seeded fault plan to every cluster
+	// the system creates: stragglers stretch virtual-time charges, one-sided
+	// gets suffer transient failures (retried with backoff, degrading to the
+	// synchronous path when the budget runs out), multicast legs straggle or
+	// fail, and ranks crash at virtual times. Survivable plans leave the
+	// computed C bit-identical to the fault-free run. Nil keeps the machine
+	// healthy and the fault machinery entirely out of the hot path.
+	Chaos *FaultPlan
 }
 
 // System is a configured simulated cluster ready to preprocess and multiply.
@@ -149,6 +157,13 @@ func (s *System) newCluster(net NetModel) (*cluster.Cluster, error) {
 	}
 	if s.opts.SpanRecorder != nil {
 		clu.SetSpanRecorder(s.opts.SpanRecorder)
+	}
+	if s.opts.Chaos != nil {
+		inj, err := s.opts.Chaos.Injector(s.opts.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		clu.SetFaultInjector(inj)
 	}
 	return clu, nil
 }

@@ -1,0 +1,279 @@
+package twoface
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"twoface/internal/chaos"
+	"twoface/internal/cluster"
+	"twoface/internal/core"
+)
+
+// The chaos harness: Two-Face and every baseline run under randomized
+// seeded fault plans, and each run must (a) produce a result bit-identical
+// to the fault-free run — survivable faults are absorbed by retry and
+// degradation, never by changing what data moves — and (b) inflate the
+// modeled makespan by a bounded, non-negative amount that the resilience
+// counters attribute.
+
+const chaosNodes = 4
+
+var chaosAlgos = []string{"twoface", "DS1", "DS2", "Allgather", "AsyncCoarse", "AsyncFine"}
+
+func chaosWorkload(t *testing.T) (*SparseMatrix, *DenseMatrix) {
+	t.Helper()
+	a := Generate("queen", 0.02, 42)
+	return a, RandomDense(int(a.NumCols), 8, 1)
+}
+
+// runChaosAlgo executes one algorithm on a fresh system, under the given
+// fault plan (nil = healthy).
+func runChaosAlgo(t *testing.T, algo string, a *SparseMatrix, b *DenseMatrix, plan *FaultPlan) *Result {
+	t.Helper()
+	sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols, Chaos: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	if algo == "twoface" {
+		pl, err := sys.Preprocess(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = pl.Multiply(b)
+		if err != nil {
+			t.Fatalf("%s under chaos: %v", algo, err)
+		}
+		return res
+	}
+	res, err = sys.RunBaseline(Baseline(algo), a, b)
+	if err != nil {
+		t.Fatalf("%s under chaos: %v", algo, err)
+	}
+	return res
+}
+
+func bitIdentical(x, y *DenseMatrix) error {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return fmt.Errorf("shape %dx%d vs %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			return fmt.Errorf("element %d: %v vs %v", i, x.Data[i], y.Data[i])
+		}
+	}
+	return nil
+}
+
+// ulpEquivalent accepts the reassociation noise of concurrent accumulation:
+// multi-worker runs reorder float additions by scheduling, so even two
+// fault-free runs of the async algorithms differ by ~1e-13 relative. Any
+// element past 1e-9 means wrong data moved, not reordered sums — see
+// TestChaosSingleWorkerExact for the bit-exact single-worker case.
+func ulpEquivalent(x, y *DenseMatrix) error {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return fmt.Errorf("shape %dx%d vs %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		if !within(x.Data[i], y.Data[i], 1e-9) {
+			return fmt.Errorf("element %d: %v vs %v", i, x.Data[i], y.Data[i])
+		}
+	}
+	return nil
+}
+
+// TestChaosSurvivableBitExact is the tentpole acceptance test: randomized
+// survivable fault plans leave every algorithm's result identical to the
+// fault-free run — up to the reassociation ulps multi-worker scheduling
+// already introduces between two healthy runs — with non-negative
+// attributed makespan inflation.
+func TestChaosSurvivableBitExact(t *testing.T) {
+	a, b := chaosWorkload(t)
+	clean := map[string]*Result{}
+	for _, algo := range chaosAlgos {
+		clean[algo] = runChaosAlgo(t, algo, a, b, nil)
+	}
+	for _, seed := range []uint64{3, 11, 27} {
+		plan := RandomFaultPlan(seed, chaosNodes)
+		if !plan.Survivable() {
+			t.Fatalf("seed %d: RandomFaultPlan must be survivable", seed)
+		}
+		var anyFaulted bool
+		for _, algo := range chaosAlgos {
+			res := runChaosAlgo(t, algo, a, b, plan)
+			if err := ulpEquivalent(res.C, clean[algo].C); err != nil {
+				t.Errorf("seed %d, %s: result differs from fault-free run: %v", seed, algo, err)
+			}
+			rs := res.TotalResilience
+			if rs.Faulted() {
+				anyFaulted = true
+			}
+			// Inflation is bounded below by zero: the plan only stretches
+			// charges (factors >= 1) and adds retry/backoff/delay time.
+			infl := res.ModeledSeconds - clean[algo].ModeledSeconds
+			if infl < -1e-12*clean[algo].ModeledSeconds {
+				t.Errorf("seed %d, %s: chaotic makespan %v below fault-free %v", seed, algo, res.ModeledSeconds, clean[algo].ModeledSeconds)
+			}
+			// Attribution: whenever the run absorbed faults, the counters
+			// must carry the time the ledger was inflated by.
+			if rs.Faulted() && rs.BackoffSeconds+rs.DelaySeconds > 0 && infl <= 0 {
+				t.Errorf("seed %d, %s: %v backoff+delay absorbed but makespan did not move", seed, algo, rs.BackoffSeconds+rs.DelaySeconds)
+			}
+			if len(res.Resilience) != chaosNodes {
+				t.Errorf("seed %d, %s: per-rank resilience missing (%d entries)", seed, algo, len(res.Resilience))
+			}
+		}
+		if !anyFaulted {
+			t.Errorf("seed %d: no algorithm recorded any fault handling; the plan is vacuous", seed)
+		}
+	}
+}
+
+// TestChaosSameSeedReproduces: the same -chaos-seed replays identical fault
+// events — exact integer retry/degradation counts — and a modeled makespan
+// identical to float tolerance (concurrent workers may reorder float
+// summation by ulps; see TestChaosSingleWorkerExact for the exact case).
+func TestChaosSameSeedReproduces(t *testing.T) {
+	a, b := chaosWorkload(t)
+	plan := RandomFaultPlan(7, chaosNodes)
+	first := runChaosAlgo(t, "twoface", a, b, plan)
+	for i := 0; i < 3; i++ {
+		res := runChaosAlgo(t, "twoface", a, b, plan)
+		if err := ulpEquivalent(res.C, first.C); err != nil {
+			t.Fatalf("replay %d: C differs: %v", i, err)
+		}
+		for rank := range res.Resilience {
+			got, want := res.Resilience[rank], first.Resilience[rank]
+			if got.GetRetries != want.GetRetries || got.GetExhausted != want.GetExhausted ||
+				got.Degradations != want.Degradations || got.DegradedElems != want.DegradedElems ||
+				got.LegRetries != want.LegRetries {
+				t.Fatalf("replay %d, rank %d: fault counts differ: %+v vs %+v", i, rank, got, want)
+			}
+			if !within(got.BackoffSeconds, want.BackoffSeconds, 1e-9) || !within(got.DelaySeconds, want.DelaySeconds, 1e-9) {
+				t.Fatalf("replay %d, rank %d: fault seconds differ: %+v vs %+v", i, rank, got, want)
+			}
+		}
+		if !within(res.ModeledSeconds, first.ModeledSeconds, 1e-9) {
+			t.Fatalf("replay %d: makespan %v vs %v", i, res.ModeledSeconds, first.ModeledSeconds)
+		}
+	}
+}
+
+func within(a, b, rel float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*math.Max(scale, 1e-300)
+}
+
+// TestChaosSingleWorkerExact: with one worker per queue there is no
+// concurrent float summation, so the same seed reproduces the modeled
+// makespan and every resilience counter bit-for-bit.
+func TestChaosSingleWorkerExact(t *testing.T) {
+	a, b := chaosWorkload(t)
+	plan := RandomFaultPlan(7, chaosNodes)
+
+	runOnce := func() (*core.Result, []cluster.ResilienceStats) {
+		sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := sys.Net(a.NumRows)
+		params := core.Params{P: chaosNodes, K: b.Cols, W: 8, Coef: DeriveCoefficients(net)}
+		prep, err := core.Preprocess(a, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu, err := cluster.New(chaosNodes, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := plan.Injector(chaosNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu.SetFaultInjector(inj)
+		res, err := core.Exec(prep, b, clu, core.ExecOptions{AsyncWorkers: 1, SyncWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Resilience
+	}
+
+	r1, s1 := runOnce()
+	r2, s2 := runOnce()
+	if r1.ModeledSeconds != r2.ModeledSeconds {
+		t.Errorf("single-worker makespan not bit-identical: %v vs %v", r1.ModeledSeconds, r2.ModeledSeconds)
+	}
+	for rank := range s1 {
+		if s1[rank] != s2[rank] {
+			t.Errorf("rank %d: resilience not bit-identical: %+v vs %+v", rank, s1[rank], s2[rank])
+		}
+	}
+	if err := bitIdentical(r1.C, r2.C); err != nil {
+		t.Errorf("single-worker C not bit-identical: %v", err)
+	}
+}
+
+// TestChaosTraceAttribution: retries and degradations surface as trace
+// events, so the exported trace attributes the inflation.
+func TestChaosTraceAttribution(t *testing.T) {
+	a, b := chaosWorkload(t)
+	plan := RandomFaultPlan(7, chaosNodes)
+	sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols, Chaos: plan, TraceEvents: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Multiply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TotalResilience.Faulted() {
+		t.Skip("plan injected nothing on this workload; nothing to attribute")
+	}
+	var retries, degrades int
+	for _, ev := range res.TraceEvents {
+		switch ev.Op {
+		case cluster.TraceRetry:
+			retries++
+		case cluster.TraceDegrade:
+			degrades++
+		}
+	}
+	if int64(retries) != res.TotalResilience.GetRetries+res.TotalResilience.LegRetries {
+		t.Errorf("trace has %d retry events, counters say %d", retries, res.TotalResilience.GetRetries+res.TotalResilience.LegRetries)
+	}
+	if int64(degrades) != res.TotalResilience.Degradations {
+		t.Errorf("trace has %d degrade events, counters say %d", degrades, res.TotalResilience.Degradations)
+	}
+}
+
+// TestChaosCrashFailsCleanly: a non-survivable plan (rank crash) must fail
+// the run with typed errors, not hang it, and the error must be observable
+// through the public facade.
+func TestChaosCrashFailsCleanly(t *testing.T) {
+	a, b := chaosWorkload(t)
+	plan := &FaultPlan{Crashes: []chaos.Crash{{Rank: 1, At: 1e-12}}}
+	sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols, Chaos: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pl.Multiply(b)
+	if err == nil {
+		t.Fatal("crash plan must fail the multiply")
+	}
+	if !errors.Is(err, cluster.ErrCrashed) {
+		t.Errorf("error %v does not wrap ErrCrashed", err)
+	}
+	if !errors.Is(err, cluster.ErrAborted) {
+		t.Errorf("error %v does not wrap ErrAborted", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"twoface/internal/chaos"
 	"twoface/internal/harness"
 	"twoface/internal/obs"
 )
@@ -35,6 +36,8 @@ func main() {
 		verify     = flag.Bool("verify", false, "run real arithmetic (slow) instead of timing-only mode")
 		full       = flag.Bool("full", false, "extend fig11 to 32 and 64 nodes")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "run every algorithm under a random survivable fault plan with this seed (0 = off)")
+		faultPlan  = flag.String("fault-plan", "", "run every algorithm under the JSON fault plan at this path")
 		report     = flag.String("report", "", "write a structured JSON report of this invocation")
 		runsFile   = flag.String("runs-file", "BENCH_runs.json", "trajectory file appended to when -report is set (empty disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
@@ -60,6 +63,20 @@ func main() {
 
 	start := time.Now()
 	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify}
+	switch {
+	case *faultPlan != "" && *chaosSeed != 0:
+		fmt.Fprintln(os.Stderr, "twoface-bench: use -chaos-seed or -fault-plan, not both")
+		os.Exit(1)
+	case *faultPlan != "":
+		plan, err := chaos.LoadFile(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		cfg.Chaos = plan
+	case *chaosSeed != 0:
+		cfg.Chaos = chaos.RandomPlan(*chaosSeed, *p)
+	}
 	if err := run(cfg, strings.ToLower(*exp), *full, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
 		os.Exit(1)
@@ -95,6 +112,9 @@ func writeReport(path, runsFile string, cfg harness.Config, exp string, wall tim
 	rep.Config = map[string]any{
 		"exp": exp, "scale": cfg.Scale, "p": cfg.P, "seed": cfg.Seed,
 		"workers": cfg.Workers, "verify": cfg.Verify,
+	}
+	if cfg.Chaos != nil {
+		rep.Config["chaos_seed"] = cfg.Chaos.Seed
 	}
 	rep.WallSeconds = wall.Seconds()
 	snap := obs.Default.Snapshot()

@@ -15,11 +15,20 @@
 //	-report r.json       write a structured JSON run report
 //	-cpuprofile p.out    write a pprof CPU profile of the (wall-clock) run
 //	-memprofile m.out    write a pprof heap profile at exit
+//
+// Fault injection (any algorithm):
+//
+//	-chaos-seed 7        run under a random survivable fault plan; with
+//	                     -verify the result is checked against a fault-free
+//	                     twin run (bit-exact, or ulp-level for algorithms
+//	                     that accumulate concurrently)
+//	-fault-plan f.json   run under a hand-written fault plan
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,6 +50,9 @@ type cli struct {
 	report     string
 	cpuProfile string
 	memProfile string
+	chaosSeed  uint64
+	faultPlan  string
+	quiet      bool // suppress progress prints (fault-free twin run)
 }
 
 func main() {
@@ -57,6 +69,8 @@ func main() {
 	flag.BoolVar(&c.trace, "trace", false, "print a per-node transfer trace summary")
 	flag.StringVar(&c.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the run's virtual-time spans")
 	flag.IntVar(&c.traceCap, "trace-cap", 1<<16, "per-node transfer-trace event cap for -trace")
+	flag.Uint64Var(&c.chaosSeed, "chaos-seed", 0, "run under a random survivable fault plan with this seed (0 = off)")
+	flag.StringVar(&c.faultPlan, "fault-plan", "", "run under the JSON fault plan at this path")
 	flag.StringVar(&c.report, "report", "", "write a structured JSON run report")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile")
@@ -92,7 +106,12 @@ func run(c cli) error {
 		twoface.DefaultMetrics().SetEnabled(true)
 	}
 
-	opts := twoface.Options{Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify}
+	chaosPlan, err := resolveFaultPlan(c)
+	if err != nil {
+		return err
+	}
+
+	opts := twoface.Options{Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify, Chaos: chaosPlan}
 	if c.trace {
 		opts.TraceEvents = c.traceCap
 	}
@@ -135,6 +154,11 @@ func run(c cli) error {
 		}
 		fmt.Println("verified against the reference kernel")
 	}
+	if chaosPlan != nil {
+		if err := reportChaos(c, a, res, chaosPlan); err != nil {
+			return err
+		}
+	}
 	report(res)
 
 	if c.trace {
@@ -173,11 +197,101 @@ func run(c cli) error {
 	return nil
 }
 
+// resolveFaultPlan turns the chaos flags into a fault plan (nil = healthy).
+func resolveFaultPlan(c cli) (*twoface.FaultPlan, error) {
+	switch {
+	case c.faultPlan != "" && c.chaosSeed != 0:
+		return nil, fmt.Errorf("use -chaos-seed or -fault-plan, not both")
+	case c.faultPlan != "":
+		return twoface.LoadFaultPlan(c.faultPlan)
+	case c.chaosSeed != 0:
+		return twoface.RandomFaultPlan(c.chaosSeed, c.p), nil
+	}
+	return nil, nil
+}
+
+// reportChaos prints the resilience summary of a chaotic run and, when the
+// plan is survivable and verification is on, replays the run on a healthy
+// twin system and checks the two results are bit-identical — the headline
+// guarantee of the degradation design.
+func reportChaos(c cli, a *twoface.SparseMatrix, res *twoface.Result, plan *twoface.FaultPlan) error {
+	rs := res.TotalResilience
+	fmt.Printf("chaos: %d get retries (%d exhausted), %d degradations (%.2f MB re-fetched synchronously), %d leg retries, %.3g s backoff, %.3g s injected delay\n",
+		rs.GetRetries, rs.GetExhausted, rs.Degradations, float64(8*rs.DegradedElems)/1e6, rs.LegRetries, rs.BackoffSeconds, rs.DelaySeconds)
+	if !c.verify || !plan.Survivable() {
+		return nil
+	}
+	twinCfg := c
+	twinCfg.quiet = true
+	twinSys, err := twoface.New(twoface.Options{Nodes: c.p, DenseColumns: c.k})
+	if err != nil {
+		return err
+	}
+	var twin *twoface.Result
+	if c.plan != "" {
+		twin, err = runPlan(twinSys, twinCfg)
+	} else {
+		twin, err = runMatrix(twinSys, a, twinCfg)
+	}
+	if err != nil {
+		return fmt.Errorf("fault-free twin run: %w", err)
+	}
+	maxRel, err := compareTwin(res.C, twin.C)
+	if err != nil {
+		return fmt.Errorf("chaos: result differs from the fault-free run: %w", err)
+	}
+	inflation := fmt.Sprintf("makespan %.4g s vs %.4g s fault-free, %+.1f%%",
+		res.ModeledSeconds, twin.ModeledSeconds, 100*(res.ModeledSeconds/twin.ModeledSeconds-1))
+	if maxRel == 0 {
+		fmt.Printf("chaos: bit-exact with the fault-free run (%s)\n", inflation)
+	} else {
+		// Some algorithms accumulate C concurrently, so two healthy runs
+		// already differ by reassociation ulps (DESIGN.md section 7); the
+		// twin check then asserts ulp-level agreement, not bit equality.
+		fmt.Printf("chaos: matches the fault-free run within float tolerance (max rel diff %.2g; %s)\n",
+			maxRel, inflation)
+	}
+	return nil
+}
+
+// twinRelTol bounds the per-element relative difference accepted between a
+// chaotic run and its fault-free twin. Concurrent accumulation reorders
+// float additions by scheduling, so even two fault-free runs of the async
+// baselines differ by ~1e-13; anything past this bound means the chaos
+// layer moved wrong data, not just reassociated the same sums.
+const twinRelTol = 1e-9
+
+// compareTwin returns the maximum per-element relative difference between
+// the two results (0 when bit-identical), or an error when the shapes
+// mismatch or any element diverges past twinRelTol.
+func compareTwin(a, b *twoface.DenseMatrix) (float64, error) {
+	if a == nil || b == nil || a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, fmt.Errorf("result shape mismatch")
+	}
+	var maxRel float64
+	for i, v := range a.Data {
+		w := b.Data[i]
+		if v == w {
+			continue
+		}
+		rel := math.Abs(v-w) / math.Max(math.Max(math.Abs(v), math.Abs(w)), 1)
+		if rel > twinRelTol {
+			return 0, fmt.Errorf("element %d: %v vs %v (rel %.2g)", i, v, w, rel)
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel, nil
+}
+
 func runMatrix(sys *twoface.System, a *twoface.SparseMatrix, c cli) (*twoface.Result, error) {
 	b := twoface.RandomDense(int(a.NumCols), c.k, c.seed+1)
-	st := a.ComputeStats()
-	fmt.Printf("A: %dx%d, %d nonzeros (avg %.2f/row); K=%d, p=%d, algo=%s\n",
-		st.NumRows, st.NumCols, st.NNZ, st.AvgPerRow, c.k, c.p, c.algo)
+	if !c.quiet {
+		st := a.ComputeStats()
+		fmt.Printf("A: %dx%d, %d nonzeros (avg %.2f/row); K=%d, p=%d, algo=%s\n",
+			st.NumRows, st.NumCols, st.NNZ, st.AvgPerRow, c.k, c.p, c.algo)
+	}
 
 	switch strings.ToLower(c.algo) {
 	case "twoface":
@@ -185,9 +299,11 @@ func runMatrix(sys *twoface.System, a *twoface.SparseMatrix, c cli) (*twoface.Re
 		if err != nil {
 			return nil, err
 		}
-		ps := pl.Stats()
-		fmt.Printf("classified: %d sync stripes, %d async stripes, fan-out avg %.1f\n",
-			ps.SyncStripes, ps.AsyncStripes, ps.AvgMulticastFanout)
+		if !c.quiet {
+			ps := pl.Stats()
+			fmt.Printf("classified: %d sync stripes, %d async stripes, fan-out avg %.1f\n",
+				ps.SyncStripes, ps.AsyncStripes, ps.AvgMulticastFanout)
+		}
 		return pl.Multiply(b)
 	default:
 		base, err := baselineFor(c.algo)
@@ -228,8 +344,10 @@ func runPlan(sys *twoface.System, c cli) (*twoface.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := pl.Stats()
-	fmt.Printf("loaded plan: %d nonzeros, %d sync / %d async stripes\n", st.TotalNNZ, st.SyncStripes, st.AsyncStripes)
+	if !c.quiet {
+		st := pl.Stats()
+		fmt.Printf("loaded plan: %d nonzeros, %d sync / %d async stripes\n", st.TotalNNZ, st.SyncStripes, st.AsyncStripes)
+	}
 	// The plan knows B's required row count through its layout.
 	b := twoface.RandomDense(pl.NumCols(), c.k, c.seed+1)
 	return pl.Multiply(b)
@@ -242,7 +360,14 @@ func writeReport(c cli, res *twoface.Result, tracer *twoface.Tracer) error {
 		"seed": c.seed, "algo": strings.ToLower(c.algo), "K": c.k, "p": c.p,
 		"verify": c.verify,
 	}
+	if c.chaosSeed != 0 {
+		rep.Config["chaos_seed"] = c.chaosSeed
+	}
+	if c.faultPlan != "" {
+		rep.Config["fault_plan"] = c.faultPlan
+	}
 	rep.SetRun(res.Breakdowns, res.Transfer, res.ModeledSeconds, res.Wall)
+	rep.SetResilience(res.TotalResilience)
 	snap := twoface.DefaultMetrics().Snapshot()
 	rep.Metrics = &snap
 	if tracer != nil {

@@ -112,6 +112,29 @@ func validate(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster) error {
 	return nil
 }
 
+// getOrDegrade pulls one contiguous region from a peer's window
+// one-sidedly. When an attached fault plan exhausts the retry budget for
+// that get, it degrades to the reliable synchronous path instead of
+// failing the run: the same elements are re-fetched via SyncFallbackPull
+// and the resend is charged to SyncComm as "degrade.refetch", so every
+// baseline completes bit-exactly under survivable fault plans just like
+// Two-Face. Reports whether the degraded path was taken; on the normal
+// path the caller charges the one-sided cost itself.
+func getOrDegrade(r *cluster.Rank, target int, name string, reg cluster.Region, dst []float64) (bool, error) {
+	_, err := r.Get(target, name, reg, dst)
+	if err == nil {
+		return false, nil
+	}
+	if !errors.Is(err, cluster.ErrRetryExhausted) {
+		return false, err
+	}
+	if _, err := r.SyncFallbackPull(target, name, []cluster.Region{reg}, dst); err != nil {
+		return false, err
+	}
+	r.ChargeOp(cluster.SyncComm, "degrade.refetch", r.Net().MulticastCost(reg.Elems, 1))
+	return true, nil
+}
+
 // maxBlockElems returns the size in elements of the largest B block.
 func maxBlockElems(numCols int32, p, k int) int64 {
 	var max int64

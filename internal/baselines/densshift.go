@@ -68,7 +68,7 @@ func DenseShift(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, c int, opt
 			if owner == r.ID {
 				// The node's own block never crosses the network.
 				copy(buf, b.RowRange(ownerBlock.Lo, ownerBlock.Hi))
-			} else if _, err := r.Get(owner, "B", cluster.Region{Off: 0, Elems: int64(len(buf))}, buf); err != nil {
+			} else if _, err := getOrDegrade(r, owner, "B", cluster.Region{Off: 0, Elems: int64(len(buf))}, buf); err != nil {
 				return err
 			}
 			held[j] = buf

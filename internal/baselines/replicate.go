@@ -132,10 +132,13 @@ func AsyncCoarse(a *sparse.COO, b *dense.Matrix, clu *cluster.Cluster, opts Opti
 				data = b.RowRange(colBlocks[j].Lo, colBlocks[j].Hi)
 			} else {
 				buf := make([]float64, blockElems)
-				if _, err := r.Get(j, "B", cluster.Region{Off: 0, Elems: blockElems}, buf); err != nil {
+				degraded, err := getOrDegrade(r, j, "B", cluster.Region{Off: 0, Elems: blockElems}, buf)
+				if err != nil {
 					return err
 				}
-				r.ChargeOp(cluster.AsyncComm, "get.block", net.OneSidedCost(1, blockElems))
+				if !degraded {
+					r.ChargeOp(cluster.AsyncComm, "get.block", net.OneSidedCost(1, blockElems))
+				}
 				data = buf
 			}
 			if !opts.SkipCompute {

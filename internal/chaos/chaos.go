@@ -1,0 +1,237 @@
+// Package chaos is the deterministic fault-injection subsystem of the
+// simulated cluster: seeded, reproducible fault plans that perturb the
+// virtual-time machine the way a real Slingshot-class fabric misbehaves at
+// scale — straggling nodes and links, transient one-sided get failures,
+// delayed or lost multicast legs, and outright rank crashes.
+//
+// A Plan is pure data (JSON-serializable, hand-writable); Plan.Injector
+// compiles it into the cluster.FaultInjector the runtime consults on every
+// charge and transfer. Determinism is the design center: fault decisions
+// are pure functions of the plan seed and a transfer's stable identity
+// (origin, target, offset, size, attempt number) — never of goroutine
+// scheduling — so the same seed replays the same faults, the same retry
+// and degradation counts, and the same modeled-time inflation, no matter
+// how the host interleaves the simulation.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"twoface/internal/cluster"
+)
+
+// Straggler slows one rank down by a multiplicative factor.
+type Straggler struct {
+	// Rank is the afflicted node. Ranks outside the cluster are ignored,
+	// so one plan can serve a node-count sweep.
+	Rank int `json:"rank"`
+	// Factor multiplies the rank's charges (> 1 slows it; must be > 0).
+	Factor float64 `json:"factor"`
+}
+
+// GetFault afflicts a deterministic subset of one-sided gets with
+// transient failures. A get is identified by (origin, target, first region
+// offset, total elements); it is afflicted when the seeded hash of that
+// identity falls below Prob. An afflicted get's first Fails attempts fail
+// (the rank retries with backoff charged to virtual time); if Fails
+// reaches the retry budget the get exhausts it and the caller degrades to
+// the synchronous fallback path.
+type GetFault struct {
+	// Origin restricts the fault to gets issued by this rank; -1 = any.
+	Origin int `json:"origin"`
+	// Target restricts the fault to gets reading from this rank; -1 = any.
+	Target int `json:"target"`
+	// Prob is the probability a matching get is afflicted, in [0, 1].
+	Prob float64 `json:"prob"`
+	// Fails is how many consecutive attempts of an afflicted get fail
+	// (default 1). Set it at or above the retry budget's MaxAttempts to
+	// force degradation.
+	Fails int `json:"fails,omitempty"`
+	// Delay adds virtual seconds to the afflicted get's first successful
+	// attempt (a straggling link rather than a hard failure).
+	Delay float64 `json:"delay,omitempty"`
+}
+
+// LegFault afflicts multicast legs: the per-destination pulls of the
+// collective multicast tree. Identity is (destination, root, offset,
+// elements), hashed like GetFault. Because the collective path is the
+// machine's reliable substrate (and the degradation fallback), a leg whose
+// Fails reaches the retry budget aborts the run — keep Fails below
+// MaxAttempts for survivable plans.
+type LegFault struct {
+	// Origin restricts the fault to this destination rank; -1 = any.
+	Origin int `json:"origin"`
+	// Root restricts the fault to multicasts rooted at this rank; -1 = any.
+	Root int `json:"root"`
+	// Prob is the probability a matching leg is afflicted, in [0, 1].
+	Prob float64 `json:"prob"`
+	// Fails is how many consecutive pull attempts of an afflicted leg fail
+	// (default 1).
+	Fails int `json:"fails,omitempty"`
+	// Delay adds virtual seconds to the afflicted leg (charged to
+	// SyncComm), modeling a straggling tree edge.
+	Delay float64 `json:"delay,omitempty"`
+	// Before, when positive, is a virtual-time trigger: only legs issued
+	// while the destination's SyncComm clock is below Before are
+	// afflicted. The sync transfer thread is sequential per rank, so this
+	// trigger is deterministic.
+	Before float64 `json:"before,omitempty"`
+}
+
+// Crash kills a rank once its virtual clock (modeled NodeTime) passes At.
+// The crashed rank fails its next transfer or barrier with
+// cluster.ErrCrashed, which aborts the whole run; peers observe
+// cluster.ErrAborted instead of hanging. A plan with crashes is never
+// survivable.
+type Crash struct {
+	Rank int     `json:"rank"`
+	At   float64 `json:"at"`
+}
+
+// Plan is a seeded, deterministic fault plan for one simulated cluster.
+// The zero value is a healthy machine. Plans are pure data: serialize them
+// with encoding/json (twoface-run's -fault-plan flag loads that form), or
+// build them programmatically.
+type Plan struct {
+	// Seed drives every probabilistic decision in the plan. Two runs with
+	// the same plan (seed included) inject identical faults.
+	Seed uint64 `json:"seed"`
+
+	// ComputeStragglers multiply the afflicted ranks' compute charges
+	// (SyncComp, AsyncComp).
+	ComputeStragglers []Straggler `json:"compute_stragglers,omitempty"`
+	// NetworkStragglers multiply the afflicted ranks' communication
+	// charges (SyncComm, AsyncComm), including retry backoff.
+	NetworkStragglers []Straggler `json:"network_stragglers,omitempty"`
+
+	// Gets are the transient one-sided failure specs.
+	Gets []GetFault `json:"gets,omitempty"`
+	// Legs are the multicast-leg failure/delay specs.
+	Legs []LegFault `json:"legs,omitempty"`
+	// Crashes are hard rank deaths at virtual times.
+	Crashes []Crash `json:"crashes,omitempty"`
+
+	// Retry overrides the cluster's retry policy; zero fields take the
+	// cluster defaults (4 attempts, 1e-5 s base backoff, x2 growth).
+	Retry cluster.RetryPolicy `json:"retry"`
+}
+
+// Validate checks the plan's internal consistency. Rank indices may exceed
+// any particular cluster's size (they are simply inert there), so a single
+// plan can serve a node-count sweep; negative ranks are only legal as the
+// -1 wildcards of the fault specs.
+func (p *Plan) Validate() error {
+	for _, s := range p.ComputeStragglers {
+		if err := validateStraggler("compute", s); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.NetworkStragglers {
+		if err := validateStraggler("network", s); err != nil {
+			return err
+		}
+	}
+	for i, g := range p.Gets {
+		if g.Origin < -1 || g.Target < -1 {
+			return fmt.Errorf("chaos: gets[%d]: origin/target must be >= -1", i)
+		}
+		if g.Prob < 0 || g.Prob > 1 {
+			return fmt.Errorf("chaos: gets[%d]: prob %v outside [0,1]", i, g.Prob)
+		}
+		if g.Fails < 0 || g.Delay < 0 {
+			return fmt.Errorf("chaos: gets[%d]: fails and delay must be >= 0", i)
+		}
+	}
+	for i, l := range p.Legs {
+		if l.Origin < -1 || l.Root < -1 {
+			return fmt.Errorf("chaos: legs[%d]: origin/root must be >= -1", i)
+		}
+		if l.Prob < 0 || l.Prob > 1 {
+			return fmt.Errorf("chaos: legs[%d]: prob %v outside [0,1]", i, l.Prob)
+		}
+		if l.Fails < 0 || l.Delay < 0 || l.Before < 0 {
+			return fmt.Errorf("chaos: legs[%d]: fails, delay, and before must be >= 0", i)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("chaos: crashes[%d]: rank must be >= 0", i)
+		}
+		if c.At <= 0 {
+			return fmt.Errorf("chaos: crashes[%d]: crash time must be > 0", i)
+		}
+	}
+	if p.Retry.MaxAttempts < 0 || p.Retry.BaseBackoff < 0 || p.Retry.Multiplier < 0 {
+		return fmt.Errorf("chaos: retry policy fields must be >= 0")
+	}
+	return nil
+}
+
+func validateStraggler(kind string, s Straggler) error {
+	if s.Rank < 0 {
+		return fmt.Errorf("chaos: %s straggler rank %d must be >= 0", kind, s.Rank)
+	}
+	if s.Factor <= 0 {
+		return fmt.Errorf("chaos: %s straggler on rank %d: factor %v must be > 0", kind, s.Rank, s.Factor)
+	}
+	return nil
+}
+
+// Survivable reports whether every algorithm completes under this plan:
+// no crashes, and no multicast leg that can outlast the retry budget (the
+// one-sided path always survives — exhausted gets degrade to the
+// synchronous fallback). Survivable plans are the ones whose runs must be
+// bit-exact with the fault-free run.
+func (p *Plan) Survivable() bool {
+	if len(p.Crashes) > 0 {
+		return false
+	}
+	budget := p.Retry.Normalize().MaxAttempts
+	for _, l := range p.Legs {
+		fails := l.Fails
+		if fails == 0 {
+			fails = 1
+		}
+		if fails >= budget {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse decodes a JSON-encoded plan and validates it. Unknown fields are
+// rejected so typos in hand-written plans fail loudly.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadFile reads and validates a JSON plan file (the twoface-run
+// -fault-plan format).
+func LoadFile(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return Parse(data)
+}
+
+// WriteFile stores the plan as indented JSON.
+func (p *Plan) WriteFile(path string) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("chaos: encoding plan: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

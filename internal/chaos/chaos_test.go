@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twoface/internal/cluster"
+)
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"straggler factor zero", Plan{ComputeStragglers: []Straggler{{Rank: 0, Factor: 0}}}},
+		{"straggler negative rank", Plan{NetworkStragglers: []Straggler{{Rank: -1, Factor: 2}}}},
+		{"get prob above one", Plan{Gets: []GetFault{{Origin: -1, Target: -1, Prob: 1.5}}}},
+		{"get origin below wildcard", Plan{Gets: []GetFault{{Origin: -2, Target: -1, Prob: 0.5}}}},
+		{"get negative fails", Plan{Gets: []GetFault{{Origin: -1, Target: -1, Prob: 0.5, Fails: -1}}}},
+		{"leg negative delay", Plan{Legs: []LegFault{{Origin: -1, Root: -1, Prob: 0.5, Delay: -1}}}},
+		{"leg negative before", Plan{Legs: []LegFault{{Origin: -1, Root: -1, Prob: 0.5, Before: -1}}}},
+		{"crash negative rank", Plan{Crashes: []Crash{{Rank: -1, At: 1}}}},
+		{"crash at zero", Plan{Crashes: []Crash{{Rank: 0, At: 0}}}},
+		{"negative retry", Plan{Retry: cluster.RetryPolicy{MaxAttempts: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", tc.plan)
+			}
+			if _, err := tc.plan.Injector(4); err == nil {
+				t.Fatal("Injector must refuse an invalid plan")
+			}
+		})
+	}
+	if err := (&Plan{}).Validate(); err != nil {
+		t.Fatalf("zero plan (healthy machine) must validate: %v", err)
+	}
+}
+
+func TestSurvivable(t *testing.T) {
+	if !(&Plan{}).Survivable() {
+		t.Error("healthy plan must be survivable")
+	}
+	if (&Plan{Crashes: []Crash{{Rank: 0, At: 1}}}).Survivable() {
+		t.Error("crash plans are never survivable")
+	}
+	// Get faults never make a plan unsurvivable: exhaustion degrades.
+	if !(&Plan{Gets: []GetFault{{Origin: -1, Target: -1, Prob: 1, Fails: 100}}}).Survivable() {
+		t.Error("get faults must stay survivable (they degrade)")
+	}
+	// Legs at the budget are fatal; below it they are fine.
+	budget := (cluster.RetryPolicy{}).Normalize().MaxAttempts
+	if (&Plan{Legs: []LegFault{{Origin: -1, Root: -1, Prob: 0.1, Fails: budget}}}).Survivable() {
+		t.Error("leg fails at the retry budget must be unsurvivable")
+	}
+	if !(&Plan{Legs: []LegFault{{Origin: -1, Root: -1, Prob: 0.1, Fails: budget - 1}}}).Survivable() {
+		t.Error("leg fails below the budget must be survivable")
+	}
+}
+
+// TestInjectorDeterminism: fault verdicts are pure functions of the plan
+// and the transfer identity — identical across injector instances and call
+// orders — and flips with the seed.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := RandomPlan(99, 8)
+	inj1, err := plan.Injector(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, _ := plan.Injector(8)
+	for origin := 0; origin < 8; origin++ {
+		for target := 0; target < 8; target++ {
+			for attempt := 1; attempt <= 5; attempt++ {
+				a := inj1.GetAttempt(origin, target, 128, 4096, attempt)
+				b := inj2.GetAttempt(origin, target, 128, 4096, attempt)
+				if a != b {
+					t.Fatalf("verdict differs across instances: %+v vs %+v", a, b)
+				}
+			}
+		}
+	}
+	// A fresh plan with another seed must disagree somewhere.
+	other, _ := RandomPlan(100, 8).Injector(8)
+	diff := false
+	for origin := 0; origin < 8 && !diff; origin++ {
+		for target := 0; target < 8 && !diff; target++ {
+			diff = inj1.GetAttempt(origin, target, 128, 4096, 1) != other.GetAttempt(origin, target, 128, 4096, 1)
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical verdicts everywhere")
+	}
+}
+
+// TestOutcomeShape: an afflicted transfer fails attempts 1..fails and
+// absorbs its delay exactly once, on the first success.
+func TestOutcomeShape(t *testing.T) {
+	for attempt := 1; attempt <= 5; attempt++ {
+		out := outcome(2, 7e-4, attempt)
+		switch {
+		case attempt <= 2:
+			if !out.Fail {
+				t.Errorf("attempt %d should fail", attempt)
+			}
+		case attempt == 3:
+			if out.Fail || out.Delay != 7e-4 {
+				t.Errorf("attempt 3 should succeed with the delay, got %+v", out)
+			}
+		default:
+			if out.Fail || out.Delay != 0 {
+				t.Errorf("attempt %d should be clean, got %+v", attempt, out)
+			}
+		}
+	}
+}
+
+func TestScaleChargeMapping(t *testing.T) {
+	plan := &Plan{
+		ComputeStragglers: []Straggler{{Rank: 1, Factor: 2}},
+		NetworkStragglers: []Straggler{{Rank: 1, Factor: 3}},
+	}
+	inj, err := plan.Injector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		rank int
+		cat  cluster.Category
+		want float64
+	}{
+		{1, cluster.SyncComp, 2}, {1, cluster.AsyncComp, 2},
+		{1, cluster.SyncComm, 3}, {1, cluster.AsyncComm, 3},
+		{1, cluster.Other, 1},
+		{0, cluster.SyncComp, 1}, {2, cluster.AsyncComm, 1},
+		{-1, cluster.SyncComp, 1}, {9, cluster.SyncComp, 1}, // out of range: inert
+	}
+	for _, ck := range checks {
+		if got := inj.ScaleCharge(ck.rank, ck.cat); got != ck.want {
+			t.Errorf("ScaleCharge(%d, %v) = %v, want %v", ck.rank, ck.cat, got, ck.want)
+		}
+	}
+}
+
+func TestCrashCompilation(t *testing.T) {
+	plan := &Plan{Crashes: []Crash{
+		{Rank: 1, At: 2.0},
+		{Rank: 1, At: 0.5}, // earliest wins
+		{Rank: 7, At: 1.0}, // beyond the cluster: inert
+	}}
+	inj, err := plan.Injector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.CrashTime(1); got != 0.5 {
+		t.Errorf("CrashTime(1) = %v, want 0.5 (earliest)", got)
+	}
+	for _, r := range []int{0, 2, 3, 7, -1} {
+		if got := inj.CrashTime(r); !math.IsInf(got, 1) {
+			t.Errorf("CrashTime(%d) = %v, want +Inf", r, got)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	plan := RandomPlan(7, 8)
+	plan.Crashes = []Crash{{Rank: 3, At: 0.25}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := plan.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, got) {
+		t.Fatalf("round trip changed the plan:\n  wrote %+v\n  read  %+v", plan, got)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"seed": 1, "typo_field": true}`)); err == nil {
+		t.Fatal("unknown fields must be rejected")
+	}
+	if _, err := Parse([]byte(`{"seed": 1, "gets": [{"origin": -1, "target": -1, "prob": 2}]}`)); err == nil {
+		t.Fatal("Parse must validate")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	} else if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+}
+
+// TestRandomPlanProperties: RandomPlan is deterministic in its seed, always
+// survivable, valid, and varies with the seed.
+func TestRandomPlanProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 32; seed++ {
+		p := RandomPlan(seed, 8)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		if !p.Survivable() {
+			t.Fatalf("seed %d: RandomPlan must be survivable: %+v", seed, p)
+		}
+		if !reflect.DeepEqual(p, RandomPlan(seed, 8)) {
+			t.Fatalf("seed %d: RandomPlan not deterministic", seed)
+		}
+	}
+	if reflect.DeepEqual(RandomPlan(1, 8), RandomPlan(2, 8)) {
+		t.Error("different seeds produced the same plan")
+	}
+	// Must always carry a budget-exhausting get fault so the degradation
+	// path gets exercised by the chaos harness.
+	p := RandomPlan(5, 8)
+	budget := p.Retry.Normalize().MaxAttempts
+	exhausts := false
+	for _, g := range p.Gets {
+		if g.Fails >= budget {
+			exhausts = true
+		}
+	}
+	if !exhausts {
+		t.Error("RandomPlan carries no budget-exhausting get fault")
+	}
+}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"twoface/internal/cluster"
+)
+
+// Injector is a compiled Plan: the cluster.FaultInjector the runtime
+// consults on every charge and transfer. It is immutable and safe for
+// concurrent use by every rank's goroutines.
+//
+// Determinism: every decision is a pure function of (plan seed, spec
+// index, transfer identity, attempt number). The set of transfers an
+// algorithm issues is fixed by its schedule, so the multiset of injected
+// faults — and therefore every retry count, degradation count, backoff
+// charge, and delay charge — is identical across runs regardless of
+// goroutine interleaving.
+type Injector struct {
+	plan         *Plan
+	computeScale []float64 // per rank; missing ranks scale by 1
+	networkScale []float64
+	crashAt      []float64 // per rank; +Inf = never
+}
+
+// Injector compiles the plan for a cluster of the given size. Specs
+// referencing ranks outside [0, ranks) are inert, so one plan can serve a
+// node-count sweep.
+func (p *Plan) Injector(ranks int) (*Injector, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("chaos: need at least 1 rank, got %d", ranks)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		plan:         p,
+		computeScale: scaleVector(ranks, p.ComputeStragglers),
+		networkScale: scaleVector(ranks, p.NetworkStragglers),
+		crashAt:      make([]float64, ranks),
+	}
+	for i := range inj.crashAt {
+		inj.crashAt[i] = math.Inf(1)
+	}
+	for _, c := range p.Crashes {
+		if c.Rank < ranks && c.At < inj.crashAt[c.Rank] {
+			inj.crashAt[c.Rank] = c.At
+		}
+	}
+	return inj, nil
+}
+
+func scaleVector(ranks int, specs []Straggler) []float64 {
+	v := make([]float64, ranks)
+	for i := range v {
+		v[i] = 1
+	}
+	for _, s := range specs {
+		if s.Rank < ranks {
+			v[s.Rank] *= s.Factor
+		}
+	}
+	return v
+}
+
+// Plan returns the source plan.
+func (inj *Injector) Plan() *Plan { return inj.plan }
+
+// ScaleCharge implements cluster.FaultInjector: compute categories stretch
+// under the rank's compute straggler factor, communication categories
+// under its network factor; Other is structural setup and stays put.
+func (inj *Injector) ScaleCharge(rank int, cat cluster.Category) float64 {
+	if rank < 0 || rank >= len(inj.computeScale) {
+		return 1
+	}
+	switch cat {
+	case cluster.SyncComp, cluster.AsyncComp:
+		return inj.computeScale[rank]
+	case cluster.SyncComm, cluster.AsyncComm:
+		return inj.networkScale[rank]
+	}
+	return 1
+}
+
+// GetAttempt implements cluster.FaultInjector for one-sided gets. Each
+// GetFault spec afflicts the get independently (hash keyed by spec index
+// and get identity); afflicted specs' Fails add up, so overlapping specs
+// compound. The attempt fails while attempt <= total fails; the first
+// succeeding attempt absorbs the accumulated Delay.
+func (inj *Injector) GetAttempt(origin, target int, firstOff, elems int64, attempt int) cluster.AttemptOutcome {
+	var fails int
+	var delay float64
+	for i, g := range inj.plan.Gets {
+		if !matches(g.Origin, origin) || !matches(g.Target, target) {
+			continue
+		}
+		if g.Prob <= 0 {
+			continue
+		}
+		h := mix(inj.plan.Seed, 'g', uint64(i), uint64(origin), uint64(target), uint64(firstOff), uint64(elems))
+		if unit(h) >= g.Prob {
+			continue
+		}
+		fails += failCount(g.Fails)
+		delay += g.Delay
+	}
+	return outcome(fails, delay, attempt)
+}
+
+// LegAttempt implements cluster.FaultInjector for multicast legs.
+// syncClock enables the Before virtual-time trigger, deterministic because
+// the sync transfer thread is sequential per rank.
+func (inj *Injector) LegAttempt(origin, root int, off, elems int64, syncClock float64, attempt int) cluster.AttemptOutcome {
+	var fails int
+	var delay float64
+	for i, l := range inj.plan.Legs {
+		if !matches(l.Origin, origin) || !matches(l.Root, root) {
+			continue
+		}
+		if l.Prob <= 0 || (l.Before > 0 && syncClock >= l.Before) {
+			continue
+		}
+		h := mix(inj.plan.Seed, 'l', uint64(i), uint64(origin), uint64(root), uint64(off), uint64(elems))
+		if unit(h) >= l.Prob {
+			continue
+		}
+		fails += failCount(l.Fails)
+		delay += l.Delay
+	}
+	return outcome(fails, delay, attempt)
+}
+
+// CrashTime implements cluster.FaultInjector.
+func (inj *Injector) CrashTime(rank int) float64 {
+	if rank < 0 || rank >= len(inj.crashAt) {
+		return math.Inf(1)
+	}
+	return inj.crashAt[rank]
+}
+
+// Retry implements cluster.FaultInjector.
+func (inj *Injector) Retry() cluster.RetryPolicy { return inj.plan.Retry }
+
+func matches(spec, got int) bool { return spec == -1 || spec == got }
+
+func failCount(f int) int {
+	if f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// outcome turns an afflicted transfer's (fails, delay) into the verdict
+// for one attempt: attempts 1..fails fail; the first success (attempt
+// fails+1) absorbs the delay exactly once.
+func outcome(fails int, delay float64, attempt int) cluster.AttemptOutcome {
+	if attempt <= fails {
+		return cluster.AttemptOutcome{Fail: true}
+	}
+	if attempt == fails+1 && delay > 0 {
+		return cluster.AttemptOutcome{Delay: delay}
+	}
+	return cluster.AttemptOutcome{}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong,
+// dependency-free 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds the values into one hash, order-sensitively.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// unit maps a hash to [0, 1) with 53-bit precision.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }

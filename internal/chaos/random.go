@@ -1,0 +1,42 @@
+package chaos
+
+// RandomPlan generates a survivable fault plan for a p-rank cluster,
+// deterministic in seed: a compute straggler, a network straggler, a broad
+// transient-get fault, a targeted get fault heavy enough to exhaust the
+// retry budget (exercising the degradation path), and a sprinkle of
+// delayed/failed multicast legs. No crashes and no leg can outlast the
+// retry budget, so every algorithm must complete bit-exactly under it —
+// the contract the chaos harness and scripts/chaos.sh sweep over seeds.
+func RandomPlan(seed uint64, p int) *Plan {
+	if p < 1 {
+		p = 1
+	}
+	// A dedicated generator stream, independent of the plan's own seed use.
+	s := splitmix64(seed ^ 0xc4a05eed5eed5eed)
+	next := func() uint64 { s = splitmix64(s); return s }
+	rank := func() int { return int(next() % uint64(p)) }
+	span := func(lo, hi float64) float64 { return lo + unit(next())*(hi-lo) }
+
+	pol := (Plan{}).Retry.Normalize() // the cluster defaults
+	return &Plan{
+		Seed: seed,
+		ComputeStragglers: []Straggler{
+			{Rank: rank(), Factor: span(1.2, 2.5)},
+		},
+		NetworkStragglers: []Straggler{
+			{Rank: rank(), Factor: span(1.2, 2.0)},
+		},
+		Gets: []GetFault{
+			// Broad transient flakiness: a slice of all gets fails once or
+			// twice and recovers within the retry budget.
+			{Origin: -1, Target: -1, Prob: span(0.05, 0.3), Fails: 1 + int(next()%2)},
+			// A persistently unreachable target: afflicted gets exhaust
+			// the budget and degrade to the synchronous fallback.
+			{Origin: -1, Target: rank(), Prob: span(0.1, 0.4), Fails: pol.MaxAttempts},
+		},
+		Legs: []LegFault{
+			// Straggling or once-lost multicast tree edges.
+			{Origin: -1, Root: -1, Prob: span(0.05, 0.2), Fails: 1, Delay: span(1e-6, 1e-4)},
+		},
+	}
+}

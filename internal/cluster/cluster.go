@@ -3,7 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Cluster is a simulated p-node distributed machine. Create one with New,
@@ -16,12 +18,15 @@ type Cluster struct {
 	p   int
 	net NetModel
 
-	mu      sync.RWMutex
-	windows []map[string][]float64 // per-rank named one-sided windows
-	staging [][]float64            // per-rank deposit slots for exchanges
-	ranks   []*Rank
+	mu       sync.RWMutex
+	windows  []map[string][]float64 // per-rank named one-sided windows
+	staging  [][]float64            // per-rank deposit slots for exchanges
+	ranks    []*Rank
+	injector FaultInjector // nil = healthy machine
+	retry    RetryPolicy
 
 	barrier *barrier
+	abort   atomic.Pointer[abortError] // first failure; nil while healthy
 }
 
 // New returns a cluster of p nodes with the given network model.
@@ -35,13 +40,14 @@ func New(p int, net NetModel) (*Cluster, error) {
 		windows: make([]map[string][]float64, p),
 		staging: make([][]float64, p),
 		barrier: newBarrier(p),
+		retry:   RetryPolicy{}.Normalize(),
 	}
 	for i := range c.windows {
 		c.windows[i] = map[string][]float64{}
 	}
 	c.ranks = make([]*Rank, p)
 	for i := 0; i < p; i++ {
-		c.ranks[i] = &Rank{ID: i, P: p, c: c}
+		c.ranks[i] = &Rank{ID: i, P: p, c: c, crashAt: math.Inf(1)}
 	}
 	return c, nil
 }
@@ -53,10 +59,13 @@ func (c *Cluster) P() int { return c.p }
 func (c *Cluster) Net() NetModel { return c.net }
 
 // Run executes fn on every rank concurrently and waits for all of them. If
-// any rank returns an error, the cluster's barrier is broken so that other
-// ranks blocked in collectives fail fast, and the joined errors are
-// returned.
+// any rank returns an error, the whole cluster aborts: the barrier is
+// broken so ranks blocked in collectives fail fast, and every subsequent
+// window lookup, transfer, or retry-loop iteration on any rank observes an
+// ErrAborted-wrapping error, so a mid-run rank failure cannot deadlock the
+// survivors. The joined per-rank errors are returned.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
+	c.abort.Store(nil)
 	errs := make([]error, c.p)
 	var wg sync.WaitGroup
 	for i := 0; i < c.p; i++ {
@@ -65,13 +74,31 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 			defer wg.Done()
 			if err := fn(rank); err != nil {
 				errs[rank.ID] = fmt.Errorf("rank %d: %w", rank.ID, err)
-				c.barrier.breakWith(errs[rank.ID])
+				c.abortWith(errs[rank.ID])
 			}
 		}(c.ranks[i])
 	}
 	wg.Wait()
 	c.barrier.reset()
+	c.abort.Store(nil)
 	return errors.Join(errs...)
+}
+
+// abortWith records the first failure and releases every current and
+// future barrier waiter with an ErrAborted-wrapping error.
+func (c *Cluster) abortWith(cause error) {
+	err := &abortError{cause: cause}
+	if c.abort.CompareAndSwap(nil, err) {
+		c.barrier.breakWith(err)
+	}
+}
+
+// abortedErr returns the cluster-wide abort error, or nil while healthy.
+func (c *Cluster) abortedErr() error {
+	if err := c.abort.Load(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Breakdowns returns a copy of every rank's virtual-time ledger.
@@ -97,8 +124,10 @@ func (c *Cluster) TotalTime() float64 {
 	return max
 }
 
-// Reset clears all windows, staging slots, and virtual clocks, preparing the
-// cluster for an unrelated run.
+// Reset clears all windows, staging slots, virtual clocks, transfer and
+// resilience counters, and any abort state, preparing the cluster for an
+// unrelated run. An attached fault injector survives: repeated runs on one
+// plan stay under the same fault regime.
 func (c *Cluster) Reset() {
 	c.mu.Lock()
 	for i := range c.windows {
@@ -106,6 +135,7 @@ func (c *Cluster) Reset() {
 		c.staging[i] = nil
 	}
 	c.mu.Unlock()
+	c.abort.Store(nil)
 	for _, r := range c.ranks {
 		r.resetClock()
 	}
@@ -144,11 +174,22 @@ type Rank struct {
 	P  int // number of nodes
 	c  *Cluster
 
-	mu       sync.Mutex
-	bd       Breakdown
-	rec      SpanRecorder
-	counters transferCounters
-	trace    traceBuf
+	mu         sync.Mutex
+	bd         Breakdown
+	rec        SpanRecorder
+	fi         FaultInjector // cached from the cluster; nil = healthy
+	retry      RetryPolicy
+	crashAt    float64 // virtual time of fault-plan crash; +Inf = never
+	counters   transferCounters
+	resilience resilienceCounters
+	trace      traceBuf
+}
+
+// injection returns this rank's cached fault injector and retry policy.
+func (r *Rank) injection() (FaultInjector, RetryPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fi, r.retry
 }
 
 // Net returns the cluster's network model.
@@ -174,6 +215,9 @@ func (r *Rank) charge(cat Category, op string, dt float64) {
 		panic(fmt.Sprintf("cluster: negative charge %v to %v", dt, cat))
 	}
 	r.mu.Lock()
+	if r.fi != nil {
+		dt *= r.fi.ScaleCharge(r.ID, cat)
+	}
 	f := r.bd.field(cat)
 	if f == nil {
 		r.mu.Unlock()
@@ -217,12 +261,18 @@ func (r *Rank) resetClock() {
 	r.bd = Breakdown{}
 	r.mu.Unlock()
 	r.counters.reset()
+	r.resilience.reset()
 }
 
 // Barrier blocks until every rank has reached it. It returns an error if
-// the cluster was aborted by another rank's failure. With a span recorder
-// attached, entry is reported as a "barrier" instant.
+// the cluster was aborted by another rank's failure, or if this rank's
+// fault-plan crash time has passed (the crash then aborts the cluster
+// through Run). With a span recorder attached, entry is reported as a
+// "barrier" instant.
 func (r *Rank) Barrier() error {
+	if err := r.failed(); err != nil {
+		return err
+	}
 	r.Instant("barrier")
 	return r.c.barrier.wait()
 }

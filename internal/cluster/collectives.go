@@ -17,6 +17,9 @@ func (r *Rank) deposit(data []float64) {
 }
 
 func (r *Rank) collect(from int) ([]float64, error) {
+	if err := r.c.abortedErr(); err != nil {
+		return nil, err
+	}
 	if from < 0 || from >= r.P {
 		return nil, fmt.Errorf("cluster: rank %d: collect from %d out of range [0,%d)", r.ID, from, r.P)
 	}
@@ -30,6 +33,9 @@ func (r *Rank) collect(from int) ([]float64, error) {
 // payload deposited by rank `from`, as one synchronous shift step. Every
 // rank must call it in the same round. The received slice is a copy.
 func (r *Rank) Sendrecv(send []float64, to, from int) ([]float64, error) {
+	if err := r.failed(); err != nil {
+		return nil, err
+	}
 	if to < 0 || to >= r.P || from < 0 || from >= r.P {
 		return nil, fmt.Errorf("cluster: rank %d: Sendrecv peers (%d,%d) out of range", r.ID, to, from)
 	}
@@ -56,6 +62,9 @@ func (r *Rank) Sendrecv(send []float64, to, from int) ([]float64, error) {
 // contribution, indexed by rank. The result slices are copies. Every rank
 // must call it in the same round.
 func (r *Rank) Allgather(local []float64) ([][]float64, error) {
+	if err := r.failed(); err != nil {
+		return nil, err
+	}
 	r.deposit(local)
 	if err := r.Barrier(); err != nil {
 		return nil, err

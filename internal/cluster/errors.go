@@ -1,0 +1,49 @@
+package cluster
+
+import "errors"
+
+// Typed sentinel errors for the cluster runtime. Every error the transfer
+// primitives return wraps one of these, so resilience code (retry loops,
+// degradation fallbacks, abort handling) and callers can branch with
+// errors.Is instead of matching message strings.
+var (
+	// ErrAborted marks any error observed by a rank after the cluster was
+	// aborted by another rank's failure. Window lookups, collectives, and
+	// retry loops all consult the abort flag, so a mid-run rank failure
+	// cannot leave peers deadlocked or spinning.
+	ErrAborted = errors.New("cluster aborted")
+
+	// ErrWindowMissing reports a one-sided access to a window that was never
+	// exposed, or to a target rank outside [0, P).
+	ErrWindowMissing = errors.New("window not exposed")
+
+	// ErrRegionOOB reports a one-sided region that falls outside the target
+	// window's bounds.
+	ErrRegionOOB = errors.New("region out of window bounds")
+
+	// ErrDstTooSmall reports a destination buffer with no room for the
+	// requested payload.
+	ErrDstTooSmall = errors.New("destination buffer too small")
+
+	// ErrRetryExhausted reports a one-sided get whose injected transient
+	// failures outlasted the retry budget. Callers on the asynchronous path
+	// treat it as the signal to degrade to the synchronous fallback
+	// (SyncFallbackPull); anywhere else it is fatal.
+	ErrRetryExhausted = errors.New("one-sided retry budget exhausted")
+
+	// ErrCrashed reports that the fault plan crashed this rank: its virtual
+	// clock passed the plan's crash time. The crashed rank's error aborts
+	// the cluster, so peers observe ErrAborted.
+	ErrCrashed = errors.New("rank crashed by fault plan")
+)
+
+// abortError is the error peers observe after the cluster aborts. It
+// unwraps to both ErrAborted and the first failing rank's error, so
+// errors.Is works against either.
+type abortError struct{ cause error }
+
+func (e *abortError) Error() string {
+	return "cluster: aborted: " + e.cause.Error()
+}
+
+func (e *abortError) Unwrap() []error { return []error{ErrAborted, e.cause} }

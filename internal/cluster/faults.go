@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Fault injection and resilience. The cluster itself stays a healthy
+// machine by default; a FaultInjector (normally compiled from a
+// chaos.Plan) perturbs it deterministically: charges stretch under
+// straggler multipliers, one-sided gets suffer transient failures that the
+// rank retries with exponential backoff charged to the virtual clock, and
+// multicast legs can be delayed or re-pulled. When a get's retry budget is
+// exhausted the caller degrades to SyncFallbackPull, the reliable
+// root-mediated path, so the SpMM still completes bit-exactly. Every
+// resilience action is counted per rank (ResilienceStats) and attributed
+// to the Breakdown ledger through ordinary charges, so makespan inflation
+// is visible in the same Figure 10 categories as healthy time.
+
+// AttemptOutcome is a fault injector's verdict on one transfer attempt.
+type AttemptOutcome struct {
+	// Fail makes this attempt fail transiently (retried up to the budget).
+	Fail bool
+	// Delay adds virtual seconds to the attempt even when it succeeds (a
+	// straggling network leg).
+	Delay float64
+}
+
+// FaultInjector is consulted by the cluster on every charge and transfer.
+// Implementations must be deterministic pure functions of their arguments
+// (plus their own seed): attempts are identified by stable keys, never by
+// wall-clock state, so the same plan replays the same faults regardless of
+// goroutine interleaving. internal/chaos compiles the standard injector.
+type FaultInjector interface {
+	// ScaleCharge returns the multiplier (>= 0) applied to rank's charges
+	// in the given category; 1 leaves the charge untouched. Straggler
+	// multipliers > 1 model slow nodes and slow links.
+	ScaleCharge(rank int, cat Category) float64
+	// GetAttempt judges one attempt of a one-sided get, identified by
+	// origin, target, the first region's offset, and the total element
+	// count. attempt counts from 1.
+	GetAttempt(origin, target int, firstOff, elems int64, attempt int) AttemptOutcome
+	// LegAttempt judges one attempt of a multicast leg pull. syncClock is
+	// the origin's SyncComm clock at issue time (deterministic: the sync
+	// transfer thread is sequential per rank), enabling virtual-time
+	// triggers.
+	LegAttempt(origin, root int, off, elems int64, syncClock float64, attempt int) AttemptOutcome
+	// CrashTime returns the virtual time at which rank dies, or +Inf for
+	// never. A crashed rank fails its next transfer or barrier with
+	// ErrCrashed, aborting the cluster.
+	CrashTime(rank int) float64
+	// Retry returns the retry policy ranks use for transient failures.
+	Retry() RetryPolicy
+}
+
+// RetryPolicy bounds and prices the retry loop of transient transfer
+// failures. Backoff is charged to the issuing rank's virtual clock, so
+// retries inflate modeled time exactly like real ones would.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per transfer (first try
+	// included). Default 4.
+	MaxAttempts int
+	// BaseBackoff is the virtual-seconds backoff after the first failed
+	// attempt. Default 1e-5 (on the order of a one-sided request setup).
+	BaseBackoff float64
+	// Multiplier grows the backoff per further attempt. Default 2.
+	Multiplier float64
+}
+
+// Normalize fills zero fields with the defaults.
+func (p RetryPolicy) Normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 1e-5
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Backoff returns the virtual-time backoff charged after the given failed
+// attempt (1-based): BaseBackoff * Multiplier^(attempt-1).
+func (p RetryPolicy) Backoff(attempt int) float64 {
+	return p.BaseBackoff * math.Pow(p.Multiplier, float64(attempt-1))
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+// Call it before Run; it survives Reset so a plan's repeated Multiply
+// calls stay under the same fault regime. A nil injector (the default)
+// keeps every fast path a single nil check.
+func (c *Cluster) SetFaultInjector(fi FaultInjector) {
+	retry := RetryPolicy{}.Normalize()
+	if fi != nil {
+		retry = fi.Retry().Normalize()
+	}
+	c.mu.Lock()
+	c.injector = fi
+	c.retry = retry
+	c.mu.Unlock()
+	for _, r := range c.ranks {
+		crash := math.Inf(1)
+		if fi != nil {
+			if t := fi.CrashTime(r.ID); t > 0 {
+				crash = t
+			}
+		}
+		r.mu.Lock()
+		r.fi = fi
+		r.retry = retry
+		r.crashAt = crash
+		r.mu.Unlock()
+	}
+}
+
+// FaultInjector returns the attached injector, or nil.
+func (c *Cluster) FaultInjector() FaultInjector {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.injector
+}
+
+// failed reports why this rank must stop: the cluster aborted (another
+// rank's failure) or this rank's fault-plan crash time has passed. The
+// transfer primitives and retry loops consult it so neither condition can
+// leave ranks spinning or deadlocked.
+func (r *Rank) failed() error {
+	if err := r.c.abortedErr(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	crashed := r.bd.NodeTime() >= r.crashAt
+	at := r.crashAt
+	r.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("cluster: rank %d: %w (crash time %.4g, clock passed it)", r.ID, ErrCrashed, at)
+	}
+	return nil
+}
+
+// Aborted reports the cluster-wide abort error, or nil while healthy.
+// Long-running per-rank loops outside the transfer primitives can poll it
+// to stop early once a peer has failed.
+func (r *Rank) Aborted() error { return r.c.abortedErr() }
+
+// ResilienceStats counts one rank's fault-handling activity: what the
+// injected faults cost and how the rank absorbed them. Like
+// TransferStats, the counters are incremented by the primitives
+// themselves, so they are an honest record an algorithm cannot
+// under-report. All virtual-time fields are also charged to the Breakdown
+// ledger (backoff and injected delay to the issuing side's comm
+// categories), so NodeTime already includes them; these counters exist to
+// attribute the inflation.
+type ResilienceStats struct {
+	// GetRetries counts one-sided attempts that failed transiently and
+	// were retried.
+	GetRetries int64
+	// GetExhausted counts one-sided gets whose retry budget ran out
+	// (each normally becomes one Degradation).
+	GetExhausted int64
+	// Degradations counts exhausted gets re-fetched through the
+	// synchronous fallback path.
+	Degradations int64
+	// DegradedElems counts float64 elements moved by the fallback path.
+	DegradedElems int64
+	// LegRetries counts multicast leg pulls that failed and re-pulled.
+	LegRetries int64
+	// BackoffSeconds is virtual time spent backing off between retries.
+	BackoffSeconds float64
+	// DelaySeconds is injected straggler-leg delay absorbed by transfers.
+	DelaySeconds float64
+}
+
+// Plus returns the field-wise sum.
+func (s ResilienceStats) Plus(o ResilienceStats) ResilienceStats {
+	return ResilienceStats{
+		GetRetries:     s.GetRetries + o.GetRetries,
+		GetExhausted:   s.GetExhausted + o.GetExhausted,
+		Degradations:   s.Degradations + o.Degradations,
+		DegradedElems:  s.DegradedElems + o.DegradedElems,
+		LegRetries:     s.LegRetries + o.LegRetries,
+		BackoffSeconds: s.BackoffSeconds + o.BackoffSeconds,
+		DelaySeconds:   s.DelaySeconds + o.DelaySeconds,
+	}
+}
+
+// Faulted reports whether any fault handling happened at all.
+func (s ResilienceStats) Faulted() bool {
+	return s.GetRetries != 0 || s.GetExhausted != 0 || s.Degradations != 0 ||
+		s.LegRetries != 0 || s.BackoffSeconds != 0 || s.DelaySeconds != 0
+}
+
+// resilienceCounters is the mutable holder embedded in Rank. A mutex is
+// fine here: every update sits on a fault path, which is cold by
+// definition (fault-free runs never touch it).
+type resilienceCounters struct {
+	mu sync.Mutex
+	s  ResilienceStats
+}
+
+func (c *resilienceCounters) addGetRetry(backoff float64) {
+	c.mu.Lock()
+	c.s.GetRetries++
+	c.s.BackoffSeconds += backoff
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addExhausted() {
+	c.mu.Lock()
+	c.s.GetExhausted++
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addDegradation(elems int64) {
+	c.mu.Lock()
+	c.s.Degradations++
+	c.s.DegradedElems += elems
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addLegRetry(backoff float64) {
+	c.mu.Lock()
+	c.s.LegRetries++
+	c.s.BackoffSeconds += backoff
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addDelay(d float64) {
+	c.mu.Lock()
+	c.s.DelaySeconds += d
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) snapshot() ResilienceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+func (c *resilienceCounters) reset() {
+	c.mu.Lock()
+	c.s = ResilienceStats{}
+	c.mu.Unlock()
+}
+
+// ResilienceStats returns a copy of this rank's fault-handling counters.
+func (r *Rank) ResilienceStats() ResilienceStats { return r.resilience.snapshot() }
+
+// ResilienceStats returns every rank's fault-handling counters.
+func (c *Cluster) ResilienceStats() []ResilienceStats {
+	out := make([]ResilienceStats, c.p)
+	for i, r := range c.ranks {
+		out[i] = r.resilience.snapshot()
+	}
+	return out
+}
+
+// TotalResilience returns the cluster-wide sum of all ranks' counters.
+func (c *Cluster) TotalResilience() ResilienceStats {
+	var sum ResilienceStats
+	for _, r := range c.ranks {
+		sum = sum.Plus(r.resilience.snapshot())
+	}
+	return sum
+}
+
+// regionsTotal sums the element counts of a region list.
+func regionsTotal(regions []Region) int64 {
+	var n int64
+	for _, reg := range regions {
+		n += reg.Elems
+	}
+	return n
+}

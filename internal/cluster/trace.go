@@ -19,6 +19,8 @@ const (
 	TraceMulticast TraceOp = "multicast" // collective multicast reception
 	TraceSendrecv  TraceOp = "sendrecv"  // cyclic shift step
 	TraceAllgather TraceOp = "allgather" // allgather reception
+	TraceRetry     TraceOp = "retry"     // injected transient failure, retried
+	TraceDegrade   TraceOp = "degrade"   // one-sided get degraded to the sync path
 )
 
 // Event is one traced transfer, from the receiving rank's perspective.

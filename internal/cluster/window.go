@@ -25,16 +25,21 @@ func (r *Rank) Expose(name string, data []float64) {
 	r.c.mu.Unlock()
 }
 
-// window looks up a peer's exposed buffer.
+// window looks up a peer's exposed buffer. It observes the cluster-wide
+// abort flag so that a rank looping over window accesses after a peer
+// failure stops promptly instead of grinding on.
 func (r *Rank) window(target int, name string) ([]float64, error) {
+	if err := r.c.abortedErr(); err != nil {
+		return nil, err
+	}
 	if target < 0 || target >= r.P {
-		return nil, fmt.Errorf("cluster: rank %d: window target %d out of range [0,%d)", r.ID, target, r.P)
+		return nil, fmt.Errorf("cluster: rank %d: window target %d out of range [0,%d): %w", r.ID, target, r.P, ErrWindowMissing)
 	}
 	r.c.mu.RLock()
 	w, ok := r.c.windows[target][name]
 	r.c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d", r.ID, name, target)
+		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d: %w", r.ID, name, target, ErrWindowMissing)
 	}
 	return w, nil
 }
@@ -43,8 +48,45 @@ func (r *Rank) window(target int, name string) ([]float64, error) {
 // window, packing them contiguously into dst (which must have room for the
 // sum of region lengths). It returns the number of elements read. The call
 // only moves data; charge the cost with Net().OneSidedCost and Charge.
+//
+// Under an attached fault injector the get becomes resilient: each injected
+// transient failure is retried with exponential backoff charged to this
+// rank's AsyncComm clock ("get.retry.backoff" spans), up to the policy's
+// attempt budget. When the budget runs out the get fails with an
+// ErrRetryExhausted-wrapping error; asynchronous-path callers then degrade
+// to SyncFallbackPull, which moves the same elements reliably.
 func (r *Rank) GetIndexed(target int, name string, regions []Region, dst []float64) (int64, error) {
-	return r.getIndexed(target, name, regions, dst, true)
+	fi, pol := r.injection()
+	if fi == nil {
+		return r.getIndexed(target, name, regions, dst, true)
+	}
+	var firstOff int64
+	if len(regions) > 0 {
+		firstOff = regions[0].Off
+	}
+	elems := regionsTotal(regions)
+	for attempt := 1; ; attempt++ {
+		if err := r.failed(); err != nil {
+			return 0, err
+		}
+		out := fi.GetAttempt(r.ID, target, firstOff, elems, attempt)
+		if out.Delay > 0 {
+			r.ChargeOp(AsyncComm, "get.fault.delay", out.Delay)
+			r.resilience.addDelay(out.Delay)
+		}
+		if !out.Fail {
+			return r.getIndexed(target, name, regions, dst, true)
+		}
+		if attempt >= pol.MaxAttempts {
+			r.resilience.addExhausted()
+			return 0, fmt.Errorf("cluster: rank %d: one-sided get from rank %d failed %d attempts: %w",
+				r.ID, target, attempt, ErrRetryExhausted)
+		}
+		backoff := pol.Backoff(attempt)
+		r.ChargeOp(AsyncComm, "get.retry.backoff", backoff)
+		r.resilience.addGetRetry(backoff)
+		r.trace.record(Event{Rank: r.ID, Op: TraceRetry, Peer: target, Elems: elems, Msgs: int64(len(regions))})
+	}
 }
 
 func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float64, record bool) (int64, error) {
@@ -55,12 +97,12 @@ func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float
 	var n int64
 	for _, reg := range regions {
 		if reg.Off < 0 || reg.Elems < 0 || reg.Off+reg.Elems > int64(len(w)) {
-			return 0, fmt.Errorf("cluster: rank %d: region [%d,+%d) outside window %q of rank %d (len %d)",
-				r.ID, reg.Off, reg.Elems, name, target, len(w))
+			return 0, fmt.Errorf("cluster: rank %d: region [%d,+%d) outside window %q of rank %d (len %d): %w",
+				r.ID, reg.Off, reg.Elems, name, target, len(w), ErrRegionOOB)
 		}
 		if int64(len(dst))-n < reg.Elems {
-			return 0, fmt.Errorf("cluster: rank %d: destination too small for indexed get (%d < %d)",
-				r.ID, len(dst), n+reg.Elems)
+			return 0, fmt.Errorf("cluster: rank %d: destination too small for indexed get (%d < %d): %w",
+				r.ID, len(dst), n+reg.Elems, ErrDstTooSmall)
 		}
 		copy(dst[n:n+reg.Elems], w[reg.Off:reg.Off+reg.Elems])
 		n += reg.Elems
@@ -90,7 +132,37 @@ func (r *Rank) Get(target int, name string, reg Region, dst []float64) (int64, e
 // semantics are equivalent to the paper's root-initiated MPI_Ibcast here
 // because windows are immutable during the epoch and reception is blocking
 // anyway (paper section 5.2.1). Returns the element count for charging.
+//
+// Under an attached fault injector a leg of the multicast tree can
+// straggle (extra SyncComm charged as "multicast.leg.delay") or fail, in
+// which case the leg is re-pulled after a backoff charged as
+// "multicast.retry.backoff". A leg whose failures outlast the retry budget
+// is fatal — the collective path is this machine's reliable substrate, so
+// a plan that breaks it permanently is not survivable.
 func (r *Rank) MulticastPull(root int, name string, off, elems int64, dst []float64) (int64, error) {
+	if fi, pol := r.injection(); fi != nil {
+		for attempt := 1; ; attempt++ {
+			if err := r.failed(); err != nil {
+				return 0, err
+			}
+			out := fi.LegAttempt(r.ID, root, off, elems, r.Breakdown().SyncComm, attempt)
+			if out.Delay > 0 {
+				r.ChargeOp(SyncComm, "multicast.leg.delay", out.Delay)
+				r.resilience.addDelay(out.Delay)
+			}
+			if !out.Fail {
+				break
+			}
+			if attempt >= pol.MaxAttempts {
+				return 0, fmt.Errorf("cluster: rank %d: multicast leg from root %d failed %d attempts: %w",
+					r.ID, root, attempt, ErrRetryExhausted)
+			}
+			backoff := pol.Backoff(attempt)
+			r.ChargeOp(SyncComm, "multicast.retry.backoff", backoff)
+			r.resilience.addLegRetry(backoff)
+			r.trace.record(Event{Rank: r.ID, Op: TraceRetry, Peer: root, Elems: elems, Msgs: 1})
+		}
+	}
 	n, err := r.getIndexed(root, name, []Region{{Off: off, Elems: elems}}, dst, false)
 	if err != nil {
 		return n, err
@@ -99,5 +171,31 @@ func (r *Rank) MulticastPull(root int, name string, off, elems int64, dst []floa
 	r.counters.addOneSided(-n, -1)
 	r.counters.addCollective(n, 1)
 	r.trace.record(Event{Rank: r.ID, Op: TraceMulticast, Peer: root, Elems: n, Msgs: 1})
+	return n, nil
+}
+
+// SyncFallbackPull re-fetches the given regions through the synchronous
+// path after the one-sided path exhausted its retry budget (graceful
+// degradation, so the SpMM still completes bit-exactly). It moves exactly
+// the elements GetIndexed would have and packs them identically into dst,
+// but the traffic is counted as collective and no one-sided faults apply:
+// this models the root re-sending the rows over the reliable collective
+// substrate. The call only moves data; the caller charges the collective
+// cost (typically NetModel.MulticastCost with one destination) to
+// SyncComm, which is what attributes the degradation in the Breakdown
+// ledger.
+func (r *Rank) SyncFallbackPull(target int, name string, regions []Region, dst []float64) (int64, error) {
+	if err := r.failed(); err != nil {
+		return 0, err
+	}
+	n, err := r.getIndexed(target, name, regions, dst, false)
+	if err != nil {
+		return n, err
+	}
+	// Reclassify as collective traffic, like MulticastPull.
+	r.counters.addOneSided(-n, -int64(len(regions)))
+	r.counters.addCollective(n, 1)
+	r.resilience.addDegradation(n)
+	r.trace.record(Event{Rank: r.ID, Op: TraceDegrade, Peer: target, Elems: n, Msgs: 1})
 	return n, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ var (
 	metricRegionElems   = obs.Default.Histogram("exec.async.region_elems", obs.ExpBuckets(8, 4, 14))
 	metricPoolAsyncGet  = obs.Default.Counter("core.pool.async.get")
 	metricPoolPanelGet  = obs.Default.Counter("core.pool.panel.get")
+	metricDegradations  = obs.Default.Counter("exec.async.degradations")
 )
 
 // ExecOptions controls the real goroutine parallelism of one node's
@@ -92,6 +94,11 @@ type Result struct {
 	// and the number of events each rank dropped to its buffer cap.
 	TraceEvents  []cluster.Event
 	TraceDropped []int64
+	// Resilience holds each rank's fault-handling counters (retries,
+	// backoff time, degradations) and TotalResilience their cluster-wide
+	// sum. All zero on a healthy cluster.
+	Resilience      []cluster.ResilienceStats
+	TotalResilience cluster.ResilienceStats
 }
 
 // FillObservability populates the transfer counters and (when tracing is
@@ -101,6 +108,8 @@ type Result struct {
 func (res *Result) FillObservability(clu *cluster.Cluster) {
 	res.Transfer = clu.TransferStats()
 	res.TotalTransfer = clu.TotalTransfer()
+	res.Resilience = clu.ResilienceStats()
+	res.TotalResilience = clu.TotalResilience()
 	if clu.TraceEnabled() {
 		events, dropped := clu.TraceByRank()
 		for _, ev := range events {
@@ -110,6 +119,7 @@ func (res *Result) FillObservability(clu *cluster.Cluster) {
 	}
 	if obs.Default.Enabled() {
 		obs.RecordSkew(obs.Default, res.Breakdowns)
+		obs.RecordResilience(obs.Default, res.TotalResilience)
 	}
 }
 
@@ -324,11 +334,27 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 	var fetchedRows int64
 	ws.regions, ws.bufRow, fetchedRows = coalesceRegionsInto(ws.regions, ws.bufRow, cols, params.MaxCoalesceGap, int32(ownerBlock.Lo), k)
 	drows := ws.fetchBuf(int(fetchedRows) * k)
+	elems := fetchedRows * int64(k)
+	var commCost float64
 	if _, err := r.GetIndexed(owner, "B", ws.regions, drows); err != nil {
-		return err
+		if !errors.Is(err, cluster.ErrRetryExhausted) {
+			return err
+		}
+		// Graceful degradation (the fault plan made this target unreachable
+		// one-sidedly): re-fetch the same rows through the reliable
+		// synchronous path. The data is identical, so the SpMM completes
+		// bit-exactly; the extra time lands in SyncComm as a point-to-point
+		// resend, visibly attributed in the Breakdown ledger.
+		if _, err := r.SyncFallbackPull(owner, "B", ws.regions, drows); err != nil {
+			return err
+		}
+		commCost = net.MulticastCost(elems, 1)
+		r.ChargeOp(cluster.SyncComm, "degrade.refetch", commCost)
+		metricDegradations.Inc()
+	} else {
+		commCost = net.OneSidedCost(len(ws.regions), elems)
+		r.ChargeOp(cluster.AsyncComm, "get.indexed", commCost)
 	}
-	commCost := net.OneSidedCost(len(ws.regions), fetchedRows*int64(k))
-	r.ChargeOp(cluster.AsyncComm, "get.indexed", commCost)
 	if obs.Default.Enabled() {
 		metricRegionsPerGet.Observe(float64(len(ws.regions)))
 		for _, reg := range ws.regions {

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"twoface/internal/baselines"
+	"twoface/internal/chaos"
 	"twoface/internal/cluster"
 	"twoface/internal/core"
 	"twoface/internal/dense"
@@ -34,6 +35,10 @@ type Config struct {
 	// experiments report modeled time, which is independent of the
 	// arithmetic, and the test suite proves correctness separately.
 	Verify bool
+	// Chaos, when non-nil, runs every algorithm under this seeded fault
+	// plan (compiled per node count, so one plan serves a p-sweep). Rank
+	// indices beyond a particular run's node count are inert.
+	Chaos *chaos.Plan
 }
 
 func (c Config) normalize() Config {
@@ -143,6 +148,14 @@ func (c Config) Run(algo Algo, w *Workload, k, p int) Outcome {
 	if err != nil {
 		out.Err = err
 		return out
+	}
+	if cc.Chaos != nil {
+		inj, err := cc.Chaos.Injector(p)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		clu.SetFaultInjector(inj)
 	}
 	b := w.B(k)
 	opts := baselines.Options{Workers: cc.Workers, MemBudgetElems: cc.MemBudget(), SkipCompute: !cc.Verify}

@@ -56,8 +56,17 @@ type Report struct {
 	Transfer       cluster.TransferStats `json:"transfer_total"`
 	Skew           *Skew                 `json:"skew,omitempty"`
 
-	Metrics *Snapshot  `json:"metrics,omitempty"`
-	Trace   *TraceInfo `json:"trace,omitempty"`
+	Metrics    *Snapshot                `json:"metrics,omitempty"`
+	Trace      *TraceInfo               `json:"trace,omitempty"`
+	Resilience *cluster.ResilienceStats `json:"resilience,omitempty"`
+}
+
+// SetResilience attaches the run's cluster-wide fault/retry/degradation
+// counters; zero stats are omitted so fault-free reports stay unchanged.
+func (r *Report) SetResilience(rs cluster.ResilienceStats) {
+	if rs.Faulted() {
+		r.Resilience = &rs
+	}
 }
 
 // NewReport starts a report for the named tool, stamped with the build's Go
@@ -199,4 +208,20 @@ func RecordSkew(reg *Registry, breakdowns []cluster.Breakdown) {
 	if mean > 0 {
 		reg.Gauge("exec.node_time.skew").Set(max / mean)
 	}
+}
+
+// RecordResilience publishes the run's cluster-wide resilience counters as
+// gauges (chaos.get_retries, chaos.degradations, ...). Fault-free runs
+// publish nothing, keeping healthy snapshots free of chaos series.
+func RecordResilience(reg *Registry, rs cluster.ResilienceStats) {
+	if !rs.Faulted() {
+		return
+	}
+	reg.Gauge("chaos.get_retries").Set(float64(rs.GetRetries))
+	reg.Gauge("chaos.get_exhausted").Set(float64(rs.GetExhausted))
+	reg.Gauge("chaos.degradations").Set(float64(rs.Degradations))
+	reg.Gauge("chaos.degraded_elems").Set(float64(rs.DegradedElems))
+	reg.Gauge("chaos.leg_retries").Set(float64(rs.LegRetries))
+	reg.Gauge("chaos.backoff_seconds").Set(rs.BackoffSeconds)
+	reg.Gauge("chaos.delay_seconds").Set(rs.DelaySeconds)
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Chaos sweep: run Two-Face and every baseline under a range of seeded
+# random fault plans and assert each chaotic run matches its fault-free
+# twin — bit-exact, or within reassociation ulps for algorithms that
+# accumulate C concurrently (twoface-run exits non-zero past either bound).
+# DESIGN.md section 7 describes the fault model; RandomFaultPlan guarantees
+# every generated plan is survivable, so any failure here is a resilience bug.
+#
+# Usage: scripts/chaos.sh [seeds] [matrix] [scale]
+#   seeds   how many consecutive seeds to sweep, starting at 1 (default 10)
+#   matrix  registry matrix name (default web)
+#   scale   matrix scale (default 0.05)
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+seeds=${1:-10}
+matrix=${2:-web}
+scale=${3:-0.05}
+algos=(twoface ds1 ds2 allgather asynccoarse asyncfine)
+
+go build -o /tmp/twoface-run-chaos ./cmd/twoface-run
+
+for seed in $(seq 1 "$seeds"); do
+    for algo in "${algos[@]}"; do
+        out=$(/tmp/twoface-run-chaos -matrix "$matrix" -scale "$scale" \
+            -algo "$algo" -chaos-seed "$seed" | grep '^chaos:' || true)
+        if ! grep -Eq 'bit-exact with the fault-free run|matches the fault-free run within float tolerance' <<<"$out"; then
+            echo "FAIL seed=$seed algo=$algo" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        echo "seed=$seed algo=$algo OK  ${out##*$'\n'}"
+    done
+done
+echo "chaos sweep: all $seeds seeds x ${#algos[@]} algorithms bit-exact"

@@ -36,4 +36,9 @@ grep -q '"traceEvents"' "$tmp/run.trace.json"
 grep -q '"go_version"' "$tmp/run.json"
 grep -q '"modeled_seconds"' "$tmp/run.json"
 
+echo "== chaos smoke (seeded fault injection, bit-exact degradation)"
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    -chaos-seed 7 >"$tmp/chaos.out"
+grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos.out"
+
 echo "== check.sh: all green"

@@ -34,6 +34,7 @@
 package twoface
 
 import (
+	"twoface/internal/chaos"
 	"twoface/internal/cluster"
 	"twoface/internal/core"
 	"twoface/internal/dense"
@@ -77,6 +78,15 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// RunReport is the structured JSON document describing one run.
 	RunReport = obs.Report
+	// FaultPlan is a seeded, deterministic fault-injection plan (see
+	// Options.Chaos and internal/chaos).
+	FaultPlan = chaos.Plan
+	// RetryPolicy governs the cluster's retry/backoff behaviour under
+	// injected faults.
+	RetryPolicy = cluster.RetryPolicy
+	// ResilienceStats count a run's injected faults, retries, and
+	// degradations (see Result.Resilience).
+	ResilienceStats = cluster.ResilienceStats
 )
 
 // NewTracer returns an empty virtual-time span tracer (per-rank span cap;
@@ -91,6 +101,19 @@ func DefaultMetrics() *Metrics { return obs.Default }
 // NewRunReport starts a run report for the named tool, stamped with build
 // provenance (Go version, VCS commit when available).
 func NewRunReport(tool string) *RunReport { return obs.NewReport(tool) }
+
+// RandomFaultPlan generates a survivable fault plan for a p-node cluster,
+// deterministic in seed: stragglers, transient get failures within the
+// retry budget, a persistently unreachable get target that forces the
+// degradation path, and straggling multicast legs — but no crashes and no
+// collective failure beyond the budget, so every algorithm must complete
+// bit-exactly under it. This is what -chaos-seed feeds to twoface-run and
+// twoface-bench.
+func RandomFaultPlan(seed uint64, p int) *FaultPlan { return chaos.RandomPlan(seed, p) }
+
+// LoadFaultPlan reads and validates a JSON fault plan file (the
+// twoface-run -fault-plan format).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return chaos.LoadFile(path) }
 
 // NewSparse returns an empty sparse matrix with the given shape.
 func NewSparse(rows, cols int32) *SparseMatrix { return sparse.NewCOO(rows, cols, 0) }
