@@ -37,6 +37,19 @@ type Options struct {
 	// Workers is the real goroutine parallelism per node (wall-clock only;
 	// modeled time uses the paper's thread counts). Default 4.
 	Workers int
+	// AsyncWorkers is the per-node goroutine count draining the one-sided
+	// queue (wall-clock only, like Workers). Default 2.
+	AsyncWorkers int
+	// LegacyAsyncGets restores the pre-aggregation one-sided path: one
+	// GetIndexed per async stripe, no cross-run row cache. The fidelity
+	// toggle for reproducing earlier accounting.
+	LegacyAsyncGets bool
+	// MaxAsyncBatchBytes caps how many fetched bytes one aggregated
+	// one-sided request may carry (0 uses the core default of 1 MiB).
+	MaxAsyncBatchBytes int64
+	// RowCacheElems bounds each rank's remote-row cache, in float64
+	// elements (0 uses the core default; negative disables the cache).
+	RowCacheElems int64
 	// Verify keeps the arithmetic on (default). Setting TimingOnly skips
 	// the floating-point loops, which is how the experiment harness runs.
 	TimingOnly bool
@@ -130,8 +143,11 @@ func autoWidth(cols int32) int32 {
 func (s *System) params(net NetModel) core.Params {
 	p := core.Params{
 		P: s.opts.Nodes, K: s.opts.DenseColumns, W: s.opts.StripeWidth,
-		RowPanelHeight: s.opts.RowPanelHeight,
-		MemBudgetElems: s.opts.MemBudgetElems,
+		RowPanelHeight:  s.opts.RowPanelHeight,
+		MemBudgetElems:  s.opts.MemBudgetElems,
+		MaxBatchBytes:   s.opts.MaxAsyncBatchBytes,
+		LegacyAsyncGets: s.opts.LegacyAsyncGets,
+		RowCacheElems:   s.opts.RowCacheElems,
 	}
 	if s.opts.Coefficients != nil {
 		p.Coef = *s.opts.Coefficients
@@ -301,6 +317,16 @@ func (s *System) LoadPlan(path string) (*Plan, error) {
 	if prep.Params.K != s.opts.DenseColumns {
 		return nil, fmt.Errorf("twoface: plan was built for K=%d, system has K=%d", prep.Params.K, s.opts.DenseColumns)
 	}
+	// Communication knobs are runtime policy, not part of the stored
+	// classification: the loading system's settings win over whatever
+	// defaults the plan was normalized with when it was written.
+	prep.Params.LegacyAsyncGets = s.opts.LegacyAsyncGets
+	if s.opts.MaxAsyncBatchBytes != 0 {
+		prep.Params.MaxBatchBytes = s.opts.MaxAsyncBatchBytes
+	}
+	if s.opts.RowCacheElems != 0 {
+		prep.Params.RowCacheElems = s.opts.RowCacheElems
+	}
 	clu, err := s.newCluster(s.netFor(prep.Layout.NumRows))
 	if err != nil {
 		return nil, err
@@ -309,8 +335,12 @@ func (s *System) LoadPlan(path string) (*Plan, error) {
 }
 
 func (p *Plan) execOptions() core.ExecOptions {
+	aw := p.sys.opts.AsyncWorkers
+	if aw == 0 {
+		aw = 2
+	}
 	return core.ExecOptions{
-		AsyncWorkers: 2,
+		AsyncWorkers: aw,
 		SyncWorkers:  p.sys.opts.Workers,
 		SkipCompute:  p.sys.opts.TimingOnly,
 	}

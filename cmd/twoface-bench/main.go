@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: table1|fig2|fig7|fig8|fig9|table3|table5|fig10|fig11|table6|fig12|volume|seeds|all")
+		exp        = flag.String("exp", "all", "experiment to run: table1|fig2|fig7|fig8|fig9|table3|table5|fig10|fig11|table6|fig12|volume|comm|seeds|all")
 		scale      = flag.Float64("scale", 1.0, "matrix scale relative to the registry (1.0 = 1/512 of the paper)")
 		p          = flag.Int("p", 8, "number of simulated nodes")
 		seed       = flag.Uint64("seed", 42, "generator seed")
@@ -39,6 +39,7 @@ func main() {
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "run every algorithm under a random survivable fault plan with this seed (0 = off)")
 		faultPlan  = flag.String("fault-plan", "", "run every algorithm under the JSON fault plan at this path")
 		report     = flag.String("report", "", "write a structured JSON report of this invocation")
+		commOut    = flag.String("comm-out", "", "with -exp comm: write the per-matrix aggregation rows as JSON")
 		runsFile   = flag.String("runs-file", "BENCH_runs.json", "trajectory file appended to when -report is set (empty disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile")
@@ -77,7 +78,7 @@ func main() {
 	case *chaosSeed != 0:
 		cfg.Chaos = chaos.RandomPlan(*chaosSeed, *p)
 	}
-	if err := run(cfg, strings.ToLower(*exp), *full, *asJSON); err != nil {
+	if err := run(cfg, strings.ToLower(*exp), *full, *asJSON, *commOut); err != nil {
 		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
 		os.Exit(1)
 	}
@@ -145,7 +146,7 @@ func writeReport(path, runsFile string, cfg harness.Config, exp string, wall tim
 	return nil
 }
 
-func run(cfg harness.Config, exp string, full bool, asJSON bool) error {
+func run(cfg harness.Config, exp string, full bool, asJSON bool, commOut string) error {
 	show := func(t *harness.Table) {
 		if asJSON {
 			b, err := t.JSON()
@@ -216,6 +217,24 @@ func run(cfg harness.Config, exp string, full bool, asJSON bool) error {
 	}
 	if want("volume") {
 		show(cfg.CommVolume(128))
+		ran = true
+	}
+	if want("comm") {
+		rows, t, err := cfg.CommAggregation(128)
+		if err != nil {
+			return err
+		}
+		show(t)
+		if commOut != "" {
+			b, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(commOut, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("comm aggregation rows: %s\n", commOut)
+		}
 		ran = true
 	}
 	if want("seeds") {

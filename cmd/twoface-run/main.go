@@ -43,6 +43,9 @@ type cli struct {
 	seed       uint64
 	plan, algo string
 	k, p       int
+	syncW      int
+	asyncW     int
+	legacy     bool
 	verify     bool
 	trace      bool
 	traceOut   string
@@ -65,6 +68,9 @@ func main() {
 	flag.StringVar(&c.algo, "algo", "twoface", "algorithm: twoface|ds1|ds2|ds4|ds8|allgather|asynccoarse|asyncfine")
 	flag.IntVar(&c.k, "K", 128, "dense matrix columns")
 	flag.IntVar(&c.p, "p", 8, "simulated nodes")
+	flag.IntVar(&c.syncW, "sync-workers", 4, "goroutines per node on the collective path (wall-clock only)")
+	flag.IntVar(&c.asyncW, "async-workers", 2, "goroutines per node draining the one-sided queue (wall-clock only)")
+	flag.BoolVar(&c.legacy, "legacy-async", false, "one get per async stripe, no batching or row cache (seed accounting)")
 	flag.BoolVar(&c.verify, "verify", true, "check the result against the reference kernel")
 	flag.BoolVar(&c.trace, "trace", false, "print a per-node transfer trace summary")
 	flag.StringVar(&c.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the run's virtual-time spans")
@@ -111,7 +117,10 @@ func run(c cli) error {
 		return err
 	}
 
-	opts := twoface.Options{Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify, Chaos: chaosPlan}
+	opts := twoface.Options{
+		Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify, Chaos: chaosPlan,
+		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
+	}
 	if c.trace {
 		opts.TraceEvents = c.traceCap
 	}
@@ -223,7 +232,10 @@ func reportChaos(c cli, a *twoface.SparseMatrix, res *twoface.Result, plan *twof
 	}
 	twinCfg := c
 	twinCfg.quiet = true
-	twinSys, err := twoface.New(twoface.Options{Nodes: c.p, DenseColumns: c.k})
+	twinSys, err := twoface.New(twoface.Options{
+		Nodes: c.p, DenseColumns: c.k,
+		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
+	})
 	if err != nil {
 		return err
 	}
@@ -386,8 +398,12 @@ func report(res *twoface.Result) {
 	}
 	t := res.TotalTransfer
 	if t.TotalBytes() > 0 {
-		fmt.Printf("data moved: %.2f MB collective in %d ops, %.2f MB one-sided in %d regions\n",
-			float64(t.CollectiveBytes)/1e6, t.CollectiveMsgs, float64(t.OneSidedBytes)/1e6, t.OneSidedMsgs)
+		fmt.Printf("data moved: %.2f MB collective in %d ops, %.2f MB one-sided in %d gets (%d regions)\n",
+			float64(t.CollectiveBytes)/1e6, t.CollectiveMsgs, float64(t.OneSidedBytes)/1e6, t.OneSidedGets, t.OneSidedMsgs)
+	}
+	if rc := res.RowCache; rc.Hits+rc.Misses > 0 {
+		fmt.Printf("row cache: %d hits / %d misses (%.0f%% hit rate), %.2f MB not re-fetched\n",
+			rc.Hits, rc.Misses, 100*rc.HitRate(), float64(rc.SavedBytes)/1e6)
 	}
 }
 

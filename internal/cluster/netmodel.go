@@ -43,6 +43,14 @@ type NetModel struct {
 	// BetaA is the per-element transfer cost of one-sided communication.
 	// Paper section 6.2: BetaA/BetaS ~ 18.5.
 	BetaA float64
+	// RegionAlpha is the marginal per-region cost of adding one more indexed
+	// region to an *already issued* one-sided request (OneSidedBatchCost).
+	// AlphaA bundles request setup, library call, and network round trip;
+	// once a request is in flight, each extra MPI_Type_indexed region only
+	// pays descriptor build and target-side gather, which is why aggregating
+	// the regions of many stripes into one get amortizes the dominant AlphaA.
+	// Default: AlphaA/8.
+	RegionAlpha float64
 
 	// GammaCore is the compute cost per (nonzero x dense column) on a single
 	// thread for the row-major synchronous kernel, in seconds. 1.2e-9
@@ -91,6 +99,7 @@ func Default() NetModel {
 		BetaS:          1.95e-10,
 		AlphaA:         1.02e-5,
 		BetaA:          3.61e-9,
+		RegionAlpha:    1.275e-6, // AlphaA/8
 		GammaCore:      1.2e-9,
 		AsyncPenalty:   4, // gamma_A = 1.2e-9 * 4 / 8 threads = 6e-10 per nnz*K
 		KappaStripe:    8.72e-9,
@@ -111,6 +120,7 @@ func (n NetModel) Scaled(f float64) NetModel {
 	}
 	n.AlphaS /= f
 	n.AlphaA /= f
+	n.RegionAlpha /= f
 	n.KappaStripe /= f
 	n.SetupPerStripe /= f
 	n.SetupBase /= f
@@ -163,6 +173,20 @@ func (n NetModel) OneSidedCost(regions int, elems int64) float64 {
 		return 0
 	}
 	return n.AlphaA*float64(regions) + n.BetaA*float64(elems)
+}
+
+// OneSidedBatchCost returns the origin-side cost of one *aggregated*
+// one-sided get carrying `regions` indexed regions totalling elems elements:
+// the full per-request overhead AlphaA is paid once, and each additional
+// region pays only the marginal RegionAlpha. With one region it equals
+// OneSidedCost; with many it is strictly cheaper, which is the modeled win
+// of the owner-batched scheduler (core.Params.LegacyAsyncGets restores the
+// per-stripe OneSidedCost accounting).
+func (n NetModel) OneSidedBatchCost(regions int, elems int64) float64 {
+	if regions <= 0 {
+		return 0
+	}
+	return n.AlphaA + n.RegionAlpha*float64(regions-1) + n.BetaA*float64(elems)
 }
 
 // SyncComputeCost returns the cost of multiplying nnz nonzeros against K

@@ -122,3 +122,35 @@ func TestComputeCosts(t *testing.T) {
 		t.Fatal("thread clamping failed")
 	}
 }
+
+func TestOneSidedBatchCost(t *testing.T) {
+	n := Default()
+	if n.OneSidedBatchCost(0, 0) != 0 {
+		t.Fatal("zero regions should cost nothing")
+	}
+	// One region: a batch degenerates to a plain one-sided request.
+	if got, want := n.OneSidedBatchCost(1, 1000), n.OneSidedCost(1, 1000); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("single-region batch = %v, want %v", got, want)
+	}
+	got := n.OneSidedBatchCost(5, 1000)
+	want := n.AlphaA + 4*n.RegionAlpha + 1000*n.BetaA
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("OneSidedBatchCost = %v, want %v", got, want)
+	}
+	// Aggregation must never cost more than separate per-region requests.
+	f := func(regionsRaw uint8, elemsRaw uint32) bool {
+		regions := int(regionsRaw%32) + 1
+		elems := int64(elemsRaw % 1e6)
+		return n.OneSidedBatchCost(regions, elems) <= n.OneSidedCost(regions, elems)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledDividesRegionAlpha(t *testing.T) {
+	n := Default().Scaled(4)
+	if got, want := n.RegionAlpha, Default().RegionAlpha/4; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("scaled RegionAlpha = %v, want %v", got, want)
+	}
+}

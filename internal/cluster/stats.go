@@ -25,6 +25,12 @@ type TransferStats struct {
 	// OneSidedMsgs counts one-sided regions fetched (each region is one
 	// network transaction in the MPI_Type_indexed pattern).
 	OneSidedMsgs int64
+	// OneSidedGets counts aggregated one-sided get *requests* issued (each
+	// GetIndexed call is one request carrying one or more regions). This is
+	// the request count the per-request overhead AlphaA multiplies, so it is
+	// the number the owner-batched scheduler drives down; degraded re-fetches
+	// through the collective path do not count.
+	OneSidedGets int64
 }
 
 // Plus returns the field-wise sum.
@@ -34,6 +40,7 @@ func (t TransferStats) Plus(o TransferStats) TransferStats {
 		CollectiveMsgs:  t.CollectiveMsgs + o.CollectiveMsgs,
 		OneSidedBytes:   t.OneSidedBytes + o.OneSidedBytes,
 		OneSidedMsgs:    t.OneSidedMsgs + o.OneSidedMsgs,
+		OneSidedGets:    t.OneSidedGets + o.OneSidedGets,
 	}
 }
 
@@ -54,6 +61,7 @@ type transferCounters struct {
 	collectiveMsgs  atomic.Int64
 	oneSidedBytes   atomic.Int64
 	oneSidedMsgs    atomic.Int64
+	oneSidedGets    atomic.Int64
 }
 
 func (c *transferCounters) addCollective(elems int64, msgs int64) {
@@ -66,12 +74,15 @@ func (c *transferCounters) addOneSided(elems int64, msgs int64) {
 	c.oneSidedMsgs.Add(msgs)
 }
 
+func (c *transferCounters) addGet() { c.oneSidedGets.Add(1) }
+
 func (c *transferCounters) snapshot() TransferStats {
 	return TransferStats{
 		CollectiveBytes: c.collectiveBytes.Load(),
 		CollectiveMsgs:  c.collectiveMsgs.Load(),
 		OneSidedBytes:   c.oneSidedBytes.Load(),
 		OneSidedMsgs:    c.oneSidedMsgs.Load(),
+		OneSidedGets:    c.oneSidedGets.Load(),
 	}
 }
 
@@ -80,6 +91,7 @@ func (c *transferCounters) reset() {
 	c.collectiveMsgs.Store(0)
 	c.oneSidedBytes.Store(0)
 	c.oneSidedMsgs.Store(0)
+	c.oneSidedGets.Store(0)
 }
 
 // TransferStats returns a copy of this rank's data-movement counters.

@@ -209,3 +209,40 @@ func TestTargetContentionCharging(t *testing.T) {
 		t.Fatal("default model must not charge targets")
 	}
 }
+
+func TestOneSidedGetsCounting(t *testing.T) {
+	c := mustNew(t, 2)
+	err := c.Run(func(r *Rank) error {
+		r.Expose("w", make([]float64, 100))
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		if r.ID == 1 {
+			// One aggregated request carrying three regions: one get.
+			dst := make([]float64, 30)
+			regs := []Region{{Off: 0, Elems: 10}, {Off: 40, Elems: 10}, {Off: 80, Elems: 10}}
+			if _, err := r.GetIndexed(0, "w", regs, dst); err != nil {
+				return err
+			}
+			// A multicast pull is collective: no get counted.
+			if _, err := r.MulticastPull(0, "w", 0, 8, make([]float64, 8)); err != nil {
+				return err
+			}
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.TransferStats()[1]
+	if s.OneSidedGets != 1 {
+		t.Fatalf("OneSidedGets = %d, want 1 (one request, regardless of regions)", s.OneSidedGets)
+	}
+	if s.OneSidedMsgs != 3 {
+		t.Fatalf("OneSidedMsgs = %d, want 3 (one per region)", s.OneSidedMsgs)
+	}
+	a := TransferStats{OneSidedGets: 2}
+	if a.Plus(a).OneSidedGets != 4 {
+		t.Fatal("Plus must sum OneSidedGets")
+	}
+}

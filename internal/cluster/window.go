@@ -109,6 +109,11 @@ func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float
 	}
 	r.counters.addOneSided(n, int64(len(regions)))
 	if record {
+		// Count the aggregated request itself only for true one-sided gets:
+		// multicast pulls and degraded re-fetches (record=false) subtract the
+		// provisional region/byte counts and reclassify them as collective,
+		// so they must not bump the request counter either.
+		r.counters.addGet()
 		r.trace.record(Event{Rank: r.ID, Op: TraceGet, Peer: target, Elems: n, Msgs: int64(len(regions))})
 		// Target-side contention (optional machine behaviour): the passive
 		// target's NIC/memory bandwidth is consumed by incoming gets. Only

@@ -28,6 +28,7 @@ var (
 	metricRegionElems   = obs.Default.Histogram("exec.async.region_elems", obs.ExpBuckets(8, 4, 14))
 	metricPoolAsyncGet  = obs.Default.Counter("core.pool.async.get")
 	metricPoolPanelGet  = obs.Default.Counter("core.pool.panel.get")
+	metricPoolRecvGet   = obs.Default.Counter("core.pool.recv.get")
 	metricDegradations  = obs.Default.Counter("exec.async.degradations")
 )
 
@@ -99,6 +100,10 @@ type Result struct {
 	// sum. All zero on a healthy cluster.
 	Resilience      []cluster.ResilienceStats
 	TotalResilience cluster.ResilienceStats
+	// RowCache summarizes the remote-row cache's traffic during this run
+	// (all zero under LegacyAsyncGets or a disabled cache; hits require a
+	// prior run on the same Prep and B — see DESIGN.md section 8).
+	RowCache RowCacheStats
 }
 
 // FillObservability populates the transfer counters and (when tracing is
@@ -140,9 +145,10 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 
 	k := params.K
 	out := atomicfloat.NewSlice(int(prep.Layout.NumRows) * k)
+	caches := prep.attachRowCaches(b)
 	start := time.Now()
 	runErr := clu.Run(func(r *cluster.Rank) error {
-		return execNode(prep, b, r, out, opts)
+		return execNode(prep, b, r, out, opts, caches)
 	})
 	if runErr != nil {
 		return nil, runErr
@@ -157,12 +163,19 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 		ModeledSeconds: clu.TotalTime(),
 		Wall:           wall,
 	}
+	for _, rc := range caches {
+		rc.mu.Lock()
+		res.RowCache.Hits += rc.hits
+		res.RowCache.Misses += rc.misses
+		res.RowCache.SavedBytes += 8 * rc.savedElems
+		rc.mu.Unlock()
+	}
 	res.FillObservability(clu)
 	return res, nil
 }
 
 // execNode is Algorithm 1 for one node.
-func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Slice, opts ExecOptions) error {
+func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Slice, opts ExecOptions, caches []*rowCache) error {
 	layout, params := prep.Layout, prep.Params
 	net := r.Net()
 	np := &prep.Nodes[r.ID]
@@ -187,6 +200,9 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	r.ChargeOp(cluster.Other, "setup", net.SetupBase+net.SetupPerStripe*float64(len(np.RecvStripes)+np.Async.NumStripes()+rooted))
 
 	recvBufs := make([][]float64, layout.NumStripes())
+	metricPoolRecvGet.Inc()
+	arena := recvArenaPool.Get().(*recvArena)
+	defer recvArenaPool.Put(arena) // all return paths join the goroutines first
 	syncReady := make(chan error, 1)
 	var wg sync.WaitGroup
 
@@ -194,15 +210,27 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		syncReady <- syncTransfers(prep, r, np, recvBufs, k)
+		syncReady <- syncTransfers(prep, r, np, recvBufs, arena, k)
 		close(syncReady)
 	}()
 
-	// Asynchronous threads (Algorithm 1 lines 9-14): drain the stripe queue.
+	// Asynchronous threads (Algorithm 1 lines 9-14): drain the stripe queue
+	// in owner-batches — one aggregated GetIndexed per run of consecutive
+	// same-owner stripes — or per stripe under the LegacyAsyncGets toggle.
 	var asyncErr error
 	var asyncMu sync.Mutex
 	var asyncCursor atomic.Int64
-	nAsync := int64(np.Async.NumStripes())
+	legacy := params.LegacyAsyncGets
+	var batches []asyncBatch
+	var cache *rowCache
+	nWork := int64(np.Async.NumStripes())
+	if !legacy {
+		batches = buildAsyncSchedule(layout, np, k, params.MaxBatchBytes, nil)
+		nWork = int64(len(batches))
+		if caches != nil {
+			cache = caches[r.ID]
+		}
+	}
 	wg.Add(opts.AsyncWorkers)
 	for w := 0; w < opts.AsyncWorkers; w++ {
 		go func() {
@@ -212,12 +240,20 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 			defer asyncScratchPool.Put(ws)
 			for {
 				n := asyncCursor.Add(1) - 1
-				if n >= nAsync {
+				if n >= nWork {
 					return
 				}
-				metricAsyncStripes.Inc()
-				metricQueueDepth.Observe(float64(nAsync - n))
-				if err := processAsyncStripe(prep, b, r, np, out, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
+				if obs.Default.Enabled() {
+					metricQueueDepth.Observe(float64(nWork - n))
+				}
+				var err error
+				if legacy {
+					metricAsyncStripes.Inc()
+					err = processAsyncStripe(prep, b, r, np, out, ws, int(n), opts.SkipCompute, opts.sampling())
+				} else {
+					err = processAsyncBatch(prep, b, r, np, out, ws, batches[n], cache, opts.SkipCompute, opts.sampling())
+				}
+				if err != nil {
 					asyncMu.Lock()
 					if asyncErr == nil {
 						asyncErr = err
@@ -279,8 +315,9 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 
 // syncTransfers receives every dense stripe this node needs through
 // collective multicasts and charges both receiver-side and (for stripes this
-// node roots) root-side collective time.
-func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float64, k int) error {
+// node roots) root-side collective time. Receive buffers are sliced out of
+// the node's pooled arena, so steady-state runs allocate nothing here.
+func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float64, arena *recvArena, k int) error {
 	layout := prep.Layout
 	net := r.Net()
 
@@ -295,17 +332,24 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 	}
 
 	// Receiver side: pull each needed dense stripe from its owner's window.
+	var total int64
+	for _, sid := range np.RecvStripes {
+		colLo, colHi := layout.StripeCols(sid)
+		total += int64(colHi-colLo) * int64(k)
+	}
+	buf := arena.grab(total)
 	for _, sid := range np.RecvStripes {
 		colLo, colHi := layout.StripeCols(sid)
 		owner := layout.StripeOwner(sid)
 		ownerBlock := layout.ColBlock(owner)
 		elems := int64(colHi-colLo) * int64(k)
-		buf := make([]float64, elems)
+		dst := buf[:elems:elems]
+		buf = buf[elems:]
 		off := int64(colLo-int32(ownerBlock.Lo)) * int64(k)
-		if _, err := r.MulticastPull(owner, "B", off, elems, buf); err != nil {
+		if _, err := r.MulticastPull(owner, "B", off, elems, dst); err != nil {
 			return err
 		}
-		recvBufs[sid] = buf
+		recvBufs[sid] = dst
 		r.ChargeOp(cluster.SyncComm, "multicast.recv", net.MulticastCost(elems, len(prep.Dests[sid])))
 	}
 	return nil

@@ -44,6 +44,31 @@ type Params struct {
 	// default, 127/K + 1. 1 merges only adjacent rows.
 	MaxCoalesceGap int32
 
+	// MaxBatchBytes caps the estimated payload of one aggregated one-sided
+	// get: the async scheduler batches the coalesced regions of consecutive
+	// same-owner stripes into a single GetIndexed until the next stripe would
+	// push the batch past this many bytes, keeping individual requests small
+	// enough that virtual-time communication still overlaps compute. 0 means
+	// the default, 1 MiB. Every batch holds at least one stripe, so a tiny
+	// cap degenerates to the per-stripe schedule without breaking anything.
+	MaxBatchBytes int64
+
+	// LegacyAsyncGets is the fidelity toggle for paper-figure reproduction:
+	// it restores the seed per-stripe async path — one GetIndexed per async
+	// stripe, per-request AlphaA accounting via NetModel.OneSidedCost, no
+	// request batching and no remote-row cache.
+	LegacyAsyncGets bool
+
+	// RowCacheElems bounds the per-rank remote-row cache, in float64
+	// elements. Rows fetched one-sidedly are kept (up to this bound) and
+	// served locally when a later Exec on the same Prep and same B needs
+	// them again, dropping them from the outgoing region lists. 0 means the
+	// default, 1 Mi elements (8 MiB) per rank; negative disables the cache.
+	// The cache keys on the identity of B's backing array and is invalidated
+	// whenever it changes; callers that mutate B in place between runs must
+	// disable the cache (see DESIGN.md section 8).
+	RowCacheElems int64
+
 	// ModelSyncThreads and ModelAsyncCompThreads are the per-node thread
 	// counts assumed by the virtual-time model (Table 2 defaults: 120 and
 	// 8). They parameterize the compute-cost terms; actual goroutine
@@ -118,6 +143,15 @@ func (p Params) Normalize() (Params, error) {
 	}
 	if p.MaxCoalesceGap < 1 {
 		return p, fmt.Errorf("core: MaxCoalesceGap must be >= 1, got %d", p.MaxCoalesceGap)
+	}
+	if p.MaxBatchBytes == 0 {
+		p.MaxBatchBytes = 1 << 20
+	}
+	if p.MaxBatchBytes < 0 {
+		return p, fmt.Errorf("core: MaxBatchBytes must be >= 0, got %d", p.MaxBatchBytes)
+	}
+	if p.RowCacheElems == 0 {
+		p.RowCacheElems = 1 << 20
 	}
 	if p.ModelSyncThreads == 0 {
 		p.ModelSyncThreads = 120

@@ -81,6 +81,16 @@ type Prep struct {
 	// needers[sid] counts the remote nodes with at least one nonzero in
 	// dense stripe sid; filled only for the column classifier.
 	needers []int32
+
+	// Per-rank remote-row caches, created lazily by attachRowCaches and
+	// keyed to one dense input at a time: cacheKey/cacheLen identify B's
+	// backing array and cacheFP fingerprints its contents, so a different
+	// (or mutated) B invalidates every cache in O(1).
+	cacheMu   sync.Mutex
+	rowCaches []*rowCache
+	cacheKey  *float64
+	cacheLen  int
+	cacheFP   uint64
 }
 
 // PrepStats summarizes preprocessing for reporting (Table 6) and the
@@ -267,7 +277,12 @@ func prepNode(prep *Prep, rank int, entries []sparse.NZ) error {
 		}
 		decision = columnClassify(sids, prep.needers, params)
 	default:
-		decision = model.Classify(infos, params.W, params.K, params.Coef)
+		// The async scheduler amortizes the per-request AlphaA over each
+		// owner-batch, so the classifier sees the batched per-stripe cost;
+		// under LegacyAsyncGets the estimate is 1 and this is the paper's
+		// per-stripe Classify exactly.
+		decision = model.ClassifyBatched(infos, params.W, params.K, params.Coef,
+			asyncBatchEstimate(infos, params))
 	}
 	flips := model.ApplyMemoryCap(&decision, infos, params.W, params.K, params.Coef, params.MemBudgetElems)
 	np.memCapFlips = int64(flips)

@@ -138,7 +138,11 @@ func TestSampledExecProperty(t *testing.T) {
 func TestSampledExecReducesComputeCharge(t *testing.T) {
 	a := randomCOO(200, 200, 5000, 5)
 	b := dense.Random(200, 8, 6)
-	prep, err := Preprocess(a, basicParams(4, 8, 8))
+	params := basicParams(4, 8, 8)
+	// The comparison below runs the same prep twice; disable the remote-row
+	// cache so the second run's transfers aren't served from it.
+	params.RowCacheElems = -1
+	prep, err := Preprocess(a, params)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,15 +13,24 @@ import (
 // repeated Exec calls during GNN training — allocates nothing per stripe or
 // panel: every buffer grows to its high-water mark and is reused.
 
-// asyncScratch backs processAsyncStripe: the unique-column scan, the
-// coalesced fetch regions, the one-sided fetch buffer, and the stripe-local
-// accumulator.
+// asyncScratch backs processAsyncStripe and processAsyncBatch: the
+// unique-column scan, the coalesced fetch regions, the one-sided fetch
+// buffer, and the stripe-local accumulator. The batched path additionally
+// uses per-stripe column bounds, the per-column row references, the copies
+// of cache-hit rows, and the per-stripe miss/coalesce scratch.
 type asyncScratch struct {
 	cols    []int32
 	bufRow  []int32
 	regions []cluster.Region
 	drows   []float64
 	acc     kernels.RowAccumulator
+
+	stripeColPtr []int32          // bounds of each batch stripe's run in cols
+	rowRef       []int32          // per col: >=0 drows row, <0 ^idx into crows
+	crows        []float64        // copies of cache-hit rows (k elems each)
+	missCols     []int32          // current stripe's miss columns
+	missIdx      []int32          // their indices into cols
+	regions2     []cluster.Region // current stripe's coalesced regions
 }
 
 var asyncScratchPool = sync.Pool{New: func() any { return new(asyncScratch) }}
@@ -32,6 +41,26 @@ func (ws *asyncScratch) fetchBuf(n int) []float64 {
 		ws.drows = make([]float64, n)
 	}
 	return ws.drows[:n]
+}
+
+// recvArena is the pooled backing store for a node's dense-stripe receive
+// buffers: syncTransfers slices each stripe's buffer out of one grown-once
+// allocation instead of a per-stripe make, so repeated runs allocate nothing
+// steady-state (mirroring the async/panel scratch pools). The arena is
+// returned to the pool only after the run's panel workers — the buffers'
+// readers — have all finished.
+type recvArena struct {
+	buf []float64
+}
+
+var recvArenaPool = sync.Pool{New: func() any { return new(recvArena) }}
+
+// grab returns the arena resized to n elements, reusing capacity.
+func (a *recvArena) grab(n int64) []float64 {
+	if int64(cap(a.buf)) < n {
+		a.buf = make([]float64, n)
+	}
+	return a.buf[:n]
 }
 
 // panelScratch backs processSyncRowPanel: the per-panel accumulator row and

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"twoface/internal/cluster"
+	"twoface/internal/core"
+	"twoface/internal/dense"
+	"twoface/internal/gen"
+)
+
+// CommAggRow measures, for one registry matrix, what the owner-batched
+// one-sided path and the cross-run row cache buy over the legacy
+// one-get-per-stripe accounting. All byte/request numbers come from the
+// cluster's honest transfer counters, not the cost model.
+type CommAggRow struct {
+	Matrix string `json:"matrix"`
+
+	// Legacy path: one GetIndexed per async stripe, no cache.
+	LegacyGets    int64 `json:"legacy_gets"`
+	LegacyRegions int64 `json:"legacy_regions"`
+	LegacyBytes   int64 `json:"legacy_bytes"`
+
+	// Batched path, first (cold-cache) run.
+	BatchedGets    int64 `json:"batched_gets"`
+	BatchedRegions int64 `json:"batched_regions"`
+	ColdBytes      int64 `json:"cold_bytes"`
+
+	// Batched path, second run on the same plan and dense input: the row
+	// cache serves repeats, so gets and bytes drop further.
+	WarmGets  int64 `json:"warm_gets"`
+	WarmBytes int64 `json:"warm_bytes"`
+
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	SavedBytes     int64   `json:"saved_bytes"`
+	GetReduction   float64 `json:"get_reduction"`   // LegacyGets / BatchedGets
+	WarmByteRatio  float64 `json:"warm_byte_ratio"` // WarmBytes / ColdBytes
+	MaxRelDiff     float64 `json:"max_rel_diff"`    // batched C vs legacy C
+	ResultsAgree   bool    `json:"results_agree"`   // MaxRelDiff <= 1e-9
+	ModeledLegacy  float64 `json:"modeled_legacy_seconds"`
+	ModeledBatched float64 `json:"modeled_batched_seconds"`
+}
+
+// CommAggregation runs Two-Face on every registry matrix three ways — legacy
+// one-sided accounting, batched cold-cache, batched warm-cache — and reports
+// the request/byte deltas. This is the headline evidence for the aggregation
+// scheduler: same fetched rows, a fraction of the requests, and repeat runs
+// served partly from the cache.
+func (c Config) CommAggregation(k int) ([]CommAggRow, *Table, error) {
+	cc := c.normalize()
+	rows := make([]CommAggRow, 0, len(gen.Specs()))
+	cols := []string{"legacy gets", "batched gets", "get redux", "warm bytes/cold", "cache hit%"}
+	t := NewTable(fmt.Sprintf("Extension: one-sided aggregation and row cache, K=%d, p=%d", k, cc.P),
+		MatrixNames(), cols)
+	for i, s := range gen.Specs() {
+		w := cc.BuildWorkload(s)
+		row, err := cc.commAggRow(w, k)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", s.Short, err)
+		}
+		row.Matrix = s.Short
+		rows = append(rows, row)
+		t.Set(i, 0, float64(row.LegacyGets), "%.0f")
+		t.Set(i, 1, float64(row.BatchedGets), "%.0f")
+		t.Set(i, 2, row.GetReduction, "%.2fx")
+		t.Set(i, 3, row.WarmByteRatio, "%.3f")
+		t.Set(i, 4, 100*row.CacheHitRate, "%.0f%%")
+	}
+	t.Note = "Legacy issues one one-sided get per async stripe; the batched path aggregates consecutive same-owner stripes into single requests (get redux = legacy/batched) and a per-rank row cache serves repeat runs (warm bytes/cold < 1)."
+	return rows, t, nil
+}
+
+// commAggRow measures one matrix. Arithmetic stays on so the legacy and
+// batched results can be compared element-wise.
+func (c Config) commAggRow(w *Workload, k int) (CommAggRow, error) {
+	cc := c.normalize()
+	var row CommAggRow
+	b := w.B(k)
+
+	legacyRes, err := cc.execTwoFace(w, k, b, true)
+	if err != nil {
+		return row, err
+	}
+	lt := legacyRes.TotalTransfer
+	row.LegacyGets, row.LegacyRegions, row.LegacyBytes = lt.OneSidedGets, lt.OneSidedMsgs, lt.OneSidedBytes
+	row.ModeledLegacy = legacyRes.ModeledSeconds
+
+	// One prep, one cluster, two runs: the first is cold, the second hits
+	// the row cache (per-run counters reset at each Exec entry).
+	params := cc.twoFaceParams(w, k)
+	prep, err := core.Preprocess(w.A, params)
+	if err != nil {
+		return row, err
+	}
+	clu, err := cluster.New(cc.P, cc.Net())
+	if err != nil {
+		return row, err
+	}
+	opts := core.ExecOptions{AsyncWorkers: cc.AsyncWorkers, SyncWorkers: cc.Workers}
+	cold, err := core.Exec(prep, b, clu, opts)
+	if err != nil {
+		return row, err
+	}
+	ct := cold.TotalTransfer
+	row.BatchedGets, row.BatchedRegions, row.ColdBytes = ct.OneSidedGets, ct.OneSidedMsgs, ct.OneSidedBytes
+	row.ModeledBatched = cold.ModeledSeconds
+
+	warm, err := core.Exec(prep, b, clu, opts)
+	if err != nil {
+		return row, err
+	}
+	wt := warm.TotalTransfer
+	row.WarmGets, row.WarmBytes = wt.OneSidedGets, wt.OneSidedBytes
+	row.CacheHits, row.CacheMisses = warm.RowCache.Hits, warm.RowCache.Misses
+	row.CacheHitRate = warm.RowCache.HitRate()
+	row.SavedBytes = warm.RowCache.SavedBytes
+
+	if row.BatchedGets > 0 {
+		row.GetReduction = float64(row.LegacyGets) / float64(row.BatchedGets)
+	} else if row.LegacyGets == 0 {
+		row.GetReduction = 1
+	}
+	if row.ColdBytes > 0 {
+		row.WarmByteRatio = float64(row.WarmBytes) / float64(row.ColdBytes)
+	} else {
+		row.WarmByteRatio = 1
+	}
+	row.MaxRelDiff = maxRelDiff(legacyRes.C.Data, cold.C.Data)
+	row.ResultsAgree = row.MaxRelDiff <= 1e-9
+	return row, nil
+}
+
+// twoFaceParams builds the Two-Face parameters the harness uses everywhere.
+func (c Config) twoFaceParams(w *Workload, k int) core.Params {
+	cc := c.normalize()
+	return core.Params{
+		P: cc.P, K: k, W: w.W,
+		Coef:           cc.Coef(),
+		MemBudgetElems: cc.MemBudget(),
+	}
+}
+
+// execTwoFace preps and runs Two-Face once with real arithmetic, on a fresh
+// cluster, in legacy or batched one-sided mode.
+func (c Config) execTwoFace(w *Workload, k int, b *dense.Matrix, legacy bool) (*core.Result, error) {
+	cc := c.normalize()
+	params := cc.twoFaceParams(w, k)
+	params.LegacyAsyncGets = legacy
+	prep, err := core.Preprocess(w.A, params)
+	if err != nil {
+		return nil, err
+	}
+	clu, err := cluster.New(cc.P, cc.Net())
+	if err != nil {
+		return nil, err
+	}
+	return core.Exec(prep, b, clu, core.ExecOptions{AsyncWorkers: cc.AsyncWorkers, SyncWorkers: cc.Workers})
+}
+
+// maxRelDiff returns the maximum per-element relative difference.
+func maxRelDiff(a, b []float64) float64 {
+	var maxRel float64
+	for i, v := range a {
+		wv := b[i]
+		if v == wv {
+			continue
+		}
+		rel := math.Abs(v-wv) / math.Max(math.Max(math.Abs(v), math.Abs(wv)), 1)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}

@@ -30,6 +30,12 @@ type Config struct {
 	P       int     // nodes; default 8 (paper default: 32)
 	Seed    uint64  // generator seed; default 42
 	Workers int     // real goroutines per node for kernels; default 4
+	// AsyncWorkers is the per-node goroutine count draining the one-sided
+	// queue (wall-clock only); default 2.
+	AsyncWorkers int
+	// LegacyAsync runs Two-Face with the pre-aggregation one-sided path
+	// (one get per async stripe, no row cache) — the fidelity toggle.
+	LegacyAsync bool
 	// Verify keeps the floating-point accumulation loops on so results can
 	// be checked against the reference kernel. Off by default: the
 	// experiments report modeled time, which is independent of the
@@ -53,6 +59,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = 4
+	}
+	if c.AsyncWorkers == 0 {
+		c.AsyncWorkers = 2
 	}
 	return c
 }
@@ -193,16 +202,17 @@ func (c Config) runTwoFace(w *Workload, k, p int, clu *cluster.Cluster, force *f
 	cc := c.normalize()
 	params := core.Params{
 		P: p, K: k, W: w.W,
-		Coef:           cc.Coef(),
-		ForceSplit:     force,
-		MemBudgetElems: cc.MemBudget(),
+		Coef:            cc.Coef(),
+		ForceSplit:      force,
+		MemBudgetElems:  cc.MemBudget(),
+		LegacyAsyncGets: cc.LegacyAsync,
 	}
 	prep, err := core.Preprocess(w.A, params)
 	if err != nil {
 		return nil, err
 	}
 	out.Prep = &prep.Stats
-	return core.Exec(prep, w.B(k), clu, core.ExecOptions{AsyncWorkers: 2, SyncWorkers: cc.Workers, SkipCompute: !cc.Verify})
+	return core.Exec(prep, w.B(k), clu, core.ExecOptions{AsyncWorkers: cc.AsyncWorkers, SyncWorkers: cc.Workers, SkipCompute: !cc.Verify})
 }
 
 func dsFactor(a Algo) int {

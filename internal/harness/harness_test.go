@@ -339,3 +339,25 @@ func TestSeedSweepStability(t *testing.T) {
 		}
 	}
 }
+
+func TestCommAggregationSmoke(t *testing.T) {
+	cfg := Config{Scale: 0.05, P: 4}
+	rows, table, err := cfg.CommAggregation(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || table == nil {
+		t.Fatal("no aggregation rows")
+	}
+	for _, r := range rows {
+		if !r.ResultsAgree {
+			t.Fatalf("%s: batched C diverged from legacy (max rel diff %.2g)", r.Matrix, r.MaxRelDiff)
+		}
+		if r.BatchedGets > r.LegacyGets {
+			t.Fatalf("%s: batching increased requests (%d > %d)", r.Matrix, r.BatchedGets, r.LegacyGets)
+		}
+		if r.LegacyGets > 0 && r.WarmBytes > r.ColdBytes {
+			t.Fatalf("%s: warm run moved more bytes than cold (%d > %d)", r.Matrix, r.WarmBytes, r.ColdBytes)
+		}
+	}
+}

@@ -80,11 +80,24 @@ type StripeInfo struct {
 // u = AlphaA + KappaA + BetaS*W*K + AlphaS is the per-stripe constant
 // (section 4.2).
 func (c Coefficients) ZScore(s StripeInfo, w int32, k int) float64 {
-	return float64(k)*(c.BetaA*float64(s.RowsNeeded)+c.GammaA*float64(s.NNZ)) + c.perStripeConstant(w, k)
+	return c.ZScoreBatched(s, w, k, 1)
 }
 
-func (c Coefficients) perStripeConstant(w int32, k int) float64 {
-	return c.AlphaA + c.KappaA + c.BetaS*float64(w)*float64(k) + c.AlphaS
+// ZScoreBatched is ZScore with the one-sided per-request overhead AlphaA
+// amortized over an expected aggregation of `batch` stripes per get: the
+// executor's owner-batched scheduler issues one request for a run of
+// consecutive same-owner stripes, so each stripe carries only AlphaA/batch
+// of request overhead. batch <= 1 reproduces ZScore (the seed per-stripe
+// accounting).
+func (c Coefficients) ZScoreBatched(s StripeInfo, w int32, k int, batch float64) float64 {
+	return float64(k)*(c.BetaA*float64(s.RowsNeeded)+c.GammaA*float64(s.NNZ)) + c.perStripeConstant(w, k, batch)
+}
+
+func (c Coefficients) perStripeConstant(w int32, k int, batch float64) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	return c.AlphaA/batch + c.KappaA + c.BetaS*float64(w)*float64(k) + c.AlphaS
 }
 
 // SyncStripeCost returns the modeled collective cost of one synchronous
@@ -113,6 +126,16 @@ type Decision struct {
 // maximizes the async count (minimizing the number of costly collectives)
 // subject to the async half not becoming the bottleneck.
 func Classify(stripes []StripeInfo, w int32, k int, c Coefficients) Decision {
+	return ClassifyBatched(stripes, w, k, c, 1)
+}
+
+// ClassifyBatched is Classify with the per-stripe async cost amortized over
+// an expected get-aggregation factor (see ZScoreBatched). A larger batch
+// makes async stripes cheaper, so the greedy flip classifies at least as
+// many stripes asynchronous as Classify does — the split point the paper
+// derives for per-stripe requests shifts toward the one-sided half when
+// requests are batched.
+func ClassifyBatched(stripes []StripeInfo, w int32, k int, c Coefficients, batch float64) Decision {
 	d := Decision{Async: make([]bool, len(stripes))}
 	st := len(stripes)
 	d.Budget = float64(st) * c.SyncStripeCost(w, k)
@@ -121,7 +144,7 @@ func Classify(stripes []StripeInfo, w int32, k int, c Coefficients) Decision {
 	z := make([]float64, st)
 	for i, s := range stripes {
 		order[i] = i
-		z[i] = c.ZScore(s, w, k)
+		z[i] = c.ZScoreBatched(s, w, k, batch)
 	}
 	sort.Slice(order, func(a, b int) bool { return z[order[a]] < z[order[b]] })
 

@@ -208,3 +208,40 @@ func TestPredictedTimes(t *testing.T) {
 		t.Fatalf("commA=%v compA=%v want %v %v", commA, compA, wantCommA, wantCompA)
 	}
 }
+
+func TestZScoreBatchedAmortizesAlphaA(t *testing.T) {
+	c := PaperDefaults()
+	s := StripeInfo{NNZ: 50, RowsNeeded: 20}
+	if got, want := c.ZScoreBatched(s, 64, 128, 1), c.ZScore(s, 64, 128); got != want {
+		t.Fatalf("batch=1 z = %v, want ZScore %v", got, want)
+	}
+	// batch < 1 clamps to 1 rather than inflating the overhead.
+	if got, want := c.ZScoreBatched(s, 64, 128, 0.25), c.ZScore(s, 64, 128); got != want {
+		t.Fatalf("batch<1 z = %v, want clamp to ZScore %v", got, want)
+	}
+	z1 := c.ZScore(s, 64, 128)
+	z4 := c.ZScoreBatched(s, 64, 128, 4)
+	if want := z1 - c.AlphaA*3/4; z4 >= z1 || z4 < want-1e-18 || z4 > want+1e-18 {
+		t.Fatalf("batch=4 z = %v, want %v (AlphaA amortized 4x)", z4, want)
+	}
+}
+
+func TestClassifyBatchedMonotoneInBatch(t *testing.T) {
+	c := PaperDefaults()
+	stripes := make([]StripeInfo, 40)
+	for i := range stripes {
+		stripes[i] = StripeInfo{NNZ: int64(10 + i*17%50), RowsNeeded: int64(5 + i*13%40)}
+	}
+	base := Classify(stripes, 64, 128, c)
+	if d1 := ClassifyBatched(stripes, 64, 128, c, 1); d1.NumAsync != base.NumAsync {
+		t.Fatalf("batch=1 NumAsync = %d, want Classify's %d", d1.NumAsync, base.NumAsync)
+	}
+	prev := base.NumAsync
+	for _, batch := range []float64{2, 4, 8, 16} {
+		d := ClassifyBatched(stripes, 64, 128, c, batch)
+		if d.NumAsync < prev {
+			t.Fatalf("batch=%v NumAsync = %d dropped below %d: cheaper async stripes must not reduce the async count", batch, d.NumAsync, prev)
+		}
+		prev = d.NumAsync
+	}
+}

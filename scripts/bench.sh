@@ -39,3 +39,10 @@ END { printf "\n  ]\n}\n" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Communication-aggregation deltas: per registry matrix, one-sided request
+# and byte counts for the legacy, batched-cold, and batched-warm paths.
+# Compare runs with  git diff BENCH_comm.json
+COMM_OUT="BENCH_comm.json"
+go run ./cmd/twoface-bench -exp comm -scale 0.25 -comm-out "$COMM_OUT" >/dev/null
+echo "wrote $COMM_OUT"

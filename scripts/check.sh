@@ -41,4 +41,20 @@ go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     -chaos-seed 7 >"$tmp/chaos.out"
 grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos.out"
 
+echo "== async aggregation smoke (batched vs legacy one-sided path, -race)"
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    >"$tmp/batched.out"
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    -legacy-async >"$tmp/legacy.out"
+# Both modes must verify against the reference kernel, and the batched path
+# must not issue more one-sided requests than the legacy per-stripe path.
+grep -q 'verified against the reference kernel' "$tmp/batched.out"
+grep -q 'verified against the reference kernel' "$tmp/legacy.out"
+batched_gets=$(sed -n 's/.* one-sided in \([0-9]*\) gets.*/\1/p' "$tmp/batched.out")
+legacy_gets=$(sed -n 's/.* one-sided in \([0-9]*\) gets.*/\1/p' "$tmp/legacy.out")
+if [ -n "$batched_gets" ] && [ -n "$legacy_gets" ] && [ "$batched_gets" -gt "$legacy_gets" ]; then
+    echo "batched path issued $batched_gets gets > legacy $legacy_gets" >&2
+    exit 1
+fi
+
 echo "== check.sh: all green"

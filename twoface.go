@@ -66,6 +66,9 @@ type (
 	PrepStats = core.PrepStats
 	// TransferStats are one rank's honest data-movement counters.
 	TransferStats = cluster.TransferStats
+	// RowCacheStats summarize a run's remote-row cache effectiveness (see
+	// Result.RowCache and Options.RowCacheElems).
+	RowCacheStats = core.RowCacheStats
 	// TraceEvent is one traced transfer (see Options.TraceEvents).
 	TraceEvent = cluster.Event
 	// SpanRecorder observes virtual-time spans (see Options.SpanRecorder).
