@@ -53,6 +53,12 @@ type Options struct {
 	// Verify keeps the arithmetic on (default). Setting TimingOnly skips
 	// the floating-point loops, which is how the experiment harness runs.
 	TimingOnly bool
+	// DisableOverlap serializes the synchronous phase the way the seed
+	// executor did: every dense stripe lands before the first row panel
+	// runs, and modeled node time charges the full SyncComm + SyncComp sum
+	// with no pipelining credit. The escape hatch for A/B-ing the pipelined
+	// path; results stay bit-identical either way.
+	DisableOverlap bool
 	// UseColumnClassifier switches from the paper's cost-model balancer to
 	// the column-popularity heuristic of its future-work discussion: dense
 	// stripes needed by at least ColumnSyncThreshold nodes go collective,
@@ -340,9 +346,10 @@ func (p *Plan) execOptions() core.ExecOptions {
 		aw = 2
 	}
 	return core.ExecOptions{
-		AsyncWorkers: aw,
-		SyncWorkers:  p.sys.opts.Workers,
-		SkipCompute:  p.sys.opts.TimingOnly,
+		AsyncWorkers:   aw,
+		SyncWorkers:    p.sys.opts.Workers,
+		SkipCompute:    p.sys.opts.TimingOnly,
+		DisableOverlap: p.sys.opts.DisableOverlap,
 	}
 }
 

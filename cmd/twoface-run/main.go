@@ -46,6 +46,7 @@ type cli struct {
 	syncW      int
 	asyncW     int
 	legacy     bool
+	noOverlap  bool
 	verify     bool
 	trace      bool
 	traceOut   string
@@ -71,6 +72,7 @@ func main() {
 	flag.IntVar(&c.syncW, "sync-workers", 4, "goroutines per node on the collective path (wall-clock only)")
 	flag.IntVar(&c.asyncW, "async-workers", 2, "goroutines per node draining the one-sided queue (wall-clock only)")
 	flag.BoolVar(&c.legacy, "legacy-async", false, "one get per async stripe, no batching or row cache (seed accounting)")
+	flag.BoolVar(&c.noOverlap, "no-overlap", false, "serialize stripe multicasts before panel compute (seed accounting, no pipelining credit)")
 	flag.BoolVar(&c.verify, "verify", true, "check the result against the reference kernel")
 	flag.BoolVar(&c.trace, "trace", false, "print a per-node transfer trace summary")
 	flag.StringVar(&c.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the run's virtual-time spans")
@@ -120,6 +122,7 @@ func run(c cli) error {
 	opts := twoface.Options{
 		Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify, Chaos: chaosPlan,
 		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
+		DisableOverlap: c.noOverlap,
 	}
 	if c.trace {
 		opts.TraceEvents = c.traceCap
@@ -235,6 +238,7 @@ func reportChaos(c cli, a *twoface.SparseMatrix, res *twoface.Result, plan *twof
 	twinSys, err := twoface.New(twoface.Options{
 		Nodes: c.p, DenseColumns: c.k,
 		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
+		DisableOverlap: c.noOverlap,
 	})
 	if err != nil {
 		return err
@@ -392,9 +396,16 @@ func writeReport(c cli, res *twoface.Result, tracer *twoface.Tracer) error {
 func report(res *twoface.Result) {
 	fmt.Printf("modeled time: %.4g s (wall %v)\n", res.ModeledSeconds, res.Wall)
 	fmt.Println("per-node breakdown (modeled seconds):")
-	fmt.Printf("  %4s  %10s %10s %10s %10s %10s\n", "node", "SyncComm", "SyncComp", "AsyncComm", "AsyncComp", "Other")
+	fmt.Printf("  %4s  %10s %10s %10s %10s %10s %10s\n", "node", "SyncComm", "SyncComp", "Overlap", "AsyncComm", "AsyncComp", "Other")
+	var overlap, serial float64
 	for i, bd := range res.Breakdowns {
-		fmt.Printf("  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g\n", i, bd.SyncComm, bd.SyncComp, bd.AsyncComm, bd.AsyncComp, bd.Other)
+		fmt.Printf("  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g %10.3g\n", i, bd.SyncComm, bd.SyncComp, bd.SyncOverlap, bd.AsyncComm, bd.AsyncComp, bd.Other)
+		overlap += bd.SyncOverlap
+		serial += bd.SyncComm + bd.SyncComp
+	}
+	if overlap > 0 && serial > 0 {
+		fmt.Printf("sync overlap: %.4g s hidden by pipelining (%.0f%% of the serial sync half)\n",
+			overlap, 100*overlap/serial)
 	}
 	t := res.TotalTransfer
 	if t.TotalBytes() > 0 {

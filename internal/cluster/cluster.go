@@ -210,7 +210,16 @@ func (r *Rank) ChargeOp(cat Category, op string, dt float64) {
 	r.charge(cat, op, dt)
 }
 
-func (r *Rank) charge(cat Category, op string, dt float64) {
+// ChargeOpTimed is ChargeOp returning the applied charge: the seconds the
+// ledger actually advanced, after any fault-plan straggler scaling. The
+// pipelined executor mirrors these into its local arrival/cost bookkeeping
+// so overlap accounting stays consistent with the ledger without reading
+// the (concurrently advancing) category clocks back.
+func (r *Rank) ChargeOpTimed(cat Category, op string, dt float64) float64 {
+	return r.charge(cat, op, dt)
+}
+
+func (r *Rank) charge(cat Category, op string, dt float64) float64 {
 	if dt < 0 {
 		panic(fmt.Sprintf("cluster: negative charge %v to %v", dt, cat))
 	}
@@ -234,6 +243,7 @@ func (r *Rank) charge(cat Category, op string, dt float64) {
 		}
 		rec.Span(r.ID, cat, op, start, end)
 	}
+	return dt
 }
 
 // Instant reports a zero-duration marker to the attached span recorder,

@@ -145,38 +145,50 @@ func (r *Rank) Get(target int, name string, reg Region, dst []float64) (int64, e
 // is fatal — the collective path is this machine's reliable substrate, so
 // a plan that breaks it permanently is not survivable.
 func (r *Rank) MulticastPull(root int, name string, off, elems int64, dst []float64) (int64, error) {
+	n, _, err := r.MulticastPullTimed(root, name, off, elems, dst)
+	return n, err
+}
+
+// MulticastPullTimed is MulticastPull that additionally returns the applied
+// fault seconds the pull charged to this rank's SyncComm clock (leg delays
+// and retry backoff, post straggler scaling; 0 on a healthy machine). The
+// pipelined executor folds it into the stripe's completion time on its
+// local sync-comm clock, so delayed legs push only the panels that need the
+// afflicted stripe, not the whole pipeline.
+func (r *Rank) MulticastPullTimed(root int, name string, off, elems int64, dst []float64) (int64, float64, error) {
+	var faultSeconds float64
 	if fi, pol := r.injection(); fi != nil {
 		for attempt := 1; ; attempt++ {
 			if err := r.failed(); err != nil {
-				return 0, err
+				return 0, faultSeconds, err
 			}
 			out := fi.LegAttempt(r.ID, root, off, elems, r.Breakdown().SyncComm, attempt)
 			if out.Delay > 0 {
-				r.ChargeOp(SyncComm, "multicast.leg.delay", out.Delay)
+				faultSeconds += r.ChargeOpTimed(SyncComm, "multicast.leg.delay", out.Delay)
 				r.resilience.addDelay(out.Delay)
 			}
 			if !out.Fail {
 				break
 			}
 			if attempt >= pol.MaxAttempts {
-				return 0, fmt.Errorf("cluster: rank %d: multicast leg from root %d failed %d attempts: %w",
+				return 0, faultSeconds, fmt.Errorf("cluster: rank %d: multicast leg from root %d failed %d attempts: %w",
 					r.ID, root, attempt, ErrRetryExhausted)
 			}
 			backoff := pol.Backoff(attempt)
-			r.ChargeOp(SyncComm, "multicast.retry.backoff", backoff)
+			faultSeconds += r.ChargeOpTimed(SyncComm, "multicast.retry.backoff", backoff)
 			r.resilience.addLegRetry(backoff)
 			r.trace.record(Event{Rank: r.ID, Op: TraceRetry, Peer: root, Elems: elems, Msgs: 1})
 		}
 	}
 	n, err := r.getIndexed(root, name, []Region{{Off: off, Elems: elems}}, dst, false)
 	if err != nil {
-		return n, err
+		return n, faultSeconds, err
 	}
 	// Reclassify: the bytes moved through a collective, not a one-sided get.
 	r.counters.addOneSided(-n, -1)
 	r.counters.addCollective(n, 1)
 	r.trace.record(Event{Rank: r.ID, Op: TraceMulticast, Peer: root, Elems: n, Msgs: 1})
-	return n, nil
+	return n, faultSeconds, nil
 }
 
 // SyncFallbackPull re-fetches the given regions through the synchronous

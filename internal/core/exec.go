@@ -59,6 +59,15 @@ type ExecOptions struct {
 	SampleKeep float64
 	// SampleSeed selects the sample (one value per training iteration).
 	SampleSeed uint64
+
+	// DisableOverlap serializes the collective path the way the seed
+	// executor did: row-panel compute starts only after every dense stripe
+	// has arrived, and no overlap credit is recorded, so the sync half of
+	// NodeTime reduces to the legacy serial SyncComm + SyncComp. Every
+	// category charge is identical either way — the toggle changes only the
+	// SyncOverlap credit — which keeps golden traces and A/B accounting
+	// comparisons reproducible (DESIGN.md section 9).
+	DisableOverlap bool
 }
 
 func (o ExecOptions) sampling() sampling {
@@ -124,6 +133,7 @@ func (res *Result) FillObservability(clu *cluster.Cluster) {
 	}
 	if obs.Default.Enabled() {
 		obs.RecordSkew(obs.Default, res.Breakdowns)
+		obs.RecordOverlap(obs.Default, res.Breakdowns)
 		obs.RecordResilience(obs.Default, res.TotalResilience)
 	}
 }
@@ -203,15 +213,21 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 	metricPoolRecvGet.Inc()
 	arena := recvArenaPool.Get().(*recvArena)
 	defer recvArenaPool.Put(arena) // all return paths join the goroutines first
-	syncReady := make(chan error, 1)
+	var pl *syncPipeline
+	if !opts.DisableOverlap {
+		pl = newSyncPipeline(len(np.RecvStripes))
+	}
+	syncDone := make(chan error, 1)
 	var wg sync.WaitGroup
 
 	// Thread 0: synchronous dense-stripe transfers (Algorithm 1 lines 5-8).
+	// With pipelining on (the default) each stripe is published through its
+	// gate as it lands, so panel workers block per stripe, not on the flag.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		syncReady <- syncTransfers(prep, r, np, recvBufs, arena, k)
-		close(syncReady)
+		syncDone <- syncTransfers(prep, r, np, recvBufs, arena, k, pl)
+		close(syncDone)
 	}()
 
 	// Asynchronous threads (Algorithm 1 lines 9-14): drain the stripe queue
@@ -265,69 +281,206 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 		}()
 	}
 
-	// Wait for the sync-transfer flag, then all threads process row panels
-	// (Algorithm 1 lines 15-19).
-	if err := <-syncReady; err != nil {
-		wg.Wait()
-		return err
+	// Row panels (Algorithm 1 lines 15-19). The pipelined default starts
+	// the panel workers immediately: each panel blocks only on the gate of
+	// its latest-arriving stripe dependency, so panel compute overlaps the
+	// multicasts still in flight. Under DisableOverlap the workers start
+	// only once every stripe has arrived, as the seed executor did.
+	if opts.DisableOverlap {
+		if err := <-syncDone; err != nil {
+			wg.Wait()
+			return err
+		}
+	}
+	nPanels := np.Sync.NumPanels()
+	var deps *panelDeps
+	var panelCost []float64
+	if pl != nil {
+		deps = np.deps(layout)
+		panelCost = make([]float64, nPanels)
 	}
 	var panelCursor atomic.Int64
-	nPanels := int64(np.Sync.NumPanels())
 	resolver := makeRowResolver(prep, b, r.ID, recvBufs, k)
 	var panelWg sync.WaitGroup
 	var panelErr error
 	var panelMu sync.Mutex
+	setPanelErr := func(err error) {
+		panelMu.Lock()
+		if panelErr == nil {
+			panelErr = err
+		}
+		panelMu.Unlock()
+	}
 	panelWg.Add(opts.SyncWorkers)
 	for w := 0; w < opts.SyncWorkers; w++ {
 		go func() {
 			defer panelWg.Done()
 			metricPoolPanelGet.Inc()
 			ws := panelScratchPool.Get().(*panelScratch)
-			defer panelScratchPool.Put(ws)
+			defer func() {
+				ws.release() // drop B/arena row references before pooling
+				panelScratchPool.Put(ws)
+			}()
 			for {
 				n := panelCursor.Add(1) - 1
-				if n >= nPanels {
+				if n >= int64(nPanels) {
 					return
 				}
-				metricSyncPanels.Inc()
-				if err := processSyncRowPanel(prep, r, np, out, resolver, ws, int(n), opts.SkipCompute, opts.sampling()); err != nil {
-					panelMu.Lock()
-					if panelErr == nil {
-						panelErr = err
+				pi := int(n)
+				if pl != nil {
+					pi = int(deps.order[n])
+					if rel := deps.release[pi]; rel >= 0 {
+						g := &pl.gates[rel]
+						<-g.ready
+						if g.err != nil {
+							setPanelErr(g.err)
+							return
+						}
 					}
-					panelMu.Unlock()
+				}
+				metricSyncPanels.Inc()
+				cost, err := processSyncRowPanel(prep, r, np, out, resolver, ws, pi, opts.SkipCompute, opts.sampling())
+				if err != nil {
+					setPanelErr(err)
 					return
+				}
+				if panelCost != nil {
+					panelCost[pi] = cost
 				}
 			}
 		}()
 	}
 	panelWg.Wait()
+	var syncErr error
+	if pl != nil {
+		syncErr = <-syncDone
+	}
 	wg.Wait()
+	if syncErr != nil {
+		return syncErr
+	}
 	if asyncErr != nil {
 		return asyncErr
 	}
 	if panelErr != nil {
 		return panelErr
 	}
+	if pl != nil {
+		if ov := pipelineOverlap(pl, deps, panelCost); ov > 0 {
+			r.ChargeOp(cluster.Overlap, "sync.overlap", ov)
+		}
+	}
 	r.Instant("epilogue.flush")
 	return r.Barrier()
+}
+
+// stripeGate publishes one received dense stripe to the panel workers: the
+// sync thread closes ready only after the stripe's buffer is in recvBufs
+// (or after a failure, with err written first), and waiters observe err
+// before touching the buffer.
+type stripeGate struct {
+	ready chan struct{}
+	err   error
+}
+
+// syncPipeline is the per-run state of the pipelined collective path: one
+// gate per received stripe (np.RecvStripes order), each stripe's arrival
+// time, and the final value of the sync thread's local comm clock. Arrival
+// times accumulate locally applied charges — never reads of the shared
+// SyncComm ledger, which async workers may concurrently advance with
+// degradation re-fetches — so the overlap accounting is deterministic under
+// any goroutine interleaving.
+type syncPipeline struct {
+	gates     []stripeGate
+	arrivals  []float64
+	commTotal float64
+}
+
+func newSyncPipeline(n int) *syncPipeline {
+	pl := &syncPipeline{gates: make([]stripeGate, n), arrivals: make([]float64, n)}
+	for i := range pl.gates {
+		pl.gates[i].ready = make(chan struct{})
+	}
+	return pl
+}
+
+// publish marks the stripe at RecvStripes position i arrived at local sync
+// time at.
+func (pl *syncPipeline) publish(i int, at float64) {
+	pl.arrivals[i] = at
+	close(pl.gates[i].ready)
+}
+
+// abort closes every not-yet-published gate with err, so panel workers
+// blocked on stripes that will never arrive fail fast instead of hanging
+// the rank — which would keep the rank's error from ever reaching the
+// cluster's abort path and deadlock the surviving ranks in the final
+// barrier.
+func (pl *syncPipeline) abort(from int, err error) {
+	for i := from; i < len(pl.gates); i++ {
+		pl.gates[i].err = err
+		close(pl.gates[i].ready)
+	}
+}
+
+// pipelineOverlap computes the sync-half seconds hidden by pipelining. The
+// panels form one serialized compute stream (SyncComputeCost already
+// spreads each panel across the model's sync threads) whose units release
+// at their latest dependency's arrival on the sync thread's local comm
+// clock; walking them in release order yields the optimal single-stream
+// list schedule. The pipelined sync half is max(schedule makespan,
+// commTotal) — the sync thread itself stays busy through commTotal — so the
+// overlap credit, serial sum minus pipelined makespan, lands in
+// [0, min(commTotal, compTotal)] by construction: NodeTime is never worse
+// than the serial accounting, and SyncOverlap <= min(SyncComm, SyncComp).
+func pipelineOverlap(pl *syncPipeline, deps *panelDeps, panelCost []float64) float64 {
+	var t, compTotal float64
+	for _, pi := range deps.order {
+		if rel := deps.release[pi]; rel >= 0 && pl.arrivals[rel] > t {
+			t = pl.arrivals[rel]
+		}
+		t += panelCost[pi]
+		compTotal += panelCost[pi]
+	}
+	makespan := t
+	if pl.commTotal > makespan {
+		makespan = pl.commTotal
+	}
+	return pl.commTotal + compTotal - makespan
 }
 
 // syncTransfers receives every dense stripe this node needs through
 // collective multicasts and charges both receiver-side and (for stripes this
 // node roots) root-side collective time. Receive buffers are sliced out of
 // the node's pooled arena, so steady-state runs allocate nothing here.
-func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float64, arena *recvArena, k int) error {
+//
+// With a non-nil pipeline each stripe is published through its gate the
+// moment it lands, stamped with the sync thread's local comm clock (applied
+// charges only: root multicasts first, then per-stripe fault seconds and
+// receive cost). A failure — a multicast leg past its retry budget, or a
+// cluster abort — closes every remaining gate with the error before
+// returning, so no panel worker can be left waiting on a stripe that will
+// never arrive.
+func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float64, arena *recvArena, k int, pl *syncPipeline) (retErr error) {
 	layout := prep.Layout
 	net := r.Net()
+	published := 0
+	if pl != nil {
+		defer func() {
+			if retErr != nil {
+				pl.abort(published, retErr)
+			}
+		}()
+	}
 
 	// Root side: this node participates in the multicast tree of every
 	// owned stripe that has destinations.
+	var commClock float64
 	lo, hi := layout.NodeStripeRange(r.ID)
 	for sid := lo; sid < hi; sid++ {
 		if n := len(prep.Dests[sid]); n > 0 {
 			elems := int64(layout.StripeWidthOf(sid)) * int64(k)
-			r.ChargeOp(cluster.SyncComm, "multicast.root", net.MulticastCost(elems, n))
+			commClock += r.ChargeOpTimed(cluster.SyncComm, "multicast.root", net.MulticastCost(elems, n))
 		}
 	}
 
@@ -338,7 +491,7 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 		total += int64(colHi-colLo) * int64(k)
 	}
 	buf := arena.grab(total)
-	for _, sid := range np.RecvStripes {
+	for i, sid := range np.RecvStripes {
 		colLo, colHi := layout.StripeCols(sid)
 		owner := layout.StripeOwner(sid)
 		ownerBlock := layout.ColBlock(owner)
@@ -346,11 +499,20 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 		dst := buf[:elems:elems]
 		buf = buf[elems:]
 		off := int64(colLo-int32(ownerBlock.Lo)) * int64(k)
-		if _, err := r.MulticastPull(owner, "B", off, elems, dst); err != nil {
+		_, faultSeconds, err := r.MulticastPullTimed(owner, "B", off, elems, dst)
+		if err != nil {
 			return err
 		}
+		commClock += faultSeconds
 		recvBufs[sid] = dst
-		r.ChargeOp(cluster.SyncComm, "multicast.recv", net.MulticastCost(elems, len(prep.Dests[sid])))
+		commClock += r.ChargeOpTimed(cluster.SyncComm, "multicast.recv", net.MulticastCost(elems, len(prep.Dests[sid])))
+		if pl != nil {
+			pl.publish(i, commClock)
+			published = i + 1
+		}
+	}
+	if pl != nil {
+		pl.commTotal = commClock
 	}
 	return nil
 }
@@ -461,14 +623,16 @@ func makeRowResolver(prep *Prep, b *dense.Matrix, rank int, recvBufs [][]float64
 // thread-local accumulation buffer, flushing to C with one atomic pass per
 // output row. Each of the panel's distinct columns is resolved to its dense
 // B row once, into the workspace's flat slice table; the per-nonzero loop is
-// then a table lookup plus a shared AXPY kernel, with no closure calls.
-func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, ws *panelScratch, n int, skipCompute bool, smp sampling) error {
+// then a table lookup plus a shared AXPY kernel, with no closure calls. It
+// returns the panel's applied SyncComp charge for the pipeline's overlap
+// accounting.
+func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, ws *panelScratch, n int, skipCompute bool, smp sampling) (float64, error) {
 	params := prep.Params
 	net := r.Net()
 	k := params.K
 	panel := np.Sync.Entries[np.Sync.PanelPtr[n]:np.Sync.PanelPtr[n+1]]
 	if len(panel) == 0 {
-		return nil
+		return 0, nil
 	}
 	if !skipCompute {
 		ws.begin(int(prep.Layout.NumCols), k)
@@ -487,15 +651,15 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 			}
 			brow, err := ws.resolved(e.Col, resolve)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			kernels.Axpy(e.Val, brow, acc)
 		}
 		out.AddRange(base+int(prevRow)*k, acc)
 	}
 	kept := float64(len(panel)) * smp.computeScale()
-	cost := net.SyncComputeCost(int64(kept), k, params.ModelSyncThreads)
-	r.ChargeOp(cluster.SyncComp, "compute.sync.panel", cost)
+	cost := r.ChargeOpTimed(cluster.SyncComp, "compute.sync.panel",
+		net.SyncComputeCost(int64(kept), k, params.ModelSyncThreads))
 	metricPanelSeconds.Observe(cost)
-	return nil
+	return cost, nil
 }

@@ -61,6 +61,12 @@ type NodePart struct {
 	SyncNNZ       int64 // nonzeros in remote synchronous stripes
 
 	memCapFlips int64 // stripes this node flipped async to fit memory
+
+	// depsOnce/depsCache lazily hold the panel→stripe dependency sets the
+	// pipelined executor blocks on (see deps.go). Derived from Sync and
+	// RecvStripes, rebuilt per process, never serialized.
+	depsOnce  sync.Once
+	depsCache panelDeps
 }
 
 // Prep is the full output of Two-Face preprocessing: everything each node

@@ -258,8 +258,11 @@ func (p *Prep) attachRowCaches(b *dense.Matrix) []*rowCache {
 	return p.rowCaches
 }
 
-// fingerprint hashes 16 strided samples of the buffer — a cheap guard
-// against callers mutating B in place between runs on one Plan.
+// fingerprint hashes 16 strided samples of the buffer plus its final
+// element — a cheap guard against callers mutating B in place between runs
+// on one Plan. The last element is always mixed: the strided loop rarely
+// lands on it (only when step divides n-1), and without it a tail-only
+// mutation would silently reuse stale cached rows.
 func fingerprint(data []float64) uint64 {
 	var h uint64 = 14695981039346656037 // FNV offset basis
 	n := len(data)
@@ -273,6 +276,10 @@ func fingerprint(data []float64) uint64 {
 	for i := 0; i < n; i += step {
 		h ^= math.Float64bits(data[i])
 		h *= 1099511628211 // FNV prime
+	}
+	if (n-1)%step != 0 {
+		h ^= math.Float64bits(data[n-1])
+		h *= 1099511628211
 	}
 	return h
 }

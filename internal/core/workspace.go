@@ -18,6 +18,12 @@ import (
 // buffer, and the stripe-local accumulator. The batched path additionally
 // uses per-stripe column bounds, the per-column row references, the copies
 // of cache-hit rows, and the per-stripe miss/coalesce scratch.
+// Retention note: every asyncScratch field is a slice of values (indices,
+// regions, or float64 copies — crows holds copies of cached rows, rowRef
+// holds indices, never slice headers into foreign arrays), so parking one in
+// the pool pins only its own capacity. That property is what lets it skip a
+// release step; panelScratch, whose table holds slice headers aliasing recv
+// arenas, B, and cache entries, cannot (see panelScratch.release).
 type asyncScratch struct {
 	cols    []int32
 	bufRow  []int32
@@ -92,6 +98,18 @@ func (ws *panelScratch) begin(numCols, k int) {
 		clear(ws.stamp)
 		ws.epoch = 1
 	}
+	ws.table = ws.table[:0]
+}
+
+// release drops every row reference the table accumulated so the scratch can
+// sit in the pool without pinning foreign memory. The table's entries are
+// slice headers aliasing recv-arena buffers, rows of the dense input B, and
+// cross-run cache entries; begin only truncates (ws.table[:0]), which keeps
+// those pointers live in the backing array past Put — a pooled scratch would
+// otherwise retain an entire receive arena across runs. Capacity is kept;
+// only the references are cleared.
+func (ws *panelScratch) release() {
+	clear(ws.table[:cap(ws.table)])
 	ws.table = ws.table[:0]
 }
 

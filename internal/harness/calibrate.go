@@ -52,7 +52,7 @@ func (c Config) Calibrate() (fitted, truth model.Coefficients, err error) {
 				return fitted, truth, fmt.Errorf("harness: calibration run (W=%d split=%.2f): %w", width, split, err)
 			}
 			for rank, bd := range res.Breakdowns {
-				np := prep.Nodes[rank]
+				np := &prep.Nodes[rank]
 				samples = append(samples, model.Sample{
 					W: width, K: k,
 					SyncStripes:  np.SS,

@@ -42,6 +42,18 @@ type CommAggRow struct {
 	ResultsAgree   bool    `json:"results_agree"`   // MaxRelDiff <= 1e-9
 	ModeledLegacy  float64 `json:"modeled_legacy_seconds"`
 	ModeledBatched float64 `json:"modeled_batched_seconds"`
+
+	// Overlap comparison: a third run on the same plan, cluster, and (warm)
+	// cache with the pipelined sync path off — DisableOverlap, the seed's
+	// serial accounting — against the warm pipelined run. The pipeline
+	// changes only when panels start, not what moves or what is charged per
+	// category, so the serial C matches and OverlapGain = ModeledSerial /
+	// ModeledPipelined >= 1 by construction (strictly > 1 wherever sync
+	// comm and sync compute coexist).
+	ModeledPipelined float64 `json:"modeled_pipelined_seconds"` // warm run, overlap on
+	ModeledSerial    float64 `json:"modeled_serial_seconds"`    // warm run, overlap off
+	OverlapSeconds   float64 `json:"overlap_seconds"`           // cluster-wide SyncOverlap sum
+	OverlapGain      float64 `json:"overlap_gain"`              // ModeledSerial / ModeledPipelined
 }
 
 // CommAggregation runs Two-Face on every registry matrix three ways — legacy
@@ -52,7 +64,7 @@ type CommAggRow struct {
 func (c Config) CommAggregation(k int) ([]CommAggRow, *Table, error) {
 	cc := c.normalize()
 	rows := make([]CommAggRow, 0, len(gen.Specs()))
-	cols := []string{"legacy gets", "batched gets", "get redux", "warm bytes/cold", "cache hit%"}
+	cols := []string{"legacy gets", "batched gets", "get redux", "warm bytes/cold", "cache hit%", "overlap gain"}
 	t := NewTable(fmt.Sprintf("Extension: one-sided aggregation and row cache, K=%d, p=%d", k, cc.P),
 		MatrixNames(), cols)
 	for i, s := range gen.Specs() {
@@ -68,8 +80,9 @@ func (c Config) CommAggregation(k int) ([]CommAggRow, *Table, error) {
 		t.Set(i, 2, row.GetReduction, "%.2fx")
 		t.Set(i, 3, row.WarmByteRatio, "%.3f")
 		t.Set(i, 4, 100*row.CacheHitRate, "%.0f%%")
+		t.Set(i, 5, row.OverlapGain, "%.3fx")
 	}
-	t.Note = "Legacy issues one one-sided get per async stripe; the batched path aggregates consecutive same-owner stripes into single requests (get redux = legacy/batched) and a per-rank row cache serves repeat runs (warm bytes/cold < 1)."
+	t.Note = "Legacy issues one one-sided get per async stripe; the batched path aggregates consecutive same-owner stripes into single requests (get redux = legacy/batched) and a per-rank row cache serves repeat runs (warm bytes/cold < 1). Overlap gain is the serial-sync makespan over the pipelined one (multicasts overlapped with panel compute), never below 1x."
 	return rows, t, nil
 }
 
@@ -117,6 +130,24 @@ func (c Config) commAggRow(w *Workload, k int) (CommAggRow, error) {
 	row.CacheHits, row.CacheMisses = warm.RowCache.Hits, warm.RowCache.Misses
 	row.CacheHitRate = warm.RowCache.HitRate()
 	row.SavedBytes = warm.RowCache.SavedBytes
+
+	// Overlap A/B: a second warm run with the pipelined sync path disabled.
+	// Same plan, cluster, and cache state, so the only modeled difference is
+	// the SyncOverlap credit.
+	serialOpts := opts
+	serialOpts.DisableOverlap = true
+	serial, err := core.Exec(prep, b, clu, serialOpts)
+	if err != nil {
+		return row, err
+	}
+	row.ModeledPipelined = warm.ModeledSeconds
+	row.ModeledSerial = serial.ModeledSeconds
+	for _, bd := range warm.Breakdowns {
+		row.OverlapSeconds += bd.SyncOverlap
+	}
+	if row.ModeledPipelined > 0 {
+		row.OverlapGain = row.ModeledSerial / row.ModeledPipelined
+	}
 
 	if row.BatchedGets > 0 {
 		row.GetReduction = float64(row.LegacyGets) / float64(row.BatchedGets)

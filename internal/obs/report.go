@@ -210,6 +210,26 @@ func RecordSkew(reg *Registry, breakdowns []cluster.Breakdown) {
 	}
 }
 
+// RecordOverlap publishes how much of the synchronous half the pipelined
+// executor hid behind stripe multicasts: exec.sync.overlap_seconds is the
+// cluster-wide SyncOverlap sum and exec.sync.overlap_frac is that sum over
+// the serial sync half (SyncComm + SyncComp), in [0, 1). Runs with no
+// overlap credit — DisableOverlap, baselines, SDDMM — publish nothing.
+func RecordOverlap(reg *Registry, breakdowns []cluster.Breakdown) {
+	var overlap, serial float64
+	for _, bd := range breakdowns {
+		overlap += bd.SyncOverlap
+		serial += bd.SyncComm + bd.SyncComp
+	}
+	if overlap <= 0 {
+		return
+	}
+	reg.Gauge("exec.sync.overlap_seconds").Set(overlap)
+	if serial > 0 {
+		reg.Gauge("exec.sync.overlap_frac").Set(overlap / serial)
+	}
+}
+
 // RecordResilience publishes the run's cluster-wide resilience counters as
 // gauges (chaos.get_retries, chaos.degradations, ...). Fault-free runs
 // publish nothing, keeping healthy snapshots free of chaos series.

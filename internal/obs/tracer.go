@@ -108,6 +108,8 @@ func breakdownOf(cat cluster.Category, dt float64) cluster.Breakdown {
 		b.AsyncComm = dt
 	case cluster.AsyncComp:
 		b.AsyncComp = dt
+	case cluster.Overlap:
+		b.SyncOverlap = dt
 	default:
 		b.Other = dt
 	}
@@ -185,7 +187,7 @@ type ChromeTrace struct {
 
 // chromeCategories orders the per-rank tracks top-to-bottom in the viewer.
 var chromeCategories = []cluster.Category{
-	cluster.SyncComm, cluster.SyncComp, cluster.AsyncComm, cluster.AsyncComp, cluster.Other,
+	cluster.SyncComm, cluster.SyncComp, cluster.AsyncComm, cluster.AsyncComp, cluster.Other, cluster.Overlap,
 }
 
 // ChromeTrace assembles the recorded spans into a trace-event document.

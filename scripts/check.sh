@@ -57,4 +57,32 @@ if [ -n "$batched_gets" ] && [ -n "$legacy_gets" ] && [ "$batched_gets" -gt "$le
     exit 1
 fi
 
+echo "== pipelining smoke (overlapped vs serialized sync path, -race)"
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    >"$tmp/overlap.out"
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    -no-overlap >"$tmp/serial.out"
+grep -q 'verified against the reference kernel' "$tmp/overlap.out"
+grep -q 'verified against the reference kernel' "$tmp/serial.out"
+# Pipelining may only hide time, never add it: the overlapped modeled
+# makespan must not exceed the serialized one (awk handles the %.4g floats).
+overlap_t=$(sed -n 's/^modeled time: \([0-9.e+-]*\) s .*/\1/p' "$tmp/overlap.out")
+serial_t=$(sed -n 's/^modeled time: \([0-9.e+-]*\) s .*/\1/p' "$tmp/serial.out")
+if [ -z "$overlap_t" ] || [ -z "$serial_t" ]; then
+    echo "could not parse modeled times from the pipelining smoke" >&2
+    exit 1
+fi
+awk -v a="$overlap_t" -v b="$serial_t" 'BEGIN { exit !(a <= b * 1.0001) }' || {
+    echo "pipelined makespan $overlap_t s exceeds serialized $serial_t s" >&2
+    exit 1
+}
+# A delayed multicast leg must stall only the panels that need the afflicted
+# stripe — the run still verifies and still beats (or ties) the serial path.
+cat >"$tmp/legs.json" <<'EOF'
+{"seed": 1, "legs": [{"origin": -1, "root": -1, "prob": 0.5, "fails": 1, "delay": 1e-4}]}
+EOF
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
+    -fault-plan "$tmp/legs.json" >"$tmp/chaos_legs.out"
+grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos_legs.out"
+
 echo "== check.sh: all green"
