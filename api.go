@@ -8,6 +8,7 @@ import (
 	"twoface/internal/baselines"
 	"twoface/internal/cluster"
 	"twoface/internal/core"
+	"twoface/internal/kernels"
 )
 
 // Options configures a Two-Face system. Zero values take the paper's
@@ -76,6 +77,19 @@ type Options struct {
 	// the standard recorder and its Chrome-trace exporter). Nil keeps
 	// instrumentation off and modeled time bit-identical.
 	SpanRecorder SpanRecorder
+	// AllowFMA opts the compute kernels into fused multiply-add assembly on
+	// hosts that support it (amd64 FMA3). Fusing rounds once per
+	// multiply-add instead of twice, so results may differ from the default
+	// kernels by an ulp per accumulation — off by default to keep C
+	// bit-identical across dispatch variants. Equivalent to setting
+	// TWOFACE_ALLOW_FMA=1. Process-wide: the toggle rebinds the shared
+	// kernel dispatch table, not just this System.
+	AllowFMA bool
+	// ForceGenericKernels pins the compute kernels to the portable pure-Go
+	// loops, ignoring any SIMD assembly CPU detection found. The escape
+	// hatch for ruling kernel dispatch out of a reproduction discrepancy.
+	// Equivalent to TWOFACE_FORCE_GENERIC=1, and process-wide like AllowFMA.
+	ForceGenericKernels bool
 	// Chaos, when non-nil, attaches the seeded fault plan to every cluster
 	// the system creates: stragglers stretch virtual-time charges, one-sided
 	// gets suffer transient failures (retried with backoff, degrading to the
@@ -101,6 +115,12 @@ func New(opts Options) (*System, error) {
 	}
 	if opts.Workers == 0 {
 		opts.Workers = 4
+	}
+	if opts.AllowFMA {
+		kernels.SetAllowFMA(true)
+	}
+	if opts.ForceGenericKernels {
+		kernels.SetForceGeneric(true)
 	}
 	return &System{opts: opts}, nil
 }

@@ -482,8 +482,9 @@ func BenchmarkKernelDenseShift(b *testing.B) {
 
 var benchKs = []int{32, 128, 512}
 
-// BenchmarkKernelAxpy measures the shared 4-way-unrolled AXPY at the
-// paper's dense widths.
+// BenchmarkKernelAxpy measures the dispatched AXPY kernel at the paper's
+// dense widths (whatever variant CPU detection selected — see
+// BenchmarkKernelAxpyVariants for the side-by-side).
 func BenchmarkKernelAxpy(b *testing.B) {
 	for _, k := range benchKs {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
@@ -496,6 +497,26 @@ func BenchmarkKernelAxpy(b *testing.B) {
 				kernels.Axpy(1.0000001, x, y)
 			}
 		})
+	}
+}
+
+// BenchmarkKernelAxpyVariants measures every kernel implementation this host
+// can run — generic, plus the SIMD variants CPU detection found — side by
+// side, without flipping global dispatch.
+func BenchmarkKernelAxpyVariants(b *testing.B) {
+	for _, k := range benchKs {
+		for _, v := range kernels.Implementations() {
+			b.Run(fmt.Sprintf("K=%d/%s", k, v.Variant), func(b *testing.B) {
+				x := RandomDense(1, k, 1).Data
+				y := RandomDense(1, k, 2).Data
+				b.ReportAllocs()
+				b.SetBytes(int64(16 * k))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v.Axpy(1.0000001, x, y)
+				}
+			})
+		}
 	}
 }
 
@@ -583,10 +604,9 @@ func BenchmarkKernelAsyncStripeAccumulate(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelPanelMultiply measures Algorithm 2's row-panel multiply as
-// shipped: pre-resolved column table, AXPY accumulation into a panel-local
-// row, one atomic AddRange per output row. Steady state must not allocate.
-func BenchmarkKernelPanelMultiply(b *testing.B) {
+// benchPanel builds the 32-row, 16-nnz-per-row synthetic panel used by the
+// panel benchmarks, sorted row-major with ascending columns per row.
+func benchPanel() []sparse.NZ {
 	const rows, nCols, perRow = 32, 128, 16
 	var entries []sparse.NZ
 	for r := 0; r < rows; r++ {
@@ -599,6 +619,46 @@ func BenchmarkKernelPanelMultiply(b *testing.B) {
 			entries = append(entries, sparse.NZ{Row: int32(r), Col: int32(c), Val: 1.5 - 0.2*float64(c%5)})
 		}
 	}
+	return entries
+}
+
+// panelMultiplyTiled is the shipped sync-panel inner loop: nonzeros within a
+// row are paired so the panel-local accumulation runs through the two-source
+// register-tiled Axpy2, with an odd leftover flushed via plain Axpy.
+func panelMultiplyTiled(entries []sparse.NZ, table [][]float64, out *atomicfloat.Slice, acc []float64, k int) {
+	clear(acc)
+	prevRow := entries[0].Row
+	pendVal, pendRow := 0.0, []float64(nil)
+	for _, e := range entries {
+		if e.Row != prevRow {
+			if pendRow != nil {
+				kernels.Axpy(pendVal, pendRow, acc)
+				pendRow = nil
+			}
+			out.AddRange(int(prevRow)*k, acc)
+			clear(acc)
+			prevRow = e.Row
+		}
+		if pendRow == nil {
+			pendVal, pendRow = e.Val, table[e.Col]
+			continue
+		}
+		kernels.Axpy2(pendVal, pendRow, e.Val, table[e.Col], acc)
+		pendRow = nil
+	}
+	if pendRow != nil {
+		kernels.Axpy(pendVal, pendRow, acc)
+	}
+	out.AddRange(int(prevRow)*k, acc)
+}
+
+// BenchmarkKernelPanelMultiply measures Algorithm 2's row-panel multiply as
+// shipped: pre-resolved column table, pair-tiled Axpy2 accumulation into a
+// panel-local row, one atomic AddRange per output row. Steady state must not
+// allocate.
+func BenchmarkKernelPanelMultiply(b *testing.B) {
+	entries := benchPanel()
+	const rows, nCols = 32, 128
 	for _, k := range benchKs {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
 			bm := RandomDense(nCols, k, 4)
@@ -606,6 +666,35 @@ func BenchmarkKernelPanelMultiply(b *testing.B) {
 			for c := 0; c < nCols; c++ {
 				table[c] = bm.Row(c)
 			}
+			out := atomicfloat.NewSlice(rows * k)
+			acc := make([]float64, k)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(entries) * k * 16))
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				panelMultiplyTiled(entries, table, out, acc, k)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelPanelVariants decomposes the panel-multiply speedup into its
+// two ingredients: "generic" is one scalar Axpy per nonzero through the
+// pure-Go loops, "simd" is the same per-nonzero loop through the dispatched
+// kernel, and "tiled" adds the pair-wise Axpy2 register tiling on top (the
+// shipped formulation, identical to BenchmarkKernelPanelMultiply).
+func BenchmarkKernelPanelVariants(b *testing.B) {
+	entries := benchPanel()
+	const rows, nCols = 32, 128
+	impls := kernels.Implementations()
+	generic := impls[0]
+	for _, k := range benchKs {
+		bm := RandomDense(nCols, k, 4)
+		table := make([][]float64, nCols)
+		for c := 0; c < nCols; c++ {
+			table[c] = bm.Row(c)
+		}
+		perNZ := func(b *testing.B, axpy func(float64, []float64, []float64)) {
 			out := atomicfloat.NewSlice(rows * k)
 			acc := make([]float64, k)
 			b.ReportAllocs()
@@ -620,9 +709,25 @@ func BenchmarkKernelPanelMultiply(b *testing.B) {
 						clear(acc)
 						prevRow = e.Row
 					}
-					kernels.Axpy(e.Val, table[e.Col], acc)
+					axpy(e.Val, table[e.Col], acc)
 				}
 				out.AddRange(int(prevRow)*k, acc)
+			}
+		}
+		b.Run(fmt.Sprintf("K=%d/generic", k), func(b *testing.B) {
+			perNZ(b, generic.Axpy)
+		})
+		b.Run(fmt.Sprintf("K=%d/simd", k), func(b *testing.B) {
+			perNZ(b, kernels.Axpy)
+		})
+		b.Run(fmt.Sprintf("K=%d/tiled", k), func(b *testing.B) {
+			out := atomicfloat.NewSlice(rows * k)
+			acc := make([]float64, k)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(entries) * k * 16))
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				panelMultiplyTiled(entries, table, out, acc, k)
 			}
 		})
 	}

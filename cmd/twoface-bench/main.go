@@ -23,6 +23,7 @@ import (
 
 	"twoface/internal/chaos"
 	"twoface/internal/harness"
+	"twoface/internal/kernels"
 	"twoface/internal/obs"
 )
 
@@ -41,10 +42,19 @@ func main() {
 		report     = flag.String("report", "", "write a structured JSON report of this invocation")
 		commOut    = flag.String("comm-out", "", "with -exp comm: write the per-matrix aggregation rows as JSON")
 		runsFile   = flag.String("runs-file", "BENCH_runs.json", "trajectory file appended to when -report is set (empty disables)")
+		forceGen   = flag.Bool("force-generic", false, "pin compute kernels to the portable pure-Go loops (no SIMD dispatch)")
+		allowFMA   = flag.Bool("allow-fma", false, "opt compute kernels into fused multiply-add assembly (ulp-level drift vs default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile")
 	)
 	flag.Parse()
+
+	if *allowFMA {
+		kernels.SetAllowFMA(true)
+	}
+	if *forceGen {
+		kernels.SetForceGeneric(true)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

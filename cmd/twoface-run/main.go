@@ -56,6 +56,8 @@ type cli struct {
 	memProfile string
 	chaosSeed  uint64
 	faultPlan  string
+	forceGen   bool
+	allowFMA   bool
 	quiet      bool // suppress progress prints (fault-free twin run)
 }
 
@@ -79,6 +81,8 @@ func main() {
 	flag.IntVar(&c.traceCap, "trace-cap", 1<<16, "per-node transfer-trace event cap for -trace")
 	flag.Uint64Var(&c.chaosSeed, "chaos-seed", 0, "run under a random survivable fault plan with this seed (0 = off)")
 	flag.StringVar(&c.faultPlan, "fault-plan", "", "run under the JSON fault plan at this path")
+	flag.BoolVar(&c.forceGen, "force-generic", false, "pin compute kernels to the portable pure-Go loops (no SIMD dispatch)")
+	flag.BoolVar(&c.allowFMA, "allow-fma", false, "opt compute kernels into fused multiply-add assembly (ulp-level drift vs default)")
 	flag.StringVar(&c.report, "report", "", "write a structured JSON run report")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile")
@@ -122,7 +126,8 @@ func run(c cli) error {
 	opts := twoface.Options{
 		Nodes: c.p, DenseColumns: c.k, TimingOnly: !c.verify, Chaos: chaosPlan,
 		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
-		DisableOverlap: c.noOverlap,
+		DisableOverlap:      c.noOverlap,
+		ForceGenericKernels: c.forceGen, AllowFMA: c.allowFMA,
 	}
 	if c.trace {
 		opts.TraceEvents = c.traceCap

@@ -570,20 +570,24 @@ func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePa
 
 	if !skipCompute {
 		// Column-major walk: advance the unique-column cursor as the column
-		// changes, accumulating val * Brow into the stripe-local buffer.
+		// changes, accumulating each same-column run against its dense row
+		// through the tiled multi-row kernel.
 		acc := &ws.acc
 		acc.Begin(int(np.RowHi-np.RowLo), k)
 		bufRow := ws.bufRow
 		ci := 0
-		for _, e := range entries {
-			for cols[ci] != e.Col {
+		for i := 0; i < len(entries); {
+			col := entries[i].Col
+			j := i + 1
+			for j < len(entries) && entries[j].Col == col {
+				j++
+			}
+			for cols[ci] != col {
 				ci++
 			}
-			if smp.masked(np.RowLo+e.Row, e.Col) {
-				continue
-			}
 			off := int(bufRow[ci]) * k
-			acc.Accumulate(e.Row, e.Val, drows[off:off+k])
+			accumulateRun(acc, entries[i:j], drows[off:off+k], np.RowLo, smp)
+			i = j
 		}
 		base := int(np.RowLo) * k
 		for i, row := range acc.Touched() {
@@ -640,8 +644,19 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 		base := int(np.RowLo) * k
 		clear(acc)
 		prevRow := panel[0].Row
+		// Consecutive nonzeros of a row pair up through the dual-source tiled
+		// kernel, keeping the accumulator tile in registers across both
+		// multiply-adds; an unpaired leftover (odd count, or a gap forced by
+		// sampling) flushes through plain Axpy. Axpy2 rounds exactly like the
+		// two sequential Axpys it replaces, so the panel result is unchanged.
+		var pendVal float64
+		var pendRow []float64
 		for _, e := range panel {
 			if e.Row != prevRow {
+				if pendRow != nil {
+					kernels.Axpy(pendVal, pendRow, acc)
+					pendRow = nil
+				}
 				out.AddRange(base+int(prevRow)*k, acc)
 				clear(acc)
 				prevRow = e.Row
@@ -653,7 +668,15 @@ func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicf
 			if err != nil {
 				return 0, err
 			}
-			kernels.Axpy(e.Val, brow, acc)
+			if pendRow == nil {
+				pendVal, pendRow = e.Val, brow
+				continue
+			}
+			kernels.Axpy2(pendVal, pendRow, e.Val, brow, acc)
+			pendRow = nil
+		}
+		if pendRow != nil {
+			kernels.Axpy(pendVal, pendRow, acc)
 		}
 		out.AddRange(base+int(prevRow)*k, acc)
 	}

@@ -91,6 +91,16 @@ type Params struct {
 	// the paper reports for mawi (section 7.2). B's distribution is
 	// unchanged, so only A/C ownership shifts.
 	BalanceRows bool
+
+	// DisableRowReorder turns off the prep-time reordering of rows within
+	// each synchronous row panel. By default rows are grouped by the set of
+	// dense stripes their columns touch (a 64-bit stripe signature), so the
+	// panel kernel's consecutive row runs reuse cache-hot B rows. Each row's
+	// nonzeros stay contiguous and column-sorted, so every per-row panel sum
+	// is bit-identical either way; only the panel-internal row visit order
+	// changes, which perturbs C by at most the same flush-order
+	// reassociation concurrent execution already exhibits run to run.
+	DisableRowReorder bool
 }
 
 // Classifier selects how remote stripes are split into sync/async.

@@ -348,7 +348,57 @@ func prepNode(prep *Prep, rank int, entries []sparse.NZ) error {
 	if np.Sync.PanelPtr[numPanels] != int64(len(syncEntries)) {
 		return fmt.Errorf("core: rank %d: panel pointers inconsistent", rank)
 	}
+	if !params.DisableRowReorder {
+		reorderPanelRows(layout, np.Sync.Entries, np.Sync.PanelPtr)
+	}
 	return nil
+}
+
+// reorderPanelRows groups each synchronous panel's rows by the set of dense
+// stripes their columns touch, hashed to a 64-bit signature (bit = stripe id
+// mod 64), so the panel kernel visits rows with shared column blocks back to
+// back and reuses cache-hot B rows across the register-tiled passes. Whole
+// row runs move as units — every row's nonzeros stay contiguous and
+// column-sorted, and no entry changes panels — so each row's partial-sum
+// order, and therefore C, is bit-identical to the unreordered layout.
+// Ties sort by row, keeping the pass deterministic.
+func reorderPanelRows(layout *Layout, entries []sparse.NZ, panelPtr []int64) {
+	type rowRun struct {
+		sig    uint64
+		row    int32
+		lo, hi int32
+	}
+	var runs []rowRun
+	var scratch []sparse.NZ
+	for p := 0; p+1 < len(panelPtr); p++ {
+		seg := entries[panelPtr[p]:panelPtr[p+1]]
+		runs = runs[:0]
+		for lo := 0; lo < len(seg); {
+			row := seg[lo].Row
+			sig := uint64(1) << (uint(layout.StripeOfCol(seg[lo].Col)) % 64)
+			hi := lo + 1
+			for hi < len(seg) && seg[hi].Row == row {
+				sig |= uint64(1) << (uint(layout.StripeOfCol(seg[hi].Col)) % 64)
+				hi++
+			}
+			runs = append(runs, rowRun{sig: sig, row: row, lo: int32(lo), hi: int32(hi)})
+			lo = hi
+		}
+		if len(runs) < 2 {
+			continue
+		}
+		sort.Slice(runs, func(a, b int) bool {
+			if runs[a].sig != runs[b].sig {
+				return runs[a].sig < runs[b].sig
+			}
+			return runs[a].row < runs[b].row
+		})
+		scratch = append(scratch[:0], seg...)
+		out := seg[:0]
+		for _, r := range runs {
+			out = append(out, scratch[r.lo:r.hi]...)
+		}
+	}
 }
 
 // forceSplit classifies a fixed fraction of the remote stripes as

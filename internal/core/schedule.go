@@ -416,12 +416,14 @@ func processAsyncBatch(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePar
 			acc := &ws.acc
 			acc.Begin(int(np.RowHi-np.RowLo), k)
 			ci := 0
-			for _, e := range entries {
-				for cols[ci] != e.Col {
-					ci++
+			for i := 0; i < len(entries); {
+				col := entries[i].Col
+				j := i + 1
+				for j < len(entries) && entries[j].Col == col {
+					j++
 				}
-				if smp.masked(np.RowLo+e.Row, e.Col) {
-					continue
+				for cols[ci] != col {
+					ci++
 				}
 				var brow []float64
 				if ref := rowRef[ci]; ref >= 0 {
@@ -431,7 +433,8 @@ func processAsyncBatch(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePar
 					off := int(^ref) * k
 					brow = ws.crows[off : off+k]
 				}
-				acc.Accumulate(e.Row, e.Val, brow)
+				accumulateRun(acc, entries[i:j], brow, np.RowLo, smp)
+				i = j
 			}
 			base := int(np.RowLo) * k
 			for i, row := range acc.Touched() {

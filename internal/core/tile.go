@@ -1,0 +1,43 @@
+package core
+
+import (
+	"twoface/internal/kernels"
+	"twoface/internal/sparse"
+)
+
+// accumulateRun adds one same-column run of async-stripe nonzeros into the
+// row accumulator against the run's shared dense B row, grouping up to four
+// destination rows per pass through the register-tiled AxpyQuad kernel so
+// each B-row tile is loaded once for four updates. A run's rows are distinct
+// (one nonzero per (row, col)), so the grouped destinations never alias.
+//
+// Results are bit-identical to per-entry Accumulate calls: AxpyQuad rounds
+// exactly like four sequential Axpys under every non-FMA variant, first
+// touches scale-assign exactly as Accumulate does, and reordering updates of
+// distinct rows within the run leaves every row's own accumulation order
+// unchanged.
+func accumulateRun(acc *kernels.RowAccumulator, run []sparse.NZ, brow []float64, rowLo int32, smp sampling) {
+	acc.Reserve(len(run)) // pending Row buffers must survive first-touch growth
+	var na int
+	var alphas [4]float64
+	var dsts [4][]float64
+	for _, e := range run {
+		if smp.masked(rowLo+e.Row, e.Col) {
+			continue
+		}
+		vals, first := acc.Row(e.Row)
+		if first {
+			kernels.ScaleTo(vals, e.Val, brow)
+			continue
+		}
+		alphas[na], dsts[na] = e.Val, vals
+		na++
+		if na == 4 {
+			kernels.AxpyQuad(brow, alphas[0], dsts[0], alphas[1], dsts[1], alphas[2], dsts[2], alphas[3], dsts[3])
+			na = 0
+		}
+	}
+	for i := 0; i < na; i++ {
+		kernels.Axpy(alphas[i], brow, dsts[i])
+	}
+}

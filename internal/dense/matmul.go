@@ -11,12 +11,46 @@ import (
 // blocked loop over the shared AXPY/dot kernels is plenty.
 
 // MatMul returns a x b (a is m x k, b is k x n).
+//
+// Output rows are processed four at a time through the register-tiled
+// AxpyQuad kernel, loading each B row once per group instead of once per
+// row. Each output row still receives its multiply-adds in ascending kk
+// order with the same zero skip, so results match the row-at-a-time loop
+// bit for bit.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("dense: MatMul shapes %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	c := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	i := 0
+	for ; i+3 < a.Rows; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		for kk := 0; kk < a.Cols; kk++ {
+			v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			if v0 != 0 && v1 != 0 && v2 != 0 && v3 != 0 {
+				kernels.AxpyQuad(brow, v0, c0, v1, c1, v2, c2, v3, c3)
+				continue
+			}
+			if v0 != 0 {
+				kernels.Axpy(v0, brow, c0)
+			}
+			if v1 != 0 {
+				kernels.Axpy(v1, brow, c1)
+			}
+			if v2 != 0 {
+				kernels.Axpy(v2, brow, c2)
+			}
+			if v3 != 0 {
+				kernels.Axpy(v3, brow, c3)
+			}
+		}
+	}
+	for ; i < a.Rows; i++ {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for kk, v := range arow {
@@ -31,6 +65,11 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 
 // MatMulT1 returns a^T x b (a is k x m, b is k x n; result m x n). This is
 // the weight-gradient shape of a linear layer: dW = X^T dZ.
+//
+// Output rows group four at a time per kk through the register-tiled
+// AxpyQuad kernel, which spreads one load of b's row to four destinations.
+// Each output row keeps its ascending-kk update order and zero skip, so
+// results match the scalar-grouped loop bit for bit.
 func MatMulT1(a, b *Matrix) (*Matrix, error) {
 	if a.Rows != b.Rows {
 		return nil, fmt.Errorf("dense: MatMulT1 shapes (%dx%d)^T x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -39,11 +78,33 @@ func MatMulT1(a, b *Matrix) (*Matrix, error) {
 	for kk := 0; kk < a.Rows; kk++ {
 		arow := a.Row(kk)
 		brow := b.Row(kk)
-		for i, v := range arow {
-			if v == 0 {
+		i := 0
+		for ; i+3 < len(arow); i += 4 {
+			v0, v1, v2, v3 := arow[i], arow[i+1], arow[i+2], arow[i+3]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
 				continue
 			}
-			kernels.Axpy(v, brow, c.Row(i))
+			if v0 != 0 && v1 != 0 && v2 != 0 && v3 != 0 {
+				kernels.AxpyQuad(brow, v0, c.Row(i), v1, c.Row(i+1), v2, c.Row(i+2), v3, c.Row(i+3))
+				continue
+			}
+			if v0 != 0 {
+				kernels.Axpy(v0, brow, c.Row(i))
+			}
+			if v1 != 0 {
+				kernels.Axpy(v1, brow, c.Row(i+1))
+			}
+			if v2 != 0 {
+				kernels.Axpy(v2, brow, c.Row(i+2))
+			}
+			if v3 != 0 {
+				kernels.Axpy(v3, brow, c.Row(i+3))
+			}
+		}
+		for ; i < len(arow); i++ {
+			if v := arow[i]; v != 0 {
+				kernels.Axpy(v, brow, c.Row(i))
+			}
 		}
 	}
 	return c, nil

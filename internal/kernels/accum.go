@@ -42,6 +42,21 @@ func (a *RowAccumulator) Begin(numRows, k int) {
 // of a row assigns it the next free slot and scale-assigns (no zero fill);
 // later touches accumulate with Axpy.
 func (a *RowAccumulator) Accumulate(row int32, alpha float64, x []float64) {
+	vals, first := a.Row(row)
+	if first {
+		ScaleTo(vals, alpha, x)
+		return
+	}
+	Axpy(alpha, x, vals)
+}
+
+// Row returns the width-k accumulation buffer of `row`, assigning it the
+// next free slot on a first touch. When first is true the buffer holds stale
+// data from an earlier epoch: the caller must assign into it (ScaleTo), not
+// accumulate. Buffers alias internal storage and are invalidated when a
+// later first touch grows it — callers holding several buffers across touches
+// (the tiled AxpyQuad path) must Reserve the batch's rows up front.
+func (a *RowAccumulator) Row(row int32) (vals []float64, first bool) {
 	if a.stamp[row] != a.epoch {
 		a.stamp[row] = a.epoch
 		a.slot[row] = int32(len(a.rows))
@@ -52,11 +67,20 @@ func (a *RowAccumulator) Accumulate(row int32, alpha float64, x []float64) {
 			a.acc = grown
 		}
 		off := (len(a.rows) - 1) * a.k
-		ScaleTo(a.acc[off:off+a.k], alpha, x)
-		return
+		return a.acc[off : off+a.k], true
 	}
 	off := int(a.slot[row]) * a.k
-	Axpy(alpha, x, a.acc[off:off+a.k])
+	return a.acc[off : off+a.k], false
+}
+
+// Reserve grows the accumulation buffer to hold up to n further first
+// touches, so Row buffers handed out during the next n touches stay valid.
+func (a *RowAccumulator) Reserve(n int) {
+	if need := (len(a.rows) + n) * a.k; need > len(a.acc) {
+		grown := make([]float64, max(need, 2*len(a.acc)))
+		copy(grown, a.acc)
+		a.acc = grown
+	}
 }
 
 // Touched returns the rows accumulated since Begin, in first-touch order.

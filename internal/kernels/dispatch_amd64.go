@@ -1,0 +1,64 @@
+package kernels
+
+// CPU feature detection for the amd64 dispatch: AVX2 requires the OS to
+// have enabled YMM state saving (OSXSAVE + XCR0[2:1] == 11) on top of the
+// CPUID feature bits, per the Intel SDM procedure. Detection runs once at
+// package initialization, before init() binds the dispatch table.
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (extended control register 0). Only valid when CPUID
+// reports OSXSAVE. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2, hasFMA = detectAMD64()
+
+func detectAMD64() (avx2, fma bool) {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false, false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false, false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 { // XMM and YMM state enabled by the OS
+		return false, false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	avx2 = ebx7&avx2Bit != 0
+	fma = avx2 && ecx1&fmaBit != 0
+	return avx2, fma
+}
+
+// archImpl returns the best assembly implementation under the FMA policy,
+// or nil to fall back to generic.
+func archImpl(allowFMA bool) *impl {
+	if hasAVX2 && allowFMA && hasFMA {
+		return &fmaImpl
+	}
+	if hasAVX2 {
+		return &avx2Impl
+	}
+	return nil
+}
+
+// archImpls lists every assembly implementation this host can run.
+func archImpls() []*impl {
+	var out []*impl
+	if hasAVX2 {
+		out = append(out, &avx2Impl)
+	}
+	if hasFMA {
+		out = append(out, &fmaImpl)
+	}
+	return out
+}

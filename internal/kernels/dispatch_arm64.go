@@ -1,0 +1,13 @@
+package kernels
+
+// NEON (ASIMD) is a mandatory part of the arm64 profile Go targets, so the
+// assembly set is always available and needs no runtime probing.
+//
+// The Go compiler already fuses multiply-adds on arm64 (FMADDD), and the
+// NEON kernels use FMLA with the same single rounding, so the assembly is
+// bit-identical to the generic code here. There is consequently no separate
+// FMA variant on this architecture: allowFMA changes nothing.
+
+func archImpl(allowFMA bool) *impl { return &neonImpl }
+
+func archImpls() []*impl { return []*impl{&neonImpl} }

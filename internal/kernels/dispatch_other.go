@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package kernels
+
+// No assembly kernels on this architecture; dispatch always binds the
+// generic implementation.
+
+func archImpl(allowFMA bool) *impl { return nil }
+
+func archImpls() []*impl { return nil }

@@ -1,0 +1,318 @@
+package kernels
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// genericRef runs every kernel of the generic set through the public-length
+// wrappers, as the baseline all dispatch variants are compared against.
+func genericRef() Impl { return exportImpl(&genericImpl) }
+
+// Every non-FMA variant must produce element-wise identical results to the
+// generic loops for all lengths 0..67 — covering the vector widths, the
+// 4-and-8-wide main loops, and every scalar-tail remainder.
+func TestVariantsMatchGenericExact(t *testing.T) {
+	ref := genericRef()
+	for _, v := range Implementations() {
+		if v.Variant == VariantAVX2FMA {
+			continue // one-rounding drift; covered by TestFMABoundedError
+		}
+		t.Run(v.Variant.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(7, uint64(v.Variant)))
+			for n := 0; n <= 67; n++ {
+				x := randSlice(n, rng)
+				y := randSlice(n, rng)
+				x1 := randSlice(n, rng)
+				y1, y2, y3 := randSlice(n, rng), randSlice(n, rng), randSlice(n, rng)
+				alpha := 2*rng.Float64() - 1
+				a1, a2, a3 := rng.Float64(), -rng.Float64(), 2*rng.Float64()-1
+
+				check := func(name string, got, want []float64) {
+					t.Helper()
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s n=%d i=%d: %v != %v", name, n, i, got[i], want[i])
+						}
+					}
+				}
+
+				gw := append([]float64(nil), y...)
+				gv := append([]float64(nil), y...)
+				ref.Axpy(alpha, x, gw)
+				v.Axpy(alpha, x, gv)
+				check("Axpy", gv, gw)
+
+				gw, gv = make([]float64, n), make([]float64, n)
+				ref.ScaleTo(gw, alpha, x)
+				v.ScaleTo(gv, alpha, x)
+				check("ScaleTo", gv, gw)
+
+				ref.AxpyTo(gw, alpha, x, y)
+				v.AxpyTo(gv, alpha, x, y)
+				check("AxpyTo", gv, gw)
+
+				gw = append([]float64(nil), y...)
+				gv = append([]float64(nil), y...)
+				ref.Add(gw, x)
+				v.Add(gv, x)
+				check("Add", gv, gw)
+
+				gw = append([]float64(nil), x...)
+				gv = append([]float64(nil), x...)
+				ref.Scale(alpha, gw)
+				v.Scale(alpha, gv)
+				check("Scale", gv, gw)
+
+				if dw, dv := ref.Dot(x, y), v.Dot(x, y); dw != dv {
+					t.Fatalf("Dot n=%d: %v != %v", n, dv, dw)
+				}
+
+				gw = append([]float64(nil), y...)
+				gv = append([]float64(nil), y...)
+				ref.Axpy2(alpha, x, a1, x1, gw)
+				v.Axpy2(alpha, x, a1, x1, gv)
+				check("Axpy2", gv, gw)
+
+				w0 := append([]float64(nil), y...)
+				w1 := append([]float64(nil), y1...)
+				w2 := append([]float64(nil), y2...)
+				w3 := append([]float64(nil), y3...)
+				v0 := append([]float64(nil), y...)
+				v1 := append([]float64(nil), y1...)
+				v2 := append([]float64(nil), y2...)
+				v3 := append([]float64(nil), y3...)
+				ref.AxpyQuad(x, alpha, w0, a1, w1, a2, w2, a3, w3)
+				v.AxpyQuad(x, alpha, v0, a1, v1, a2, v2, a3, v3)
+				check("AxpyQuad y0", v0, w0)
+				check("AxpyQuad y1", v1, w1)
+				check("AxpyQuad y2", v2, w2)
+				check("AxpyQuad y3", v3, w3)
+			}
+		})
+	}
+}
+
+// Mismatched lengths truncate to the common prefix under every variant, and
+// elements past it are never touched.
+func TestVariantsTruncate(t *testing.T) {
+	for _, v := range Implementations() {
+		t.Run(v.Variant.String(), func(t *testing.T) {
+			x := []float64{1, 2, 3, 4, 5, 6, 7}
+			y := []float64{10, 20, 30, 40, 50, 60, 70}
+			got := append([]float64(nil), y...)
+			v.Axpy(2, x[:5], got)
+			for i := 0; i < 5; i++ {
+				if got[i] != y[i]+2*x[i] {
+					t.Fatalf("Axpy i=%d: %v", i, got[i])
+				}
+			}
+			if got[5] != 60 || got[6] != 70 {
+				t.Fatalf("Axpy wrote past common length: %v", got)
+			}
+			dst := make([]float64, 3)
+			v.AxpyTo(dst, 1, x, y)
+			if dst[0] != 11 || dst[1] != 22 || dst[2] != 33 {
+				t.Fatalf("AxpyTo short dst: %v", dst)
+			}
+			if d := v.Dot(x[:2], y); d != 1*10+2*20 {
+				t.Fatalf("Dot truncation: %v", d)
+			}
+			// AxpyQuad truncates to the min across ALL five slices: an empty
+			// destination therefore disables the whole call.
+			yq := append([]float64(nil), y...)
+			v.AxpyQuad(x[:2], 1, yq, 0, nil, 0, nil, 0, nil)
+			for i := range yq {
+				if yq[i] != y[i] {
+					t.Fatalf("AxpyQuad with empty dst must be a no-op: %v", yq)
+				}
+			}
+		})
+	}
+}
+
+// AxpyTo explicitly allows dst to alias x or y exactly; every variant must
+// compute the same in-place result as the generic loops.
+func TestVariantsAxpyToAliasing(t *testing.T) {
+	ref := genericRef()
+	for _, v := range Implementations() {
+		if v.Variant == VariantAVX2FMA {
+			continue
+		}
+		t.Run(v.Variant.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(11, uint64(v.Variant)))
+			for n := 0; n <= 67; n++ {
+				x := randSlice(n, rng)
+				y := randSlice(n, rng)
+				alpha := 2*rng.Float64() - 1
+
+				// dst == y: the Axpy shape.
+				want := append([]float64(nil), y...)
+				got := append([]float64(nil), y...)
+				ref.AxpyTo(want, alpha, x, want)
+				v.AxpyTo(got, alpha, x, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dst==y n=%d i=%d: %v != %v", n, i, got[i], want[i])
+					}
+				}
+
+				// dst == x: overwrite the scaled source.
+				want = append([]float64(nil), x...)
+				got = append([]float64(nil), x...)
+				ref.AxpyTo(want, alpha, want, y)
+				v.AxpyTo(got, alpha, got, y)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dst==x n=%d i=%d: %v != %v", n, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Scale's documented contract differs from every other kernel: it has no
+// second slice to truncate against and always scales the FULL slice. Every
+// variant must honor that for lengths crossing the vector width.
+func TestScaleFullSliceSemantics(t *testing.T) {
+	for _, v := range Implementations() {
+		t.Run(v.Variant.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(13, uint64(v.Variant)))
+			for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 64, 67} {
+				x := randSlice(n, rng)
+				got := append([]float64(nil), x...)
+				v.Scale(3.5, got)
+				for i := range x {
+					if got[i] != 3.5*x[i] {
+						t.Fatalf("n=%d i=%d: element not scaled", n, i)
+					}
+				}
+			}
+		})
+	}
+	// And via the package-level dispatcher.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	Scale(2, x)
+	if x[8] != 18 {
+		t.Fatalf("package Scale skipped the tail: %v", x)
+	}
+}
+
+// The FMA variant rounds once per multiply-add instead of twice. Its drift
+// from the generic result must stay within a few ulps per accumulation —
+// anything larger means the kernel computes something other than fused
+// y + alpha*x.
+func TestFMABoundedError(t *testing.T) {
+	var fma *Impl
+	impls := Implementations()
+	for i := range impls {
+		if impls[i].Variant == VariantAVX2FMA {
+			fma = &impls[i]
+			break
+		}
+	}
+	if fma == nil {
+		t.Skip("no FMA implementation on this host")
+	}
+	ref := genericRef()
+	rng := rand.New(rand.NewPCG(17, 19))
+	for n := 0; n <= 67; n++ {
+		x := randSlice(n, rng)
+		y := randSlice(n, rng)
+		alpha := 2*rng.Float64() - 1
+		want := append([]float64(nil), y...)
+		got := append([]float64(nil), y...)
+		ref.Axpy(alpha, x, want)
+		fma.Axpy(alpha, x, got)
+		for i := range want {
+			tol := 4 * ulp(math.Abs(want[i])+math.Abs(alpha*x[i]))
+			if diff := math.Abs(got[i] - want[i]); diff > tol {
+				t.Fatalf("Axpy n=%d i=%d: fma drift %g exceeds %g", n, i, diff, tol)
+			}
+		}
+		dw, dg := ref.Dot(x, y), fma.Dot(x, y)
+		var mag float64
+		for i := range x {
+			mag += math.Abs(x[i] * y[i])
+		}
+		if diff := math.Abs(dg - dw); diff > 4*float64(n+1)*ulp(mag+1) {
+			t.Fatalf("Dot n=%d: fma drift %g", n, diff)
+		}
+	}
+}
+
+func ulp(v float64) float64 {
+	next := math.Nextafter(v, math.Inf(1))
+	return next - v
+}
+
+// Toggling ForceGeneric rebinds dispatch immediately and reversibly, and the
+// kernels stay correct on both sides of the toggle.
+func TestSetForceGenericToggle(t *testing.T) {
+	wasForced := GenericForced()
+	t.Cleanup(func() { SetForceGeneric(wasForced) })
+
+	SetForceGeneric(true)
+	if Active() != VariantGeneric {
+		t.Fatalf("forced generic but active is %v", Active())
+	}
+	y := []float64{1, 2, 3, 4, 5}
+	Axpy(2, []float64{1, 1, 1, 1, 1}, y)
+	if y[0] != 3 || y[4] != 7 {
+		t.Fatalf("generic Axpy wrong: %v", y)
+	}
+
+	SetForceGeneric(false)
+	if len(archImpls()) > 0 && Active() == VariantGeneric && !GenericForced() {
+		t.Fatalf("unforced generic on a host with assembly kernels")
+	}
+	y = []float64{1, 2, 3, 4, 5}
+	Axpy(2, []float64{1, 1, 1, 1, 1}, y)
+	if y[0] != 3 || y[4] != 7 {
+		t.Fatalf("dispatched Axpy wrong: %v", y)
+	}
+}
+
+// Property test: on random lengths and seeds, every non-FMA variant agrees
+// exactly with generic for the three hot kernels.
+func TestVariantsProperty(t *testing.T) {
+	ref := genericRef()
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		n := int(nRaw % 300)
+		x, y := randSlice(n, rng), randSlice(n, rng)
+		alpha := 2*rng.Float64() - 1
+		for _, v := range Implementations() {
+			if v.Variant == VariantAVX2FMA {
+				continue
+			}
+			gw := append([]float64(nil), y...)
+			gv := append([]float64(nil), y...)
+			ref.Axpy(alpha, x, gw)
+			v.Axpy(alpha, x, gv)
+			for i := range gw {
+				if gw[i] != gv[i] {
+					return false
+				}
+			}
+			if ref.Dot(x, y) != v.Dot(x, y) {
+				return false
+			}
+			dw, dv := make([]float64, n), make([]float64, n)
+			ref.ScaleTo(dw, alpha, x)
+			v.ScaleTo(dv, alpha, x)
+			for i := range dw {
+				if dw[i] != dv[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,130 +1,121 @@
 // Package kernels provides the shared float64 inner-loop kernels of every
 // SpMM/matmul hot path in this repository: AXPY-style row updates, fused
-// scale-assign, and dot products. All loops are 4-way unrolled with bounds
-// checks hoisted by re-slicing, the standard pure-Go construction (cf.
-// gonum's f64 assembly fallbacks). Centralizing them here means the
-// distributed executor, the baselines, the reference kernels, and the GNN
-// layers all share one tuned implementation instead of five hand-rolled
-// loops.
+// scale-assign, dot products, and the register-tiled multi-source/multi-
+// destination variants the panel and stripe paths are built from.
 //
-// Every kernel operates on min(len(x), len(dst)) elements, so callers can
-// pass full-capacity scratch buffers without trimming.
+// The package is a dispatching layer. At init it detects the host CPU and
+// binds each kernel to the best available implementation: hand-written Go
+// assembly (AVX2 on amd64, NEON on arm64, plus an opt-in FMA variant on
+// amd64) or the pure-Go 4-way unrolls that remain the always-available
+// fallback on every architecture. Except for the explicitly opt-in FMA
+// variant (SetAllowFMA / TWOFACE_ALLOW_FMA), every implementation of a
+// kernel is bit-identical to the generic one on every input, so results do
+// not depend on the host: the assembly mirrors the generic code's exact
+// operation order and rounding (separate multiply and add on amd64, fused
+// multiply-add on arm64 where the Go compiler itself fuses). SetForceGeneric
+// or TWOFACE_FORCE_GENERIC=1 pins the generic implementations for A/B runs.
+//
+// Length contract: every kernel that takes two or more slices operates on
+// the common (minimum) length of its operands, so callers can pass
+// full-capacity scratch buffers without trimming. The one exception is
+// Scale, which has a single operand and scales the full slice.
 package kernels
 
 // Axpy computes y[i] += alpha * x[i] over the common length of x and y.
 func Axpy(alpha float64, x, y []float64) {
-	n := len(x)
-	if len(y) < n {
-		n = len(y)
+	n := min(len(x), len(y))
+	if n == 0 {
+		return
 	}
-	x, y = x[:n:n], y[:n:n]
-	for len(x) >= 4 {
-		y[0] += alpha * x[0]
-		y[1] += alpha * x[1]
-		y[2] += alpha * x[2]
-		y[3] += alpha * x[3]
-		x, y = x[4:], y[4:]
-	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	active.Load().axpy(alpha, x[:n], y[:n])
 }
 
-// ScaleTo computes dst[i] = alpha * x[i] (fused scale-assign). Accumulators
-// use it on the first touch of a row so scratch buffers never need zeroing.
+// ScaleTo computes dst[i] = alpha * x[i] (fused scale-assign) over the
+// common length of dst and x. Accumulators use it on the first touch of a
+// row so scratch buffers never need zeroing.
 func ScaleTo(dst []float64, alpha float64, x []float64) {
-	n := len(x)
-	if len(dst) < n {
-		n = len(dst)
+	n := min(len(dst), len(x))
+	if n == 0 {
+		return
 	}
-	x, dst = x[:n:n], dst[:n:n]
-	for len(x) >= 4 {
-		dst[0] = alpha * x[0]
-		dst[1] = alpha * x[1]
-		dst[2] = alpha * x[2]
-		dst[3] = alpha * x[3]
-		x, dst = x[4:], dst[4:]
-	}
-	for i, v := range x {
-		dst[i] = alpha * v
-	}
+	active.Load().scaleTo(dst[:n], alpha, x[:n])
 }
 
 // AxpyTo computes dst[i] = y[i] + alpha * x[i] (fused scale-add into a
-// separate destination) over the common length of the three slices.
+// separate destination) over the common length of the three slices. dst may
+// alias x or y exactly (same base and length); partial overlaps are not
+// supported.
 func AxpyTo(dst []float64, alpha float64, x, y []float64) {
-	n := len(x)
-	if len(y) < n {
-		n = len(y)
+	n := min(len(dst), len(x), len(y))
+	if n == 0 {
+		return
 	}
-	if len(dst) < n {
-		n = len(dst)
-	}
-	x, y, dst = x[:n:n], y[:n:n], dst[:n:n]
-	for len(x) >= 4 {
-		dst[0] = y[0] + alpha*x[0]
-		dst[1] = y[1] + alpha*x[1]
-		dst[2] = y[2] + alpha*x[2]
-		dst[3] = y[3] + alpha*x[3]
-		x, y, dst = x[4:], y[4:], dst[4:]
-	}
-	for i, v := range x {
-		dst[i] = y[i] + alpha*v
-	}
+	active.Load().axpyTo(dst[:n], alpha, x[:n], y[:n])
 }
 
 // Add computes dst[i] += x[i] over the common length of x and dst.
 func Add(dst, x []float64) {
-	n := len(x)
-	if len(dst) < n {
-		n = len(dst)
+	n := min(len(dst), len(x))
+	if n == 0 {
+		return
 	}
-	x, dst = x[:n:n], dst[:n:n]
-	for len(x) >= 4 {
-		dst[0] += x[0]
-		dst[1] += x[1]
-		dst[2] += x[2]
-		dst[3] += x[3]
-		x, dst = x[4:], dst[4:]
-	}
-	for i, v := range x {
-		dst[i] += v
-	}
+	active.Load().add(dst[:n], x[:n])
 }
 
-// Scale computes x[i] *= alpha in place.
+// Scale computes x[i] *= alpha in place, over the FULL slice.
+//
+// Unlike every other kernel in this package, Scale has no second operand
+// and therefore no min-length truncation: all len(x) elements are scaled.
+// Callers passing a full-capacity scratch buffer must trim it themselves.
+// This contract was implicit in the original pure-Go loop; it is documented
+// (and tested) so the assembly ports cannot silently diverge on short
+// buffers.
 func Scale(alpha float64, x []float64) {
-	for len(x) >= 4 {
-		x[0] *= alpha
-		x[1] *= alpha
-		x[2] *= alpha
-		x[3] *= alpha
-		x = x[4:]
+	if len(x) == 0 {
+		return
 	}
-	for i := range x {
-		x[i] *= alpha
-	}
+	active.Load().scale(alpha, x)
 }
 
 // Dot returns the inner product of x and y over their common length, using
 // four independent partial sums to break the accumulation dependency chain.
+// Every implementation reproduces the generic code's exact grouping — lane
+// j accumulates elements j mod 4 and the partials reduce in the fixed order
+// ((s0+s1)+s2)+s3 before the sequential remainder — so the result is
+// bit-identical across variants (except opt-in FMA).
 func Dot(x, y []float64) float64 {
-	n := len(x)
-	if len(y) < n {
-		n = len(y)
+	n := min(len(x), len(y))
+	if n == 0 {
+		return 0
 	}
-	x, y = x[:n:n], y[:n:n]
-	var s0, s1, s2, s3 float64
-	for len(x) >= 4 {
-		s0 += x[0] * y[0]
-		s1 += x[1] * y[1]
-		s2 += x[2] * y[2]
-		s3 += x[3] * y[3]
-		x, y = x[4:], y[4:]
+	return active.Load().dot(x[:n], y[:n])
+}
+
+// Axpy2 computes y[i] += a0*x0[i] + a1*x1[i] over the common length of the
+// three slices, as two chained multiply-adds per element — bit-identical to
+// Axpy(a0, x0, y) followed by Axpy(a1, x1, y), but with the accumulator
+// K-tile held in registers across both sources. This is the register-tiled
+// panel kernel: processing a row's nonzeros two at a time halves the
+// accumulator load/store traffic of the per-nonzero AXPY formulation.
+func Axpy2(a0 float64, x0 []float64, a1 float64, x1 []float64, y []float64) {
+	n := min(len(x0), len(x1), len(y))
+	if n == 0 {
+		return
 	}
-	s := s0 + s1 + s2 + s3
-	for i, v := range x {
-		s += v * y[i]
+	active.Load().axpy2(a0, x0[:n], a1, x1[:n], y[:n])
+}
+
+// AxpyQuad computes yR[i] += aR*x[i] for each of the four destination rows
+// y0..y3, over the common length of all five slices — bit-identical to four
+// Axpy calls, but with each x K-tile loaded once and spread to all four
+// destinations while in registers. This is the multi-row tiled kernel: the
+// async stripe path and the dense matmuls use it to update four C rows per
+// pass against the same dense source row. The destinations must not alias
+// each other.
+func AxpyQuad(x []float64, a0 float64, y0 []float64, a1 float64, y1 []float64, a2 float64, y2 []float64, a3 float64, y3 []float64) {
+	n := min(len(x), len(y0), len(y1), len(y2), len(y3))
+	if n == 0 {
+		return
 	}
-	return s
+	active.Load().axpyQuad(x[:n], a0, y0[:n], a1, y1[:n], a2, y2[:n], a3, y3[:n])
 }

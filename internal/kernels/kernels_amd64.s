@@ -1,0 +1,589 @@
+// AVX2 and FMA float64 kernels (see kernels_amd64.go for the contracts).
+//
+// Bit-exactness discipline: the AVX2 bodies use separate VMULPD/VADDPD so
+// every element is rounded twice, exactly as the generic Go code compiles
+// on the amd64 v1 baseline; only the *FMA bodies (reachable through the
+// AllowFMA opt-in alone) fuse the multiply-add into a single rounding.
+// Dot reproduces the generic four-partial-sum grouping: vector lane j holds
+// the generic s_j, the lanes reduce in the fixed order ((s0+s1)+s2)+s3, and
+// the <4 remainder accumulates sequentially.
+//
+// All entry points take base pointers plus an element count n >= 1.
+
+#include "textflag.h"
+
+// func axpyAVX2(alpha float64, x, y *float64, n int)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+axpy8:
+	CMPQ CX, $8
+	JLT  axpy4
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	SUBQ $8, CX
+	JMP  axpy8
+
+axpy4:
+	CMPQ CX, $4
+	JLT  axpy1
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+
+axpy1:
+	TESTQ CX, CX
+	JEQ   axpydone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  axpy1
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func axpyFMA(alpha float64, x, y *float64, n int)
+TEXT ·axpyFMA(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+faxpy8:
+	CMPQ CX, $8
+	JLT  faxpy4
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VFMADD231PD (SI)(AX*8), Y0, Y1
+	VFMADD231PD 32(SI)(AX*8), Y0, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	SUBQ $8, CX
+	JMP  faxpy8
+
+faxpy4:
+	CMPQ CX, $4
+	JLT  faxpy1
+	VMOVUPD (DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y0, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+
+faxpy1:
+	TESTQ CX, CX
+	JEQ   faxpydone
+	VMOVSD (DI)(AX*8), X1
+	VFMADD231SD (SI)(AX*8), X0, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  faxpy1
+
+faxpydone:
+	VZEROUPPER
+	RET
+
+// func axpyToAVX2(dst *float64, alpha float64, x, y *float64, n int)
+TEXT ·axpyToAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ y+24(FP), DI
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+
+axpyto4:
+	CMPQ CX, $4
+	JLT  axpyto1
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DX)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  axpyto4
+
+axpyto1:
+	TESTQ CX, CX
+	JEQ   axpytodone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DX)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  axpyto1
+
+axpytodone:
+	VZEROUPPER
+	RET
+
+// func axpyToFMA(dst *float64, alpha float64, x, y *float64, n int)
+TEXT ·axpyToFMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ y+24(FP), DI
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+
+faxpyto4:
+	CMPQ CX, $4
+	JLT  faxpyto1
+	VMOVUPD (DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y0, Y1
+	VMOVUPD Y1, (DX)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  faxpyto4
+
+faxpyto1:
+	TESTQ CX, CX
+	JEQ   faxpytodone
+	VMOVSD (DI)(AX*8), X1
+	VFMADD231SD (SI)(AX*8), X0, X1
+	VMOVSD X1, (DX)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  faxpyto1
+
+faxpytodone:
+	VZEROUPPER
+	RET
+
+// func scaleToAVX2(dst *float64, alpha float64, x *float64, n int)
+TEXT ·scaleToAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+scaleto4:
+	CMPQ CX, $4
+	JLT  scaleto1
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD Y1, (DX)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  scaleto4
+
+scaleto1:
+	TESTQ CX, CX
+	JEQ   scaletodone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VMOVSD X1, (DX)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  scaleto1
+
+scaletodone:
+	VZEROUPPER
+	RET
+
+// func addAVX2(dst, x *float64, n int)
+TEXT ·addAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+add4:
+	CMPQ CX, $4
+	JLT  add1
+	VMOVUPD (DI)(AX*8), Y1
+	VADDPD  (SI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  add4
+
+add1:
+	TESTQ CX, CX
+	JEQ   adddone
+	VMOVSD (DI)(AX*8), X1
+	VADDSD (SI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  add1
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func scaleAVX2(alpha float64, x *float64, n int)
+TEXT ·scaleAVX2(SB), NOSPLIT, $0-24
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+
+scale4:
+	CMPQ CX, $4
+	JLT  scale1
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD Y1, (SI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  scale4
+
+scale1:
+	TESTQ CX, CX
+	JEQ   scaledone
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VMOVSD X1, (SI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  scale1
+
+scaledone:
+	VZEROUPPER
+	RET
+
+// func dotAVX2(x, y *float64, n int) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	VXORPD Y1, Y1, Y1 // lane j accumulates the generic partial s_j
+
+dot4:
+	CMPQ CX, $4
+	JLT  dotreduce
+	VMOVUPD (SI)(AX*8), Y2
+	VMULPD  (DI)(AX*8), Y2, Y2
+	VADDPD  Y2, Y1, Y1
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  dot4
+
+dotreduce:
+	// s = ((s0+s1)+s2)+s3, the generic reduction order.
+	VEXTRACTF128 $1, Y1, X2 // X2 = (s2, s3)
+	VPERMILPD $1, X1, X3    // X3 low = s1
+	VADDSD X3, X1, X1       // s0+s1
+	VADDSD X2, X1, X1       // +s2
+	VPERMILPD $1, X2, X2    // low = s3
+	VADDSD X2, X1, X1       // +s3
+
+dot1:
+	TESTQ CX, CX
+	JEQ   dotdone
+	VMOVSD (SI)(AX*8), X2
+	VMULSD (DI)(AX*8), X2, X2
+	VADDSD X2, X1, X1
+	INCQ AX
+	DECQ CX
+	JMP  dot1
+
+dotdone:
+	VMOVSD X1, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dotFMA(x, y *float64, n int) float64
+TEXT ·dotFMA(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	VXORPD Y1, Y1, Y1
+
+fdot4:
+	CMPQ CX, $4
+	JLT  fdotreduce
+	VMOVUPD (SI)(AX*8), Y2
+	VFMADD231PD (DI)(AX*8), Y2, Y1
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  fdot4
+
+fdotreduce:
+	VEXTRACTF128 $1, Y1, X2
+	VPERMILPD $1, X1, X3
+	VADDSD X3, X1, X1
+	VADDSD X2, X1, X1
+	VPERMILPD $1, X2, X2
+	VADDSD X2, X1, X1
+
+fdot1:
+	TESTQ CX, CX
+	JEQ   fdotdone
+	VMOVSD (SI)(AX*8), X2
+	VFMADD231SD (DI)(AX*8), X2, X1
+	INCQ AX
+	DECQ CX
+	JMP  fdot1
+
+fdotdone:
+	VMOVSD X1, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpy2AVX2(a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64, n int)
+//
+// The register-tiled dual-source kernel: the accumulator tile stays in
+// YMM registers across both multiply-adds, halving accumulator traffic
+// versus two Axpy passes while rounding identically (mul then add, source
+// 0 first).
+TEXT ·axpy2AVX2(SB), NOSPLIT, $0-48
+	VBROADCASTSD a0+0(FP), Y14
+	MOVQ x0+8(FP), SI
+	VBROADCASTSD a1+16(FP), Y15
+	MOVQ x1+24(FP), DX
+	MOVQ y+32(FP), DI
+	MOVQ n+40(FP), CX
+	XORQ AX, AX
+
+a2loop8:
+	CMPQ CX, $8
+	JLT  a2loop4
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y3
+	VMOVUPD 32(SI)(AX*8), Y4
+	VMULPD  Y14, Y3, Y3
+	VMULPD  Y14, Y4, Y4
+	VADDPD  Y3, Y1, Y1
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD (DX)(AX*8), Y3
+	VMOVUPD 32(DX)(AX*8), Y4
+	VMULPD  Y15, Y3, Y3
+	VMULPD  Y15, Y4, Y4
+	VADDPD  Y3, Y1, Y1
+	VADDPD  Y4, Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	SUBQ $8, CX
+	JMP  a2loop8
+
+a2loop4:
+	CMPQ CX, $4
+	JLT  a2loop1
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD (SI)(AX*8), Y3
+	VMULPD  Y14, Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	VMOVUPD (DX)(AX*8), Y3
+	VMULPD  Y15, Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+
+a2loop1:
+	TESTQ CX, CX
+	JEQ   a2done
+	VMOVSD (DI)(AX*8), X1
+	VMOVSD (SI)(AX*8), X3
+	VMULSD X14, X3, X3
+	VADDSD X3, X1, X1
+	VMOVSD (DX)(AX*8), X3
+	VMULSD X15, X3, X3
+	VADDSD X3, X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  a2loop1
+
+a2done:
+	VZEROUPPER
+	RET
+
+// func axpy2FMA(a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64, n int)
+TEXT ·axpy2FMA(SB), NOSPLIT, $0-48
+	VBROADCASTSD a0+0(FP), Y14
+	MOVQ x0+8(FP), SI
+	VBROADCASTSD a1+16(FP), Y15
+	MOVQ x1+24(FP), DX
+	MOVQ y+32(FP), DI
+	MOVQ n+40(FP), CX
+	XORQ AX, AX
+
+fa2loop8:
+	CMPQ CX, $8
+	JLT  fa2loop4
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VFMADD231PD (SI)(AX*8), Y14, Y1
+	VFMADD231PD 32(SI)(AX*8), Y14, Y2
+	VFMADD231PD (DX)(AX*8), Y15, Y1
+	VFMADD231PD 32(DX)(AX*8), Y15, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	SUBQ $8, CX
+	JMP  fa2loop8
+
+fa2loop4:
+	CMPQ CX, $4
+	JLT  fa2loop1
+	VMOVUPD (DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y14, Y1
+	VFMADD231PD (DX)(AX*8), Y15, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+
+fa2loop1:
+	TESTQ CX, CX
+	JEQ   fa2done
+	VMOVSD (DI)(AX*8), X1
+	VFMADD231SD (SI)(AX*8), X14, X1
+	VFMADD231SD (DX)(AX*8), X15, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  fa2loop1
+
+fa2done:
+	VZEROUPPER
+	RET
+
+// func axpyQuadAVX2(x *float64, a0 float64, y0 *float64, a1 float64, y1 *float64, a2 float64, y2 *float64, a3 float64, y3 *float64, n int)
+//
+// The multi-row tiled kernel: each x tile is loaded once and spread to four
+// destination rows while in registers, cutting source bandwidth 4x versus
+// four Axpy passes while rounding identically.
+TEXT ·axpyQuadAVX2(SB), NOSPLIT, $0-80
+	MOVQ x+0(FP), SI
+	VBROADCASTSD a0+8(FP), Y12
+	MOVQ y0+16(FP), R8
+	VBROADCASTSD a1+24(FP), Y13
+	MOVQ y1+32(FP), R9
+	VBROADCASTSD a2+40(FP), Y14
+	MOVQ y2+48(FP), R10
+	VBROADCASTSD a3+56(FP), Y15
+	MOVQ y3+64(FP), R11
+	MOVQ n+72(FP), CX
+	XORQ AX, AX
+
+quad4:
+	CMPQ CX, $4
+	JLT  quad1
+	VMOVUPD (SI)(AX*8), Y0
+	VMULPD  Y12, Y0, Y2
+	VADDPD  (R8)(AX*8), Y2, Y2
+	VMOVUPD Y2, (R8)(AX*8)
+	VMULPD  Y13, Y0, Y2
+	VADDPD  (R9)(AX*8), Y2, Y2
+	VMOVUPD Y2, (R9)(AX*8)
+	VMULPD  Y14, Y0, Y2
+	VADDPD  (R10)(AX*8), Y2, Y2
+	VMOVUPD Y2, (R10)(AX*8)
+	VMULPD  Y15, Y0, Y2
+	VADDPD  (R11)(AX*8), Y2, Y2
+	VMOVUPD Y2, (R11)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  quad4
+
+quad1:
+	TESTQ CX, CX
+	JEQ   quaddone
+	VMOVSD (SI)(AX*8), X0
+	VMULSD X12, X0, X2
+	VADDSD (R8)(AX*8), X2, X2
+	VMOVSD X2, (R8)(AX*8)
+	VMULSD X13, X0, X2
+	VADDSD (R9)(AX*8), X2, X2
+	VMOVSD X2, (R9)(AX*8)
+	VMULSD X14, X0, X2
+	VADDSD (R10)(AX*8), X2, X2
+	VMOVSD X2, (R10)(AX*8)
+	VMULSD X15, X0, X2
+	VADDSD (R11)(AX*8), X2, X2
+	VMOVSD X2, (R11)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  quad1
+
+quaddone:
+	VZEROUPPER
+	RET
+
+// func axpyQuadFMA(x *float64, a0 float64, y0 *float64, a1 float64, y1 *float64, a2 float64, y2 *float64, a3 float64, y3 *float64, n int)
+TEXT ·axpyQuadFMA(SB), NOSPLIT, $0-80
+	MOVQ x+0(FP), SI
+	VBROADCASTSD a0+8(FP), Y12
+	MOVQ y0+16(FP), R8
+	VBROADCASTSD a1+24(FP), Y13
+	MOVQ y1+32(FP), R9
+	VBROADCASTSD a2+40(FP), Y14
+	MOVQ y2+48(FP), R10
+	VBROADCASTSD a3+56(FP), Y15
+	MOVQ y3+64(FP), R11
+	MOVQ n+72(FP), CX
+	XORQ AX, AX
+
+fquad4:
+	CMPQ CX, $4
+	JLT  fquad1
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD (R8)(AX*8), Y2
+	VFMADD231PD Y0, Y12, Y2
+	VMOVUPD Y2, (R8)(AX*8)
+	VMOVUPD (R9)(AX*8), Y2
+	VFMADD231PD Y0, Y13, Y2
+	VMOVUPD Y2, (R9)(AX*8)
+	VMOVUPD (R10)(AX*8), Y2
+	VFMADD231PD Y0, Y14, Y2
+	VMOVUPD Y2, (R10)(AX*8)
+	VMOVUPD (R11)(AX*8), Y2
+	VFMADD231PD Y0, Y15, Y2
+	VMOVUPD Y2, (R11)(AX*8)
+	ADDQ $4, AX
+	SUBQ $4, CX
+	JMP  fquad4
+
+fquad1:
+	TESTQ CX, CX
+	JEQ   fquaddone
+	VMOVSD (SI)(AX*8), X0
+	VMOVSD (R8)(AX*8), X2
+	VFMADD231SD X0, X12, X2
+	VMOVSD X2, (R8)(AX*8)
+	VMOVSD (R9)(AX*8), X2
+	VFMADD231SD X0, X13, X2
+	VMOVSD X2, (R9)(AX*8)
+	VMOVSD (R10)(AX*8), X2
+	VFMADD231SD X0, X14, X2
+	VMOVSD X2, (R10)(AX*8)
+	VMOVSD (R11)(AX*8), X2
+	VFMADD231SD X0, X15, X2
+	VMOVSD X2, (R11)(AX*8)
+	INCQ AX
+	DECQ CX
+	JMP  fquad1
+
+fquaddone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,53 @@
+package kernels
+
+// Declarations for the NEON assembly kernels in kernels_arm64.s and the
+// slice wrappers that bind them into the dispatch table. All assembly entry
+// points take raw base pointers plus an element count n >= 1; the wrappers
+// receive equal-length non-empty slices from the dispatch layer.
+//
+// ScaleTo and Scale intentionally stay generic on arm64: the only fused
+// path available (FMLA against a zero accumulator) maps -0.0 products to
+// +0.0, which would break bit-exactness with the generic dst = alpha*x
+// loops, and a plain multiply vectorizes well under the compiler anyway.
+
+//go:noescape
+func axpyNEON(alpha float64, x, y *float64, n int)
+
+//go:noescape
+func axpyToNEON(dst *float64, alpha float64, x, y *float64, n int)
+
+//go:noescape
+func addNEON(dst, x *float64, n int)
+
+//go:noescape
+func dotNEON(x, y *float64, n int) float64
+
+//go:noescape
+func axpy2NEON(a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64, n int)
+
+//go:noescape
+func axpyQuadNEON(x *float64, a0 float64, y0 *float64, a1 float64, y1 *float64, a2 float64, y2 *float64, a3 float64, y3 *float64, n int)
+
+var neonImpl = impl{
+	variant: VariantNEON,
+	axpy: func(alpha float64, x, y []float64) {
+		axpyNEON(alpha, &x[0], &y[0], len(x))
+	},
+	axpyTo: func(dst []float64, alpha float64, x, y []float64) {
+		axpyToNEON(&dst[0], alpha, &x[0], &y[0], len(x))
+	},
+	scaleTo: scaleToGeneric,
+	add: func(dst, x []float64) {
+		addNEON(&dst[0], &x[0], len(x))
+	},
+	scale: scaleGeneric,
+	dot: func(x, y []float64) float64 {
+		return dotNEON(&x[0], &y[0], len(x))
+	},
+	axpy2: func(a0 float64, x0 []float64, a1 float64, x1 []float64, y []float64) {
+		axpy2NEON(a0, &x0[0], a1, &x1[0], &y[0], len(y))
+	},
+	axpyQuad: func(x []float64, a0 float64, y0 []float64, a1 float64, y1 []float64, a2 float64, y2 []float64, a3 float64, y3 []float64) {
+		axpyQuadNEON(&x[0], a0, &y0[0], a1, &y1[0], a2, &y2[0], a3, &y3[0], len(x))
+	},
+}

@@ -1,0 +1,274 @@
+// NEON float64 kernels (see kernels_arm64.go for the contracts).
+//
+// Bit-exactness discipline: the Go compiler fuses multiply-adds into FMADDD
+// on arm64, so the generic kernels already round once per multiply-add;
+// the vector bodies use FMLA, which rounds identically, making these
+// kernels bit-identical to generic. Dot reproduces the generic
+// four-partial-sum grouping: lane j of the accumulator pair holds the
+// generic s_j and the lanes reduce in the fixed order ((s0+s1)+s2)+s3,
+// with the <4 remainder accumulated sequentially.
+//
+// All entry points take base pointers plus an element count n >= 1.
+
+#include "textflag.h"
+
+// func axpyNEON(alpha float64, x, y *float64, n int)
+TEXT ·axpyNEON(SB), NOSPLIT, $0-32
+	FMOVD alpha+0(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  x+8(FP), R1
+	MOVD  y+16(FP), R2
+	MOVD  n+24(FP), R3
+
+axpy4:
+	CMP  $4, R3
+	BLT  axpy1
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1   (R2), [V3.D2, V4.D2]
+	VFMLA  V0.D2, V1.D2, V3.D2
+	VFMLA  V0.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R2)
+	SUB  $4, R3
+	B    axpy4
+
+axpy1:
+	CBZ  R3, axpydone
+	FMOVD  (R1), F1
+	FMOVD  (R2), F2
+	FMADDD F1, F2, F0, F2
+	FMOVD  F2, (R2)
+	ADD  $8, R1
+	ADD  $8, R2
+	SUB  $1, R3
+	B    axpy1
+
+axpydone:
+	RET
+
+// func axpyToNEON(dst *float64, alpha float64, x, y *float64, n int)
+TEXT ·axpyToNEON(SB), NOSPLIT, $0-40
+	MOVD  dst+0(FP), R0
+	FMOVD alpha+8(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  x+16(FP), R1
+	MOVD  y+24(FP), R2
+	MOVD  n+32(FP), R3
+
+axpyto4:
+	CMP  $4, R3
+	BLT  axpyto1
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1.P 32(R2), [V3.D2, V4.D2]
+	VFMLA  V0.D2, V1.D2, V3.D2
+	VFMLA  V0.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUB  $4, R3
+	B    axpyto4
+
+axpyto1:
+	CBZ  R3, axpytodone
+	FMOVD  (R1), F1
+	FMOVD  (R2), F2
+	FMADDD F1, F2, F0, F2
+	FMOVD  F2, (R0)
+	ADD  $8, R0
+	ADD  $8, R1
+	ADD  $8, R2
+	SUB  $1, R3
+	B    axpyto1
+
+axpytodone:
+	RET
+
+// func addNEON(dst, x *float64, n int)
+//
+// Vector adds run as FMLA against a splat of 1.0: round(1.0*x + d) is
+// exactly x + d, so this is bit-identical to the generic d += x loop.
+TEXT ·addNEON(SB), NOSPLIT, $0-24
+	MOVD  dst+0(FP), R0
+	MOVD  x+8(FP), R1
+	MOVD  n+16(FP), R3
+	MOVD  $0x3FF0000000000000, R4 // float64(1.0)
+	FMOVD R4, F0
+	VDUP  V0.D[0], V0.D2
+
+add4:
+	CMP  $4, R3
+	BLT  add1
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1   (R0), [V3.D2, V4.D2]
+	VFMLA  V0.D2, V1.D2, V3.D2
+	VFMLA  V0.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R0)
+	SUB  $4, R3
+	B    add4
+
+add1:
+	CBZ  R3, adddone
+	FMOVD (R1), F1
+	FMOVD (R0), F2
+	FADDD F1, F2, F2
+	FMOVD F2, (R0)
+	ADD  $8, R0
+	ADD  $8, R1
+	SUB  $1, R3
+	B    add1
+
+adddone:
+	RET
+
+// func dotNEON(x, y *float64, n int) float64
+TEXT ·dotNEON(SB), NOSPLIT, $0-32
+	MOVD x+0(FP), R1
+	MOVD y+8(FP), R2
+	MOVD n+16(FP), R3
+	VEOR V20.B16, V20.B16, V20.B16 // lanes (s0, s1)
+	VEOR V21.B16, V21.B16, V21.B16 // lanes (s2, s3)
+
+dot4:
+	CMP  $4, R3
+	BLT  dotreduce
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1.P 32(R2), [V3.D2, V4.D2]
+	VFMLA  V3.D2, V1.D2, V20.D2
+	VFMLA  V4.D2, V2.D2, V21.D2
+	SUB  $4, R3
+	B    dot4
+
+dotreduce:
+	// s = ((s0+s1)+s2)+s3, the generic reduction order.
+	VMOV  V20.D[1], V22.D[0] // F22 = s1
+	VMOV  V21.D[1], V23.D[0] // F23 = s3
+	FADDD F22, F20, F20      // s0+s1
+	FADDD F21, F20, F20      // +s2
+	FADDD F23, F20, F20      // +s3
+
+dot1:
+	CBZ  R3, dotdone
+	FMOVD  (R1), F1
+	FMOVD  (R2), F2
+	FMADDD F2, F20, F1, F20 // s += x*y
+	ADD  $8, R1
+	ADD  $8, R2
+	SUB  $1, R3
+	B    dot1
+
+dotdone:
+	FMOVD F20, ret+24(FP)
+	RET
+
+// func axpy2NEON(a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64, n int)
+//
+// The register-tiled dual-source kernel: the accumulator tile stays in
+// vector registers across both multiply-adds, halving accumulator traffic
+// versus two Axpy passes while rounding identically (source 0 first).
+TEXT ·axpy2NEON(SB), NOSPLIT, $0-48
+	FMOVD a0+0(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  x0+8(FP), R1
+	FMOVD a1+16(FP), F1
+	VDUP  V1.D[0], V1.D2
+	MOVD  x1+24(FP), R2
+	MOVD  y+32(FP), R0
+	MOVD  n+40(FP), R3
+
+a2loop4:
+	CMP  $4, R3
+	BLT  a2loop1
+	VLD1   (R0), [V16.D2, V17.D2]
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	VFMLA  V0.D2, V2.D2, V16.D2
+	VFMLA  V0.D2, V3.D2, V17.D2
+	VLD1.P 32(R2), [V2.D2, V3.D2]
+	VFMLA  V1.D2, V2.D2, V16.D2
+	VFMLA  V1.D2, V3.D2, V17.D2
+	VST1.P [V16.D2, V17.D2], 32(R0)
+	SUB  $4, R3
+	B    a2loop4
+
+a2loop1:
+	CBZ  R3, a2done
+	FMOVD  (R0), F4
+	FMOVD  (R1), F5
+	FMADDD F5, F4, F0, F4
+	FMOVD  (R2), F5
+	FMADDD F5, F4, F1, F4
+	FMOVD  F4, (R0)
+	ADD  $8, R0
+	ADD  $8, R1
+	ADD  $8, R2
+	SUB  $1, R3
+	B    a2loop1
+
+a2done:
+	RET
+
+// func axpyQuadNEON(x *float64, a0 float64, y0 *float64, a1 float64, y1 *float64, a2 float64, y2 *float64, a3 float64, y3 *float64, n int)
+//
+// The multi-row tiled kernel: each x tile is loaded once and spread to four
+// destination rows while in registers, cutting source bandwidth 4x versus
+// four Axpy passes while rounding identically.
+TEXT ·axpyQuadNEON(SB), NOSPLIT, $0-80
+	MOVD  x+0(FP), R0
+	FMOVD a0+8(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  y0+16(FP), R4
+	FMOVD a1+24(FP), F1
+	VDUP  V1.D[0], V1.D2
+	MOVD  y1+32(FP), R5
+	FMOVD a2+40(FP), F2
+	VDUP  V2.D[0], V2.D2
+	MOVD  y2+48(FP), R6
+	FMOVD a3+56(FP), F3
+	VDUP  V3.D[0], V3.D2
+	MOVD  y3+64(FP), R7
+	MOVD  n+72(FP), R3
+
+quad4:
+	CMP  $4, R3
+	BLT  quad1
+	VLD1.P 32(R0), [V4.D2, V5.D2]
+	VLD1   (R4), [V6.D2, V7.D2]
+	VFMLA  V0.D2, V4.D2, V6.D2
+	VFMLA  V0.D2, V5.D2, V7.D2
+	VST1.P [V6.D2, V7.D2], 32(R4)
+	VLD1   (R5), [V6.D2, V7.D2]
+	VFMLA  V1.D2, V4.D2, V6.D2
+	VFMLA  V1.D2, V5.D2, V7.D2
+	VST1.P [V6.D2, V7.D2], 32(R5)
+	VLD1   (R6), [V6.D2, V7.D2]
+	VFMLA  V2.D2, V4.D2, V6.D2
+	VFMLA  V2.D2, V5.D2, V7.D2
+	VST1.P [V6.D2, V7.D2], 32(R6)
+	VLD1   (R7), [V6.D2, V7.D2]
+	VFMLA  V3.D2, V4.D2, V6.D2
+	VFMLA  V3.D2, V5.D2, V7.D2
+	VST1.P [V6.D2, V7.D2], 32(R7)
+	SUB  $4, R3
+	B    quad4
+
+quad1:
+	CBZ  R3, quaddone
+	FMOVD  (R0), F4
+	FMOVD  (R4), F5
+	FMADDD F4, F5, F0, F5
+	FMOVD  F5, (R4)
+	FMOVD  (R5), F5
+	FMADDD F4, F5, F1, F5
+	FMOVD  F5, (R5)
+	FMOVD  (R6), F5
+	FMADDD F4, F5, F2, F5
+	FMOVD  F5, (R6)
+	FMOVD  (R7), F5
+	FMADDD F4, F5, F3, F5
+	FMOVD  F5, (R7)
+	ADD  $8, R0
+	ADD  $8, R4
+	ADD  $8, R5
+	ADD  $8, R6
+	ADD  $8, R7
+	SUB  $1, R3
+	B    quad1
+
+quaddone:
+	RET

@@ -15,9 +15,22 @@ func randSlice(n int, rng *rand.Rand) []float64 {
 	return s
 }
 
+// pinNonFMA turns the FMA opt-in off for the duration of a test that
+// requires exact equality with the unfused reference loops, restoring the
+// ambient state (which TWOFACE_ALLOW_FMA may have set) afterwards. The FMA
+// variant's one-rounding drift is covered by TestFMABoundedError.
+func pinNonFMA(t *testing.T) {
+	t.Helper()
+	if FMAAllowed() {
+		SetAllowFMA(false)
+		t.Cleanup(func() { SetAllowFMA(true) })
+	}
+}
+
 // Every kernel must agree with its naive one-line loop for all lengths,
 // including the 1..3 remainders of the 4-way unroll.
 func TestKernelsMatchNaive(t *testing.T) {
+	pinNonFMA(t)
 	rng := rand.New(rand.NewPCG(1, 2))
 	for n := 0; n <= 67; n++ {
 		x := randSlice(n, rng)
@@ -103,6 +116,7 @@ func TestKernelsCommonLength(t *testing.T) {
 }
 
 func TestAxpyProperty(t *testing.T) {
+	pinNonFMA(t)
 	f := func(seed uint64, nRaw uint16) bool {
 		rng := rand.New(rand.NewPCG(seed, 7))
 		n := int(nRaw % 300)

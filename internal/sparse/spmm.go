@@ -21,11 +21,21 @@ func (m *CSR) Mul(b *dense.Matrix) (*dense.Matrix, error) {
 
 // MulInto accumulates rows [rowLo, rowHi) of A x B into the matching rows of
 // c, which must already be shaped NumRows x b.Cols. It does not zero c first.
+//
+// Nonzeros pair up through the dual-source tiled kernel, which keeps the
+// output-row tile in registers across both multiply-adds; Axpy2 rounds
+// exactly like the two sequential Axpys it replaces, so results are
+// unchanged.
 func (m *CSR) MulInto(b *dense.Matrix, c *dense.Matrix, rowLo, rowHi int) {
 	k := b.Cols
 	for r := rowLo; r < rowHi; r++ {
 		crow := c.Row(r)
-		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+		i, end := m.RowPtr[r], m.RowPtr[r+1]
+		for ; i+1 < end; i += 2 {
+			c0, c1 := int(m.Col[i]), int(m.Col[i+1])
+			kernels.Axpy2(m.Val[i], b.Data[c0*k:(c0+1)*k], m.Val[i+1], b.Data[c1*k:(c1+1)*k], crow)
+		}
+		if i < end {
 			col := int(m.Col[i])
 			kernels.Axpy(m.Val[i], b.Data[col*k:(col+1)*k], crow)
 		}

@@ -20,11 +20,18 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
+echo "== GOOS=linux GOARCH=arm64 go build ./... (NEON kernel cross-compile)"
+GOOS=linux GOARCH=arm64 go build ./...
+
+echo "== go test -race ./... (SIMD dispatch)"
 go test -race ./...
 
+echo "== go test -race ./... (TWOFACE_FORCE_GENERIC=1)"
+TWOFACE_FORCE_GENERIC=1 go test -race ./...
+
 echo "== kernel benchmark smoke (1 iteration each)"
-go test -run '^$' -bench '^BenchmarkKernel(Axpy|AsyncStripeAccumulate|PanelMultiply)$' \
+go test -run '^$' \
+    -bench '^BenchmarkKernel(Axpy|AxpyVariants|AsyncStripeAccumulate|PanelMultiply|PanelVariants)$' \
     -benchtime 1x .
 
 echo "== observability smoke (trace + report on a small run)"
