@@ -3,6 +3,7 @@ package twoface
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"twoface/internal/baselines"
@@ -77,6 +78,11 @@ type Options struct {
 	// the standard recorder and its Chrome-trace exporter). Nil keeps
 	// instrumentation off and modeled time bit-identical.
 	SpanRecorder SpanRecorder
+	// Logger, when non-nil, attaches structured logging to every cluster the
+	// system creates: retries, degradations, and aborts come out as slog
+	// records with rank attrs. Like span recording, logging is observation
+	// only — modeled time and C stay bit-identical. Nil disables it.
+	Logger *slog.Logger
 	// AllowFMA opts the compute kernels into fused multiply-add assembly on
 	// hosts that support it (amd64 FMA3). Fusing rounds once per
 	// multiply-add instead of twice, so results may differ from the default
@@ -199,6 +205,9 @@ func (s *System) newCluster(net NetModel) (*cluster.Cluster, error) {
 	}
 	if s.opts.SpanRecorder != nil {
 		clu.SetSpanRecorder(s.opts.SpanRecorder)
+	}
+	if s.opts.Logger != nil {
+		clu.SetLogger(s.opts.Logger)
 	}
 	if s.opts.Chaos != nil {
 		inj, err := s.opts.Chaos.Injector(s.opts.Nodes)

@@ -46,8 +46,26 @@ func main() {
 		allowFMA   = flag.Bool("allow-fma", false, "opt compute kernels into fused multiply-add assembly (ulp-level drift vs default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile")
+		listen     = flag.String("listen", "", "serve the live ops endpoint (/metrics, /report, /healthz, /debug/pprof) on this host:port")
+		logLevel   = flag.String("log-level", "", "structured logging to stderr at this level: debug|info|warn|error (empty = off)")
+		logJSON    = flag.Bool("log-json", false, "emit log records as JSON lines (with -log-level)")
+		compareRep = flag.String("compare-report", "", "compare two report/trajectory files (OLD,NEW) benchstat-style and exit")
+		compFail   = flag.Bool("compare-fail", false, "with -compare-report: exit non-zero when any metric regressed")
 	)
 	flag.Parse()
+
+	if *compareRep != "" {
+		if err := compareReports(*compareRep, *compFail); err != nil {
+			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if _, _, err := obs.SetupLogging("twoface-bench", *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+		os.Exit(1)
+	}
 
 	if *allowFMA {
 		kernels.SetAllowFMA(true)
@@ -68,12 +86,22 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *report != "" {
+	if *report != "" || *listen != "" {
 		obs.Default.SetEnabled(true)
 	}
 
 	start := time.Now()
-	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify}
+	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify, Listen: *listen}
+	srv, err := cfg.StartOps()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
+		os.Exit(1)
+	}
+	if srv != nil {
+		defer srv.Close()
+		srv.SetStatus("running")
+		fmt.Printf("ops endpoint: http://%s (/metrics, /report, /healthz, /debug/pprof)\n", srv.Addr())
+	}
 	switch {
 	case *faultPlan != "" && *chaosSeed != 0:
 		fmt.Fprintln(os.Stderr, "twoface-bench: use -chaos-seed or -fault-plan, not both")
@@ -92,8 +120,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
 		os.Exit(1)
 	}
+	if srv != nil {
+		srv.SetStatus("done")
+	}
 	if *report != "" {
-		if err := writeReport(*report, *runsFile, cfg, strings.ToLower(*exp), time.Since(start)); err != nil {
+		if err := writeReport(*report, *runsFile, cfg, strings.ToLower(*exp), time.Since(start), srv); err != nil {
 			fmt.Fprintln(os.Stderr, "twoface-bench:", err)
 			os.Exit(1)
 		}
@@ -118,7 +149,7 @@ func main() {
 // entry to the BENCH_runs.json trajectory — the run-level sibling of
 // BENCH_kernels.json that lets sessions compare harness behavior PR over
 // PR.
-func writeReport(path, runsFile string, cfg harness.Config, exp string, wall time.Duration) error {
+func writeReport(path, runsFile string, cfg harness.Config, exp string, wall time.Duration, srv *obs.Server) error {
 	rep := obs.NewReport("twoface-bench")
 	rep.Config = map[string]any{
 		"exp": exp, "scale": cfg.Scale, "p": cfg.P, "seed": cfg.Seed,
@@ -130,6 +161,9 @@ func writeReport(path, runsFile string, cfg harness.Config, exp string, wall tim
 	rep.WallSeconds = wall.Seconds()
 	snap := obs.Default.Snapshot()
 	rep.Metrics = &snap
+	if srv != nil {
+		srv.SetReport(rep)
+	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -153,6 +187,25 @@ func writeReport(path, runsFile string, cfg harness.Config, exp string, wall tim
 		return err
 	}
 	fmt.Printf("trajectory: appended to %s\n", runsFile)
+	return nil
+}
+
+// compareReports is the -compare-report mode: diff two report (or
+// trajectory) files benchstat-style. Regressions print but exit zero — a
+// soft gate — unless failOnRegress makes them fatal.
+func compareReports(spec string, failOnRegress bool) error {
+	oldPath, newPath, ok := strings.Cut(spec, ",")
+	if !ok || oldPath == "" || newPath == "" {
+		return fmt.Errorf("-compare-report wants OLD,NEW file paths, got %q", spec)
+	}
+	d, err := obs.CompareFiles(strings.TrimSpace(oldPath), strings.TrimSpace(newPath), obs.DiffOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.String())
+	if failOnRegress && d.Regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed", d.Regressions)
+	}
 	return nil
 }
 

@@ -13,6 +13,12 @@
 //	-trace               print a per-node transfer-trace summary
 //	-trace-out t.json    write a Chrome/Perfetto-loadable virtual-time trace
 //	-report r.json       write a structured JSON run report
+//	-explain             print the critical-path makespan attribution
+//	-explain-json        same, as JSON
+//	-listen :9090        serve /metrics (OpenMetrics), /report, /healthz,
+//	                     and /debug/pprof over HTTP while the run executes
+//	-log-level info      structured slog logging to stderr (-log-json for
+//	                     JSON lines): retries, degradations, aborts
 //	-cpuprofile p.out    write a pprof CPU profile of the (wall-clock) run
 //	-memprofile m.out    write a pprof heap profile at exit
 //
@@ -26,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -58,6 +65,11 @@ type cli struct {
 	faultPlan  string
 	forceGen   bool
 	allowFMA   bool
+	listen     string
+	logLevel   string
+	logJSON    bool
+	explain    bool
+	explainOut bool // -explain-json: attribution as JSON on stdout
 	quiet      bool // suppress progress prints (fault-free twin run)
 }
 
@@ -86,6 +98,11 @@ func main() {
 	flag.StringVar(&c.report, "report", "", "write a structured JSON run report")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile")
+	flag.StringVar(&c.listen, "listen", "", "serve the live ops endpoint (/metrics, /report, /healthz, /debug/pprof) on this host:port")
+	flag.StringVar(&c.logLevel, "log-level", "", "structured logging to stderr at this level: debug|info|warn|error (empty = off)")
+	flag.BoolVar(&c.logJSON, "log-json", false, "emit log records as JSON lines (with -log-level)")
+	flag.BoolVar(&c.explain, "explain", false, "print the critical-path makespan attribution after the run")
+	flag.BoolVar(&c.explainOut, "explain-json", false, "print the critical-path attribution as JSON")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -110,12 +127,26 @@ func run(c cli) error {
 		}()
 	}
 
+	logger, _, err := twoface.SetupLogging("twoface-run", c.logLevel, c.logJSON)
+	if err != nil {
+		return err
+	}
+
 	var tracer *twoface.Tracer
-	if c.traceOut != "" {
+	if c.traceOut != "" || c.explain || c.explainOut {
 		tracer = twoface.NewTracer(0)
 	}
-	if c.report != "" {
+	if c.report != "" || c.listen != "" {
 		twoface.DefaultMetrics().SetEnabled(true)
+	}
+	srv, err := twoface.ServeOps(c.listen)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
+		srv.SetStatus("running")
+		fmt.Printf("ops endpoint: http://%s (/metrics, /report, /healthz, /debug/pprof)\n", srv.Addr())
 	}
 
 	chaosPlan, err := resolveFaultPlan(c)
@@ -134,6 +165,9 @@ func run(c cli) error {
 	}
 	if tracer != nil {
 		opts.SpanRecorder = tracer
+	}
+	if c.logLevel != "" {
+		opts.Logger = logger
 	}
 	sys, err := twoface.New(opts)
 	if err != nil {
@@ -178,6 +212,28 @@ func run(c cli) error {
 	}
 	report(res)
 
+	if c.explain || c.explainOut {
+		cp := tracer.CriticalPath()
+		if cp == nil {
+			return fmt.Errorf("explain: no spans were recorded")
+		}
+		// The attribution must agree with the ledger bit-for-bit; a mismatch
+		// means the tracer and the cluster disagree about the run.
+		if err := cp.Reconciles(res.Breakdowns); err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		if c.explainOut {
+			b, err := json.MarshalIndent(cp, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+		}
+		if c.explain {
+			fmt.Print(cp.Table())
+		}
+	}
+
 	if c.trace {
 		fmt.Println("per-node transfer trace:")
 		for _, s := range twoface.SummarizeTrace(res.TraceEvents, res.TraceDropped, c.p) {
@@ -185,17 +241,24 @@ func run(c cli) error {
 				s.Rank, s.Events, s.Dropped, float64(8*s.CollectiveElems)/1e6, float64(8*s.OneSidedElems)/1e6, s.OneSidedMsgs)
 		}
 	}
-	if tracer != nil {
+	if tracer != nil && c.traceOut != "" {
 		if err := tracer.WriteChromeTraceFile(c.traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("virtual-time trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", c.traceOut)
 	}
-	if c.report != "" {
-		if err := writeReport(c, res, tracer); err != nil {
-			return err
+	if c.report != "" || srv != nil {
+		rep := buildReport(c, res, tracer)
+		if srv != nil {
+			srv.SetReport(rep)
+			srv.SetStatus("done")
 		}
-		fmt.Printf("run report: %s\n", c.report)
+		if c.report != "" {
+			if err := rep.WriteFile(c.report); err != nil {
+				return err
+			}
+			fmt.Printf("run report: %s\n", c.report)
+		}
 	}
 	if c.memProfile != "" {
 		f, err := os.Create(c.memProfile)
@@ -374,7 +437,7 @@ func runPlan(sys *twoface.System, c cli) (*twoface.Result, error) {
 	return pl.Multiply(b)
 }
 
-func writeReport(c cli, res *twoface.Result, tracer *twoface.Tracer) error {
+func buildReport(c cli, res *twoface.Result, tracer *twoface.Tracer) *twoface.RunReport {
 	rep := twoface.NewRunReport("twoface-run")
 	rep.Config = map[string]any{
 		"in": c.in, "matrix": c.name, "plan": c.plan, "scale": c.scale,
@@ -394,8 +457,16 @@ func writeReport(c cli, res *twoface.Result, tracer *twoface.Tracer) error {
 	if tracer != nil {
 		rep.Trace = tracer.Info()
 		rep.Trace.File = c.traceOut
+		// The tracer's attribution is the ledger one plus per-op detail and
+		// dropped-span caveats; prefer it over SetRun's ledger-only analysis.
+		if cp := tracer.CriticalPath(); cp != nil {
+			rep.CriticalPath = cp
+			for _, w := range cp.Warnings {
+				rep.Warn("%s", w)
+			}
+		}
 	}
-	return rep.WriteFile(c.report)
+	return rep
 }
 
 func report(res *twoface.Result) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"twoface/internal/cluster"
+	"twoface/internal/obs"
 )
 
 // Injector is a compiled Plan: the cluster.FaultInjector the runtime
@@ -48,6 +49,16 @@ func (p *Plan) Injector(ranks int) (*Injector, error) {
 			inj.crashAt[c.Rank] = c.At
 		}
 	}
+	obs.Logger().Info("chaos plan armed",
+		"event", "chaos.armed",
+		"seed", p.Seed,
+		"ranks", ranks,
+		"compute_stragglers", len(p.ComputeStragglers),
+		"network_stragglers", len(p.NetworkStragglers),
+		"get_faults", len(p.Gets),
+		"leg_faults", len(p.Legs),
+		"crashes", len(p.Crashes),
+	)
 	return inj, nil
 }
 

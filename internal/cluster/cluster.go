@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ type Cluster struct {
 
 	barrier *barrier
 	abort   atomic.Pointer[abortError] // first failure; nil while healthy
+	log     atomic.Pointer[slog.Logger]
 }
 
 // New returns a cluster of p nodes with the given network model.
@@ -89,6 +91,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 func (c *Cluster) abortWith(cause error) {
 	err := &abortError{cause: cause}
 	if c.abort.CompareAndSwap(nil, err) {
+		if l := c.log.Load(); l != nil {
+			l.Error("cluster aborted", "cause", cause.Error())
+		}
 		c.barrier.breakWith(err)
 	}
 }
@@ -166,6 +171,23 @@ func (c *Cluster) SetSpanRecorder(sr SpanRecorder) {
 	}
 }
 
+// SetLogger attaches (or, with nil, detaches) a structured logger. Each
+// rank logs through a child logger carrying its rank attr, so a chaos run's
+// retry storm is attributable line by line. Like span recording, logging is
+// pure observation: it never feeds back into modeled time, and the default
+// (no logger) costs one atomic load on the resilience paths only — the
+// charge hot path never looks at it.
+func (c *Cluster) SetLogger(l *slog.Logger) {
+	c.log.Store(l)
+	for _, r := range c.ranks {
+		var rl *slog.Logger
+		if l != nil {
+			rl = l.With("rank", r.ID)
+		}
+		r.log.Store(rl)
+	}
+}
+
 // Rank is one node's handle into the cluster. All methods are safe for use
 // by multiple goroutines of the same node (the paper's per-node OpenMP
 // threads map to goroutines sharing one Rank).
@@ -177,13 +199,17 @@ type Rank struct {
 	mu         sync.Mutex
 	bd         Breakdown
 	rec        SpanRecorder
-	fi         FaultInjector // cached from the cluster; nil = healthy
+	log        atomic.Pointer[slog.Logger] // rank-attributed child of the cluster logger
+	fi         FaultInjector               // cached from the cluster; nil = healthy
 	retry      RetryPolicy
 	crashAt    float64 // virtual time of fault-plan crash; +Inf = never
 	counters   transferCounters
 	resilience resilienceCounters
 	trace      traceBuf
 }
+
+// logger returns this rank's attached logger, or nil when logging is off.
+func (r *Rank) logger() *slog.Logger { return r.log.Load() }
 
 // injection returns this rank's cached fault injector and retry policy.
 func (r *Rank) injection() (FaultInjector, RetryPolicy) {

@@ -79,12 +79,20 @@ func (r *Rank) GetIndexed(target int, name string, regions []Region, dst []float
 		}
 		if attempt >= pol.MaxAttempts {
 			r.resilience.addExhausted()
+			if l := r.logger(); l != nil {
+				l.Warn("one-sided get retry budget exhausted",
+					"event", "get.exhausted", "target", target, "attempts", attempt, "elems", elems)
+			}
 			return 0, fmt.Errorf("cluster: rank %d: one-sided get from rank %d failed %d attempts: %w",
 				r.ID, target, attempt, ErrRetryExhausted)
 		}
 		backoff := pol.Backoff(attempt)
 		r.ChargeOp(AsyncComm, "get.retry.backoff", backoff)
 		r.resilience.addGetRetry(backoff)
+		if l := r.logger(); l != nil {
+			l.Debug("one-sided get retry",
+				"event", "get.retry", "target", target, "attempt", attempt, "backoff_s", backoff, "elems", elems)
+		}
 		r.trace.record(Event{Rank: r.ID, Op: TraceRetry, Peer: target, Elems: elems, Msgs: int64(len(regions))})
 	}
 }
@@ -171,12 +179,20 @@ func (r *Rank) MulticastPullTimed(root int, name string, off, elems int64, dst [
 				break
 			}
 			if attempt >= pol.MaxAttempts {
+				if l := r.logger(); l != nil {
+					l.Error("multicast leg retry budget exhausted",
+						"event", "leg.exhausted", "root", root, "attempts", attempt, "elems", elems)
+				}
 				return 0, faultSeconds, fmt.Errorf("cluster: rank %d: multicast leg from root %d failed %d attempts: %w",
 					r.ID, root, attempt, ErrRetryExhausted)
 			}
 			backoff := pol.Backoff(attempt)
 			faultSeconds += r.ChargeOpTimed(SyncComm, "multicast.retry.backoff", backoff)
 			r.resilience.addLegRetry(backoff)
+			if l := r.logger(); l != nil {
+				l.Debug("multicast leg retry",
+					"event", "leg.retry", "root", root, "attempt", attempt, "backoff_s", backoff, "elems", elems)
+			}
 			r.trace.record(Event{Rank: r.ID, Op: TraceRetry, Peer: root, Elems: elems, Msgs: 1})
 		}
 	}
@@ -213,6 +229,10 @@ func (r *Rank) SyncFallbackPull(target int, name string, regions []Region, dst [
 	r.counters.addOneSided(-n, -int64(len(regions)))
 	r.counters.addCollective(n, 1)
 	r.resilience.addDegradation(n)
+	if l := r.logger(); l != nil {
+		l.Warn("degraded to synchronous fallback pull",
+			"event", "degrade", "target", target, "elems", n, "regions", len(regions))
+	}
 	r.trace.record(Event{Rank: r.ID, Op: TraceDegrade, Peer: target, Elems: n, Msgs: 1})
 	return n, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,6 +137,40 @@ func (res *Result) FillObservability(clu *cluster.Cluster) {
 		obs.RecordOverlap(obs.Default, res.Breakdowns)
 		obs.RecordResilience(obs.Default, res.TotalResilience)
 	}
+	logRun(res)
+}
+
+// logRun emits the run-completion log record: makespan, wall time, the
+// straggler rank, and (when faults fired) the resilience counters. The
+// process logger discards by default, so un-instrumented runs pay one
+// level check here.
+func logRun(res *Result) {
+	l := obs.Logger()
+	if !l.Enabled(nil, slog.LevelInfo) {
+		return
+	}
+	straggler, max := 0, 0.0
+	for i, bd := range res.Breakdowns {
+		if t := bd.NodeTime(); t > max {
+			straggler, max = i, t
+		}
+	}
+	attrs := []any{
+		"event", "run.complete",
+		"modeled_s", res.ModeledSeconds,
+		"wall_s", res.Wall.Seconds(),
+		"ranks", len(res.Breakdowns),
+		"straggler", straggler,
+	}
+	if rs := res.TotalResilience; rs.Faulted() {
+		attrs = append(attrs,
+			"get_retries", rs.GetRetries,
+			"degradations", rs.Degradations,
+			"leg_retries", rs.LegRetries,
+			"backoff_s", rs.BackoffSeconds,
+		)
+	}
+	l.Info("run complete", attrs...)
 }
 
 // Exec runs Two-Face (Algorithm 1) for C = A x B on the given cluster using

@@ -16,6 +16,7 @@ import (
 	"twoface/internal/dense"
 	"twoface/internal/gen"
 	"twoface/internal/model"
+	"twoface/internal/obs"
 	"twoface/internal/sparse"
 )
 
@@ -45,7 +46,17 @@ type Config struct {
 	// plan (compiled per node count, so one plan serves a p-sweep). Rank
 	// indices beyond a particular run's node count are inert.
 	Chaos *chaos.Plan
+	// Listen, when non-empty, is the host:port of the live ops endpoint
+	// (OpenMetrics /metrics, /report, /healthz, /debug/pprof) that StartOps
+	// binds, so a long experiment sweep is scrapeable while it runs.
+	Listen string
 }
+
+// StartOps starts the live ops HTTP server on c.Listen, exposing the
+// default metrics registry. Returns nil (no server, no error) when Listen
+// is empty. The caller owns the server and should Close it when the sweep
+// finishes.
+func (c Config) StartOps() (*obs.Server, error) { return obs.Serve(c.Listen) }
 
 func (c Config) normalize() Config {
 	if c.Scale == 0 {
@@ -157,6 +168,9 @@ func (c Config) Run(algo Algo, w *Workload, k, p int) Outcome {
 	if err != nil {
 		out.Err = err
 		return out
+	}
+	if l := obs.ActiveLogger(); l != nil {
+		clu.SetLogger(l)
 	}
 	if cc.Chaos != nil {
 		inj, err := cc.Chaos.Injector(p)

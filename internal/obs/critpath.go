@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"twoface/internal/cluster"
+)
+
+// Critical-path analysis of a run's makespan. Every algorithm here ends in
+// a cluster-wide barrier, so the modeled makespan is the straggler rank's
+// NodeTime; inside a rank, the sync and async halves run on disjoint thread
+// groups and the longer one carries the half the rank ends on. This
+// analyzer reconstructs that chain from the per-rank Breakdown ledgers
+// (optionally enriched with the tracer's per-op spans): which rank is the
+// straggler, which half of it is on the critical path, which phase inside
+// that half dominates, and how long every other rank idles in the final
+// barrier waiting for it. All seconds are copied from the ledger verbatim —
+// the attribution reconciles with the Breakdown bit-for-bit, which is what
+// lets a regression bot trust a diff of two of these.
+
+// RankPath is one rank's slice of the critical-path attribution. The six
+// ledger fields are verbatim copies of the rank's Breakdown.
+type RankPath struct {
+	Rank int `json:"rank"`
+
+	SyncComm    float64 `json:"sync_comm"`
+	SyncComp    float64 `json:"sync_comp"`
+	SyncOverlap float64 `json:"sync_overlap"`
+	AsyncComm   float64 `json:"async_comm"`
+	AsyncComp   float64 `json:"async_comp"`
+	Other       float64 `json:"other"`
+
+	// SyncHalf is the pipelined sync-side makespan contribution
+	// (SyncComm + SyncComp - SyncOverlap); AsyncHalf is AsyncComm +
+	// AsyncComp. NodeTime = Other + max(SyncHalf, AsyncHalf).
+	SyncHalf  float64 `json:"sync_half"`
+	AsyncHalf float64 `json:"async_half"`
+	NodeTime  float64 `json:"node_time"`
+
+	// BarrierWait is how long this rank idles in the final barrier waiting
+	// for the straggler: makespan - NodeTime. Zero on the critical path.
+	BarrierWait float64 `json:"barrier_wait"`
+
+	// CriticalHalf names the half that carries this rank's NodeTime:
+	// "sync", "async", or "tie".
+	CriticalHalf string `json:"critical_half"`
+	// Critical marks the straggler rank — the one whose NodeTime is the
+	// cluster makespan.
+	Critical bool `json:"critical,omitempty"`
+}
+
+// OpSeconds attributes seconds to one named span op (from the tracer).
+type OpSeconds struct {
+	Op      string           `json:"op"`
+	Cat     cluster.Category `json:"-"`
+	CatName string           `json:"category"`
+	Seconds float64          `json:"seconds"`
+}
+
+// CriticalPath is the makespan attribution of one run.
+type CriticalPath struct {
+	// Makespan is the cluster's modeled time: max over ranks of NodeTime.
+	Makespan float64 `json:"makespan"`
+	// Straggler is the rank whose NodeTime equals the makespan (lowest
+	// rank wins ties).
+	Straggler int `json:"straggler"`
+	// CriticalHalf is the straggler's critical half ("sync", "async",
+	// "tie").
+	CriticalHalf string `json:"critical_half"`
+	// DominantPhase is the ledger category contributing the most seconds
+	// to the straggler's NodeTime (among Other and the categories of its
+	// critical half), with DominantSeconds its contribution.
+	DominantPhase   string  `json:"dominant_phase"`
+	DominantSeconds float64 `json:"dominant_seconds"`
+	// TotalBarrierWait sums every rank's final-barrier idle time — the
+	// load-imbalance cost a perfect balancer would reclaim.
+	TotalBarrierWait float64 `json:"total_barrier_wait"`
+
+	Ranks []RankPath `json:"ranks"`
+
+	// TopOps, when span data was available, ranks the straggler's
+	// critical-half (plus Other) span ops by accumulated seconds.
+	TopOps []OpSeconds `json:"top_ops,omitempty"`
+	// DroppedSpans counts tracer spans dropped to the storage cap; when
+	// non-zero, TopOps undercounts (ledger fields stay exact) and the
+	// analyzer appends a warning.
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+	// Warnings carries caveats about the attribution itself.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// halfName classifies a rank's critical half.
+func halfName(sync, async float64) string {
+	switch {
+	case sync > async:
+		return "sync"
+	case async > sync:
+		return "async"
+	}
+	return "tie"
+}
+
+// AnalyzeBreakdowns attributes the makespan across ranks and phases from
+// the per-rank virtual-time ledgers alone. Returns nil for an empty input.
+func AnalyzeBreakdowns(bds []cluster.Breakdown) *CriticalPath {
+	if len(bds) == 0 {
+		return nil
+	}
+	cp := &CriticalPath{Straggler: -1, Ranks: make([]RankPath, len(bds))}
+	for i, bd := range bds {
+		rp := RankPath{
+			Rank:        i,
+			SyncComm:    bd.SyncComm,
+			SyncComp:    bd.SyncComp,
+			SyncOverlap: bd.SyncOverlap,
+			AsyncComm:   bd.AsyncComm,
+			AsyncComp:   bd.AsyncComp,
+			Other:       bd.Other,
+			SyncHalf:    bd.SyncComm + bd.SyncComp - bd.SyncOverlap,
+			AsyncHalf:   bd.AsyncComm + bd.AsyncComp,
+			NodeTime:    bd.NodeTime(),
+		}
+		rp.CriticalHalf = halfName(rp.SyncHalf, rp.AsyncHalf)
+		if rp.NodeTime > cp.Makespan {
+			cp.Makespan = rp.NodeTime
+			cp.Straggler = i
+		}
+		cp.Ranks[i] = rp
+	}
+	if cp.Straggler < 0 {
+		cp.Straggler = 0 // all-zero ledgers: rank 0 by convention
+	}
+	for i := range cp.Ranks {
+		rp := &cp.Ranks[i]
+		rp.BarrierWait = cp.Makespan - rp.NodeTime
+		rp.Critical = i == cp.Straggler
+		cp.TotalBarrierWait += rp.BarrierWait
+	}
+
+	s := cp.Ranks[cp.Straggler]
+	cp.CriticalHalf = s.CriticalHalf
+	cp.DominantPhase, cp.DominantSeconds = dominantPhase(s)
+	return cp
+}
+
+// dominantPhase picks the largest contribution to the straggler's NodeTime
+// among Other and the categories of its critical half. Overlap is a credit,
+// not a phase: it shrinks the sync half but can never dominate it.
+func dominantPhase(s RankPath) (string, float64) {
+	type cand struct {
+		name string
+		v    float64
+	}
+	cands := []cand{{cluster.Other.String(), s.Other}}
+	if s.CriticalHalf != "async" { // sync or tie
+		cands = append(cands,
+			cand{cluster.SyncComm.String(), s.SyncComm},
+			cand{cluster.SyncComp.String(), s.SyncComp})
+	}
+	if s.CriticalHalf != "sync" { // async or tie
+		cands = append(cands,
+			cand{cluster.AsyncComm.String(), s.AsyncComm},
+			cand{cluster.AsyncComp.String(), s.AsyncComp})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.v > best.v {
+			best = c
+		}
+	}
+	return best.name, best.v
+}
+
+// criticalCategories returns the ledger categories that lie on the
+// straggler's critical path (its critical half plus Other).
+func criticalCategories(half string) []cluster.Category {
+	cats := []cluster.Category{cluster.Other}
+	if half != "async" {
+		cats = append(cats, cluster.SyncComm, cluster.SyncComp)
+	}
+	if half != "sync" {
+		cats = append(cats, cluster.AsyncComm, cluster.AsyncComp)
+	}
+	return cats
+}
+
+// maxTopOps bounds the per-op attribution list in reports and tables.
+const maxTopOps = 8
+
+// CriticalPath analyzes the tracer's recorded run: the ledger-level
+// attribution from the span totals (identical to AnalyzeBreakdowns on the
+// run's Breakdowns, since span totals tile the ledger exactly), enriched
+// with a per-op ranking of the straggler's critical-half spans. Returns nil
+// if the tracer saw no ranks.
+func (t *Tracer) CriticalPath() *CriticalPath {
+	cp := AnalyzeBreakdowns(t.Totals())
+	if cp == nil {
+		return nil
+	}
+	cp.DroppedSpans = t.TotalDropped()
+	if cp.DroppedSpans > 0 {
+		cp.Warnings = append(cp.Warnings, fmt.Sprintf(
+			"tracer dropped %d spans at its storage cap; per-op attribution is incomplete (ledger totals stay exact) — raise the span cap to capture all ops",
+			cp.DroppedSpans))
+	}
+
+	wanted := map[cluster.Category]bool{}
+	for _, cat := range criticalCategories(cp.CriticalHalf) {
+		wanted[cat] = true
+	}
+	byOp := map[string]*OpSeconds{}
+	for _, sp := range t.Spans() {
+		if sp.Rank != cp.Straggler || !wanted[sp.Cat] {
+			continue
+		}
+		key := sp.Op
+		if o, ok := byOp[key]; ok {
+			o.Seconds += sp.End - sp.Start
+			continue
+		}
+		byOp[key] = &OpSeconds{Op: sp.Op, Cat: sp.Cat, CatName: sp.Cat.String(), Seconds: sp.End - sp.Start}
+	}
+	ops := make([]OpSeconds, 0, len(byOp))
+	for _, o := range byOp {
+		ops = append(ops, *o)
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Seconds != ops[j].Seconds {
+			return ops[i].Seconds > ops[j].Seconds
+		}
+		return ops[i].Op < ops[j].Op
+	})
+	if len(ops) > maxTopOps {
+		ops = ops[:maxTopOps]
+	}
+	cp.TopOps = ops
+	return cp
+}
+
+// Table renders the attribution as an aligned human-readable report — the
+// output of twoface-run -explain.
+func (cp *CriticalPath) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: rank %d (%s half), makespan %.4g s\n",
+		cp.Straggler, cp.CriticalHalf, cp.Makespan)
+	fmt.Fprintf(&sb, "dominant phase: %s (%.4g s, %.0f%% of makespan)\n",
+		cp.DominantPhase, cp.DominantSeconds, 100*safeFrac(cp.DominantSeconds, cp.Makespan))
+	fmt.Fprintf(&sb, "barrier wait (idle behind the straggler): %.4g s total across %d ranks\n",
+		cp.TotalBarrierWait, len(cp.Ranks))
+	fmt.Fprintf(&sb, "  %4s  %10s %10s %10s %10s %10s %10s | %10s %10s %10s %10s  %s\n",
+		"rank", "SyncComm", "SyncComp", "Overlap", "AsyncComm", "AsyncComp", "Other",
+		"syncHalf", "asyncHalf", "nodeTime", "barrier", "critical")
+	for _, rp := range cp.Ranks {
+		mark := ""
+		if rp.Critical {
+			mark = "<-- " + rp.CriticalHalf
+		} else {
+			mark = rp.CriticalHalf
+		}
+		fmt.Fprintf(&sb, "  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g %10.3g | %10.3g %10.3g %10.3g %10.3g  %s\n",
+			rp.Rank, rp.SyncComm, rp.SyncComp, rp.SyncOverlap, rp.AsyncComm, rp.AsyncComp, rp.Other,
+			rp.SyncHalf, rp.AsyncHalf, rp.NodeTime, rp.BarrierWait, mark)
+	}
+	if len(cp.TopOps) > 0 {
+		fmt.Fprintf(&sb, "top ops on rank %d's critical path:\n", cp.Straggler)
+		for _, o := range cp.TopOps {
+			fmt.Fprintf(&sb, "  %-28s %-10s %10.4g s (%.0f%%)\n",
+				o.Op, o.CatName, o.Seconds, 100*safeFrac(o.Seconds, cp.Makespan))
+		}
+	}
+	for _, w := range cp.Warnings {
+		fmt.Fprintf(&sb, "warning: %s\n", w)
+	}
+	return sb.String()
+}
+
+// Reconciles verifies the attribution against the ledgers it claims to
+// represent: every per-rank field equal bit-for-bit and the makespan equal
+// to the max node time. The -explain path asserts this before printing.
+func (cp *CriticalPath) Reconciles(bds []cluster.Breakdown) error {
+	if len(bds) != len(cp.Ranks) {
+		return fmt.Errorf("obs: attribution covers %d ranks, ledgers have %d", len(cp.Ranks), len(bds))
+	}
+	var max float64
+	for i, bd := range bds {
+		rp := cp.Ranks[i]
+		if rp.SyncComm != bd.SyncComm || rp.SyncComp != bd.SyncComp ||
+			rp.SyncOverlap != bd.SyncOverlap || rp.AsyncComm != bd.AsyncComm ||
+			rp.AsyncComp != bd.AsyncComp || rp.Other != bd.Other {
+			return fmt.Errorf("obs: rank %d attribution diverges from its ledger", i)
+		}
+		if rp.NodeTime != bd.NodeTime() {
+			return fmt.Errorf("obs: rank %d node time %g != ledger %g", i, rp.NodeTime, bd.NodeTime())
+		}
+		if t := bd.NodeTime(); t > max {
+			max = t
+		}
+	}
+	if cp.Makespan != max {
+		return fmt.Errorf("obs: attribution makespan %g != ledger max %g", cp.Makespan, max)
+	}
+	return nil
+}
+
+func safeFrac(num, den float64) float64 {
+	if den == 0 || math.IsNaN(den) {
+		return 0
+	}
+	return num / den
+}

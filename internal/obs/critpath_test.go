@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twoface/internal/cluster"
+)
+
+// TestAnalyzeBreakdowns attributes a hand-built three-rank run with a known
+// makespan: rank 1's async half (4.0) plus Other (0.5) makes it the 4.5 s
+// straggler, dominated by AsyncComm.
+func TestAnalyzeBreakdowns(t *testing.T) {
+	bds := []cluster.Breakdown{
+		{SyncComm: 1, SyncComp: 2, SyncOverlap: 0.5, AsyncComm: 0.25, AsyncComp: 0.25, Other: 0.1},
+		{SyncComm: 1, SyncComp: 1, AsyncComm: 3, AsyncComp: 1, Other: 0.5},
+		{SyncComm: 0.5, SyncComp: 0.5, Other: 0.1},
+	}
+	cp := AnalyzeBreakdowns(bds)
+	if cp == nil {
+		t.Fatal("nil attribution for a non-empty run")
+	}
+	if cp.Makespan != 4.5 {
+		t.Fatalf("makespan = %g, want 4.5", cp.Makespan)
+	}
+	if cp.Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", cp.Straggler)
+	}
+	if cp.CriticalHalf != "async" {
+		t.Fatalf("critical half = %q, want async", cp.CriticalHalf)
+	}
+	if want := cluster.AsyncComm.String(); cp.DominantPhase != want || cp.DominantSeconds != 3 {
+		t.Fatalf("dominant phase = %s (%g s), want %s (3 s)", cp.DominantPhase, cp.DominantSeconds, want)
+	}
+
+	// Rank 0: sync half 1+2-0.5 = 2.5 beats async 0.5; node time 2.6.
+	r0 := cp.Ranks[0]
+	if r0.SyncHalf != 2.5 || r0.AsyncHalf != 0.5 || r0.CriticalHalf != "sync" {
+		t.Fatalf("rank 0 halves = %g/%g (%s), want 2.5/0.5 (sync)", r0.SyncHalf, r0.AsyncHalf, r0.CriticalHalf)
+	}
+	if math.Abs(r0.BarrierWait-(4.5-2.6)) > 1e-12 {
+		t.Fatalf("rank 0 barrier wait = %g, want %g", r0.BarrierWait, 4.5-2.6)
+	}
+	if !cp.Ranks[1].Critical || cp.Ranks[0].Critical || cp.Ranks[2].Critical {
+		t.Fatal("critical flag is not exactly on the straggler")
+	}
+	if cp.Ranks[1].BarrierWait != 0 {
+		t.Fatalf("straggler barrier wait = %g, want 0", cp.Ranks[1].BarrierWait)
+	}
+	wantTotal := (4.5 - r0.NodeTime) + (4.5 - cp.Ranks[2].NodeTime)
+	if math.Abs(cp.TotalBarrierWait-wantTotal) > 1e-12 {
+		t.Fatalf("total barrier wait = %g, want %g", cp.TotalBarrierWait, wantTotal)
+	}
+
+	if err := cp.Reconciles(bds); err != nil {
+		t.Fatalf("attribution does not reconcile with its own ledgers: %v", err)
+	}
+
+	table := cp.Table()
+	for _, want := range []string{"critical path: rank 1 (async half)", "dominant phase: " + cluster.AsyncComm.String(), "<-- async"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestAnalyzeOverlapFlipsCriticalHalf checks the overlap credit is applied
+// before picking the critical half: a big SyncOverlap shrinks the sync half
+// below the async half, flipping the attribution — and Overlap itself can
+// never be the dominant phase.
+func TestAnalyzeOverlapFlipsCriticalHalf(t *testing.T) {
+	pipelined := []cluster.Breakdown{
+		{SyncComm: 2, SyncComp: 2, SyncOverlap: 3, AsyncComm: 1.5, Other: 0.1},
+	}
+	cp := AnalyzeBreakdowns(pipelined)
+	if cp.CriticalHalf != "async" {
+		t.Fatalf("with overlap credit: critical half = %q, want async (sync half %g vs async %g)",
+			cp.CriticalHalf, cp.Ranks[0].SyncHalf, cp.Ranks[0].AsyncHalf)
+	}
+	if cp.Makespan != 1.6 {
+		t.Fatalf("makespan = %g, want 1.6", cp.Makespan)
+	}
+	if want := cluster.AsyncComm.String(); cp.DominantPhase != want {
+		t.Fatalf("dominant phase = %q, want %q (Overlap must never dominate)", cp.DominantPhase, want)
+	}
+
+	// Same ledger without the credit: sync half 4 dominates.
+	serial := []cluster.Breakdown{
+		{SyncComm: 2, SyncComp: 2, AsyncComm: 1.5, Other: 0.1},
+	}
+	cp = AnalyzeBreakdowns(serial)
+	if cp.CriticalHalf != "sync" {
+		t.Fatalf("without overlap credit: critical half = %q, want sync", cp.CriticalHalf)
+	}
+	if cp.Makespan != 4.1 {
+		t.Fatalf("makespan = %g, want 4.1", cp.Makespan)
+	}
+}
+
+// TestAnalyzeBreakdownsDegenerate covers the empty and all-zero inputs.
+func TestAnalyzeBreakdownsDegenerate(t *testing.T) {
+	if cp := AnalyzeBreakdowns(nil); cp != nil {
+		t.Fatalf("empty input: got %+v, want nil", cp)
+	}
+	cp := AnalyzeBreakdowns(make([]cluster.Breakdown, 3))
+	if cp.Straggler != 0 || cp.Makespan != 0 {
+		t.Fatalf("all-zero ledgers: straggler %d makespan %g, want 0 and 0", cp.Straggler, cp.Makespan)
+	}
+	if err := cp.Reconciles(make([]cluster.Breakdown, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReconcilesRejects checks the bit-for-bit guard actually fires: a
+// perturbed ledger, a wrong rank count, and a falsified makespan all fail.
+func TestReconcilesRejects(t *testing.T) {
+	bds := []cluster.Breakdown{
+		{SyncComm: 1, SyncComp: 2, Other: 0.1},
+		{AsyncComm: 4, Other: 0.2},
+	}
+	cp := AnalyzeBreakdowns(bds)
+
+	mutated := append([]cluster.Breakdown(nil), bds...)
+	mutated[0].SyncComp += 1e-9
+	if err := cp.Reconciles(mutated); err == nil {
+		t.Fatal("Reconciles accepted a perturbed ledger")
+	}
+	if err := cp.Reconciles(bds[:1]); err == nil {
+		t.Fatal("Reconciles accepted a wrong rank count")
+	}
+	forged := *cp
+	forged.Makespan *= 2
+	if err := forged.Reconciles(bds); err == nil {
+		t.Fatal("Reconciles accepted a forged makespan")
+	}
+}
+
+// TestTracerCriticalPath checks the span-enriched analysis: top ops come
+// only from the straggler's critical half (plus Other), aggregated per op
+// and sorted by seconds, and the totals reconcile with the span-tiled
+// ledgers.
+func TestTracerCriticalPath(t *testing.T) {
+	tr := NewTracer(0)
+	// Rank 0: small sync-only work.
+	tr.Span(0, cluster.SyncComm, "mcast", 0, 0.5)
+	tr.Span(0, cluster.Other, "setup", 0, 0.1)
+	// Rank 1 (straggler, sync half): mcast 2.0 s across two spans, panel
+	// 1.5 s, setup 0.2 s; async get 0.25 s must not appear in top ops.
+	tr.Span(1, cluster.SyncComm, "mcast", 0, 1)
+	tr.Span(1, cluster.SyncComm, "mcast", 1, 2)
+	tr.Span(1, cluster.SyncComp, "panel", 0, 1.5)
+	tr.Span(1, cluster.Other, "setup", 0, 0.2)
+	tr.Span(1, cluster.AsyncComm, "get", 0, 0.25)
+
+	cp := tr.CriticalPath()
+	if cp == nil {
+		t.Fatal("nil critical path from a populated tracer")
+	}
+	if cp.Straggler != 1 || cp.CriticalHalf != "sync" {
+		t.Fatalf("straggler %d half %q, want 1/sync", cp.Straggler, cp.CriticalHalf)
+	}
+	if err := cp.Reconciles(tr.Totals()); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.TopOps) != 3 {
+		t.Fatalf("top ops = %+v, want mcast/panel/setup", cp.TopOps)
+	}
+	wantOps := []struct {
+		op  string
+		sec float64
+	}{{"mcast", 2}, {"panel", 1.5}, {"setup", 0.2}}
+	for i, w := range wantOps {
+		if cp.TopOps[i].Op != w.op || math.Abs(cp.TopOps[i].Seconds-w.sec) > 1e-12 {
+			t.Fatalf("top op %d = %+v, want %s %g s", i, cp.TopOps[i], w.op, w.sec)
+		}
+	}
+	for _, o := range cp.TopOps {
+		if o.Op == "get" {
+			t.Fatal("async op leaked into a sync-half attribution")
+		}
+	}
+	if cp.DroppedSpans != 0 || len(cp.Warnings) != 0 {
+		t.Fatalf("unexpected drops/warnings: %d %v", cp.DroppedSpans, cp.Warnings)
+	}
+}
+
+// TestTracerCriticalPathDropWarning checks a saturated tracer surfaces its
+// incompleteness: the drop count is reported and a warning is appended,
+// while the ledger totals (and hence Reconciles) stay exact.
+func TestTracerCriticalPathDropWarning(t *testing.T) {
+	tr := NewTracer(1) // per-rank cap of one stored span
+	tr.Span(0, cluster.SyncComm, "a", 0, 1)
+	tr.Span(0, cluster.SyncComm, "b", 1, 2) // dropped, still counted in totals
+
+	cp := tr.CriticalPath()
+	if cp.DroppedSpans != 1 {
+		t.Fatalf("dropped spans = %d, want 1", cp.DroppedSpans)
+	}
+	if len(cp.Warnings) == 0 || !strings.Contains(cp.Warnings[0], "dropped 1 spans") {
+		t.Fatalf("missing drop warning: %v", cp.Warnings)
+	}
+	if cp.Makespan != 2 {
+		t.Fatalf("makespan = %g, want 2 (dropped span must still charge the ledger)", cp.Makespan)
+	}
+	if err := cp.Reconciles(tr.Totals()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cp.Table(), "warning:") {
+		t.Fatal("table does not render the warning")
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition of the metrics registry: the text format Prometheus
+// and every OpenMetrics-compatible scraper ingest. Metric names translate
+// dots to underscores (exec.async.stripes -> exec_async_stripes), counters
+// gain the mandated _total suffix, histograms emit cumulative le-labelled
+// buckets plus _sum/_count, and the document ends with the required # EOF
+// marker. Output is sorted by name so expositions are deterministic and
+// golden-testable.
+
+// OpenMetricsContentType is the Content-Type of the exposition, as specified
+// by the OpenMetrics standard.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		m := openMetricsName(name)
+		bw.printf("# TYPE %s counter\n", m)
+		bw.printf("%s_total %d\n", m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := openMetricsName(name)
+		bw.printf("# TYPE %s gauge\n", m)
+		bw.printf("%s %s\n", m, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		m := openMetricsName(name)
+		bw.printf("# TYPE %s histogram\n", m)
+		var cum int64
+		for i, c := range hs.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(hs.UpperBounds) {
+				le = formatFloat(hs.UpperBounds[i])
+			}
+			bw.printf("%s_bucket{le=\"%s\"} %d\n", m, le, cum)
+		}
+		bw.printf("%s_sum %s\n", m, formatFloat(hs.Sum))
+		bw.printf("%s_count %d\n", m, hs.Count)
+		for _, label := range sortedKeys(hs.Quantiles) {
+			bw.printf("%s_quantile{quantile=\"%s\"} %s\n",
+				m, quantileValue(label), formatFloat(hs.Quantiles[label]))
+		}
+	}
+	bw.printf("# EOF\n")
+	return bw.err
+}
+
+// OpenMetrics renders the registry's current snapshot as an OpenMetrics
+// document.
+func (r *Registry) OpenMetrics() string {
+	var sb strings.Builder
+	_ = WriteOpenMetrics(&sb, r.Snapshot())
+	return sb.String()
+}
+
+// openMetricsName maps a registry name onto the OpenMetrics grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, translating dots (our namespace separator) and
+// any other illegal rune to underscores.
+func openMetricsName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// quantileValue maps a snapshot quantile label (p50, p99) back to its
+// numeric form (0.5, 0.99) for the exposition label; unknown labels pass
+// through unchanged.
+func quantileValue(label string) string {
+	if q, ok := snapshotQuantiles[label]; ok {
+		return formatFloat(q)
+	}
+	return label
+}
+
+// formatFloat renders a float64 the way OpenMetrics expects: shortest exact
+// decimal form, with +Inf/-Inf/NaN spelled per the standard.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// linear instead of error-checking every line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

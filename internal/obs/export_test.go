@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsExposition pins the full exposition of a known registry:
+// counters with the mandated _total suffix, gauges, cumulative le-labelled
+// histogram buckets, _sum/_count, quantile lines, and the trailing # EOF.
+// The output is sorted by name, so this golden is deterministic.
+func TestOpenMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("cache.hits").Add(3)
+	reg.Counter("exec.sync.stripes").Add(51)
+	reg.Gauge("skew.max_over_mean").Set(1.25)
+	h := reg.Histogram("get.latency.seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+
+	want := `# TYPE cache_hits counter
+cache_hits_total 3
+# TYPE exec_sync_stripes counter
+exec_sync_stripes_total 51
+# TYPE skew_max_over_mean gauge
+skew_max_over_mean 1.25
+# TYPE get_latency_seconds histogram
+get_latency_seconds_bucket{le="1"} 1
+get_latency_seconds_bucket{le="2"} 2
+get_latency_seconds_bucket{le="4"} 3
+get_latency_seconds_bucket{le="+Inf"} 4
+get_latency_seconds_sum 13
+get_latency_seconds_count 4
+get_latency_seconds_quantile{quantile="0.5"} 2
+get_latency_seconds_quantile{quantile="0.95"} 4
+get_latency_seconds_quantile{quantile="0.99"} 4
+# EOF
+`
+	if got := reg.OpenMetrics(); got != want {
+		t.Fatalf("exposition differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestOpenMetricsUntouchedRegistry checks an empty registry still emits a
+// valid document: just the # EOF marker.
+func TestOpenMetricsUntouchedRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("never.incremented")
+	if got := reg.OpenMetrics(); got != "# EOF\n" {
+		t.Fatalf("empty exposition = %q, want %q", got, "# EOF\n")
+	}
+}
+
+// TestOpenMetricsNameSanitize maps registry names onto the OpenMetrics
+// grammar: dots and illegal runes become underscores, leading digits gain a
+// prefix underscore.
+func TestOpenMetricsNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"exec.async.stripes": "exec_async_stripes",
+		"9weird-name":        "_9weird_name",
+		"ok_name:sub":        "ok_name:sub",
+		"":                   "_",
+		"a.b-c d":            "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := openMetricsName(in); got != want {
+			t.Errorf("openMetricsName(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("9weird-name").Add(7)
+	if got := reg.OpenMetrics(); !strings.Contains(got, "_9weird_name_total 7\n") {
+		t.Fatalf("sanitized counter missing from exposition:\n%s", got)
+	}
+}
+
+// TestFormatFloat pins the numeric rendering the exposition relies on,
+// including the standard's spellings of the non-finite values.
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{1.25, "1.25"},
+		{0.0005, "0.0005"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

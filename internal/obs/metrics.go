@@ -199,6 +199,27 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the bucket that holds the
+// target rank — the Prometheus histogram_quantile estimator. Observations
+// landing in the +Inf overflow bucket clamp to the largest finite bound, and
+// an empty histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 { return h.snapshot().Quantile(q) }
+
+// snapshot copies the histogram's current buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		UpperBounds: append([]float64(nil), h.upper...),
+		Counts:      make([]int64, len(h.counts)),
+		Count:       h.Count(),
+		Sum:         h.Sum(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
 // HistogramSnapshot is the JSON-friendly view of a histogram.
 type HistogramSnapshot struct {
 	// UpperBounds are the finite bucket upper bounds; Counts has one more
@@ -207,6 +228,54 @@ type HistogramSnapshot struct {
 	Counts      []int64   `json:"counts"`
 	Count       int64     `json:"count"`
 	Sum         float64   `json:"sum"`
+	// Quantiles carries interpolated latency percentiles (p50, p95, p99),
+	// computed at snapshot time so serialized reports keep them.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// snapshotQuantiles are the percentiles published in Snapshot and the run
+// report — the serving-latency trio every benchmark harness wants.
+var snapshotQuantiles = map[string]float64{"p50": 0.50, "p95": 0.95, "p99": 0.99}
+
+// Quantile estimates the q-quantile of the snapshot by bucket interpolation
+// (see Histogram.Quantile).
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	var total int64
+	for _, c := range hs.Counts {
+		total += c
+	}
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range hs.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(hs.UpperBounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			if len(hs.UpperBounds) == 0 {
+				return math.NaN()
+			}
+			return hs.UpperBounds[len(hs.UpperBounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = hs.UpperBounds[i-1]
+		}
+		upper := hs.UpperBounds[i]
+		// Assume observations spread uniformly inside the bucket.
+		return lower + (upper-lower)*(1-(cum-rank)/float64(c))
+	}
+	return math.NaN()
 }
 
 // Snapshot is a point-in-time copy of every touched metric, ordered by
@@ -247,14 +316,12 @@ func (r *Registry) Snapshot() Snapshot {
 		if s.Histograms == nil {
 			s.Histograms = map[string]HistogramSnapshot{}
 		}
-		hs := HistogramSnapshot{
-			UpperBounds: append([]float64(nil), h.upper...),
-			Counts:      make([]int64, len(h.counts)),
-			Count:       h.Count(),
-			Sum:         h.Sum(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
+		hs := h.snapshot()
+		hs.Quantiles = map[string]float64{}
+		for label, q := range snapshotQuantiles {
+			if v := hs.Quantile(q); !math.IsNaN(v) {
+				hs.Quantiles[label] = v
+			}
 		}
 		s.Histograms[name] = hs
 	}

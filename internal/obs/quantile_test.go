@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile checks the bucket-interpolation estimator on a known
+// distribution: one observation per bucket of bounds {1, 2, 4} plus one in
+// the +Inf overflow.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	h := reg.Histogram("q", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+
+	cases := []struct {
+		q, want float64
+	}{
+		{0.25, 1},    // rank 1: exactly fills bucket [0, 1]
+		{0.50, 2},    // rank 2: exactly fills bucket (1, 2]
+		{0.375, 1.5}, // rank 1.5: halfway through bucket (1, 2]
+		{0.95, 4},    // rank 3.8: lands in +Inf, clamps to the last finite bound
+		{0.99, 4},
+		{0, 0},  // rank 0: the bottom of the first occupied bucket
+		{-1, 0}, // q clamps to [0, 1]
+		{2, 4},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %g, want NaN", got)
+	}
+}
+
+// TestHistogramQuantileEmpty checks the degenerate inputs: no observations,
+// and observations with no finite bound to interpolate toward.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	if got := reg.Histogram("empty", []float64{1}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %g, want NaN", got)
+	}
+	// Only an overflow bucket: nothing finite to clamp to.
+	hs := HistogramSnapshot{Counts: []int64{5}}
+	if got := hs.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless snapshot Quantile = %g, want NaN", got)
+	}
+}
+
+// TestSnapshotFillsQuantiles checks Registry.Snapshot computes the p50/p95/
+// p99 trio at snapshot time, so serialized reports keep them.
+func TestSnapshotFillsQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	h := reg.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	hs, ok := snap.Histograms["lat"]
+	if !ok {
+		t.Fatal("snapshot lost the histogram")
+	}
+	want := map[string]float64{"p50": 2, "p95": 4, "p99": 4}
+	for label, v := range want {
+		if got := hs.Quantiles[label]; math.Abs(got-v) > 1e-12 {
+			t.Errorf("Quantiles[%q] = %g, want %g", label, got, v)
+		}
+	}
+	if len(hs.Quantiles) != len(want) {
+		t.Errorf("snapshot quantiles = %v, want exactly %v", hs.Quantiles, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -59,6 +60,18 @@ type Report struct {
 	Metrics    *Snapshot                `json:"metrics,omitempty"`
 	Trace      *TraceInfo               `json:"trace,omitempty"`
 	Resilience *cluster.ResilienceStats `json:"resilience,omitempty"`
+
+	// CriticalPath is the makespan attribution of the run (see critpath.go);
+	// folded in whenever per-rank breakdowns are available.
+	CriticalPath *CriticalPath `json:"critical_path,omitempty"`
+	// Warnings carries observability caveats a reader must see (dropped
+	// trace spans, saturated buffers) — never silent fields.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Warn appends a report-level warning.
+func (r *Report) Warn(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
 }
 
 // SetResilience attaches the run's cluster-wide fault/retry/degradation
@@ -115,6 +128,7 @@ func (r *Report) SetRun(breakdowns []cluster.Breakdown, transfers []cluster.Tran
 		}
 		r.Skew = &sk
 	}
+	r.CriticalPath = AnalyzeBreakdowns(breakdowns)
 }
 
 // Validate sanity-checks the report before it is written: a run report must
@@ -161,8 +175,10 @@ func (r *Report) WriteFile(path string) error {
 }
 
 // AppendTrajectory appends entry to the JSON array stored at path, creating
-// the file if needed. The write is atomic (temp file + rename), so a crash
-// never corrupts the history.
+// the file if needed. The write is crash-safe: the new array goes to a
+// uniquely named temp file in the same directory, is fsynced, and only then
+// renamed over the original — an interrupted twoface-bench can at worst
+// leave a stray temp file, never a truncated or corrupt history.
 func AppendTrajectory(path string, entry any) error {
 	var arr []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
@@ -181,11 +197,27 @@ func AppendTrajectory(path string, entry any) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(out, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // RecordSkew publishes straggler gauges for the given breakdowns into the

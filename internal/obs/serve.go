@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// The live ops endpoint: a tiny HTTP server that makes a running solver
+// observable from outside the process. /metrics serves the registry in
+// OpenMetrics text format (scrapeable by Prometheus mid-run), /report serves
+// the latest structured run report as JSON, /healthz answers liveness
+// probes, and /debug/pprof/* exposes the standard Go profiler. Serving is
+// read-only: handlers snapshot state under the registry's own atomics, so a
+// scrape never perturbs the simulation, and enabling -listen leaves modeled
+// results bit-identical.
+
+// Server exposes a Registry (and optionally a Report) over HTTP.
+type Server struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	report *Report
+	status string
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// NewServer returns a server exposing reg. A nil reg uses the process-wide
+// Default registry.
+func NewServer(reg *Registry) *Server {
+	if reg == nil {
+		reg = Default
+	}
+	return &Server{reg: reg, status: "idle"}
+}
+
+// SetReport publishes (or replaces) the report served at /report. Safe to
+// call while the server is running; scrapes see either the old or the new
+// report, never a torn one.
+func (s *Server) SetReport(r *Report) {
+	s.mu.Lock()
+	s.report = r
+	s.mu.Unlock()
+}
+
+// SetStatus publishes a one-word run phase ("running", "done", ...) echoed
+// by /healthz so a watcher can tell a live run from a finished one.
+func (s *Server) SetStatus(status string) {
+	s.mu.Lock()
+	s.status = status
+	s.mu.Unlock()
+}
+
+// Handler returns the ops mux: /metrics, /report, /healthz, /debug/pprof/*.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "twoface ops endpoint\n\n/metrics  OpenMetrics exposition\n/report   latest run report (JSON)\n/healthz  liveness probe\n/debug/pprof/  Go profiler\n")
+	})
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", OpenMetricsContentType)
+	_ = WriteOpenMetrics(w, s.reg.Snapshot())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	r := s.report
+	s.mu.Unlock()
+	if r == nil {
+		http.Error(w, "no report yet: the run has not completed", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := s.status
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok %s\n", status)
+}
+
+// Start binds addr (host:port; ":0" picks a free port) and serves in a
+// background goroutine. The bound address is available from Addr.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Safe to call without a prior Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Serve is the one-call form used by the CLIs: start an ops server for the
+// Default registry on addr and return it (nil addr or "" is a no-op
+// returning nil). Errors are returned, not fatal — a busy port should fail
+// the flag, not the run.
+func Serve(addr string) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	s := NewServer(nil)
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches path from the server and returns status, content type, body.
+func get(t *testing.T, s *Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestServerEndpoints starts a real listener on a free port and checks every
+// route: the OpenMetrics exposition with its mandated content type, the
+// health probe echoing the published status, the report 404-then-200 cycle,
+// and the index.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("exec.sync.stripes").Add(7)
+
+	s := NewServer(reg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address after Start")
+	}
+
+	code, ctype, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ctype != OpenMetricsContentType {
+		t.Fatalf("/metrics content type %q, want %q", ctype, OpenMetricsContentType)
+	}
+	if !strings.Contains(body, "# TYPE exec_sync_stripes counter\n") ||
+		!strings.Contains(body, "exec_sync_stripes_total 7\n") ||
+		!strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("/metrics body is not a valid exposition:\n%s", body)
+	}
+
+	code, _, body = get(t, s, "/healthz")
+	if code != http.StatusOK || body != "ok idle\n" {
+		t.Fatalf("/healthz = %d %q, want 200 %q", code, body, "ok idle\n")
+	}
+	s.SetStatus("running")
+	if _, _, body = get(t, s, "/healthz"); body != "ok running\n" {
+		t.Fatalf("/healthz after SetStatus = %q", body)
+	}
+
+	if code, _, _ = get(t, s, "/report"); code != http.StatusNotFound {
+		t.Fatalf("/report before SetReport = %d, want 404", code)
+	}
+	rep := NewReport("serve-test")
+	rep.ModeledSeconds = 0.5
+	s.SetReport(rep)
+	code, ctype, body = get(t, s, "/report")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/report = %d %q", code, ctype)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "serve-test" || back.ModeledSeconds != 0.5 {
+		t.Fatalf("/report round trip lost the report: %+v", back)
+	}
+
+	if code, _, body = get(t, s, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _, _ = get(t, s, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestServe covers the CLI helper: empty address is a no-op, a real address
+// binds the Default registry, and a bad address surfaces the bind error
+// instead of killing the run.
+func TestServe(t *testing.T) {
+	if s, err := Serve(""); s != nil || err != nil {
+		t.Fatalf("Serve(\"\") = %v, %v, want nil, nil", s, err)
+	}
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz on Serve'd server = %d", code)
+	}
+	if _, err := Serve("256.0.0.1:bad"); err == nil {
+		t.Fatal("Serve accepted an unbindable address")
+	}
+}

@@ -57,6 +57,11 @@ type Tracer struct {
 // a non-positive limit.
 const DefaultSpanLimit = 1 << 20
 
+// metricDroppedSpans mirrors every dropped span into the default registry,
+// so a scrape of /metrics (and the -explain warning path) surfaces storage
+// saturation instead of leaving it a silent field in the trace summary.
+var metricDroppedSpans = Default.Counter("obs.trace.dropped_spans")
+
 // NewTracer returns an empty tracer with the given per-rank span cap
 // (<= 0 uses DefaultSpanLimit).
 func NewTracer(perRankLimit int) *Tracer {
@@ -82,6 +87,7 @@ func (t *Tracer) Span(rank int, cat cluster.Category, op string, start, end floa
 	t.totals[rank] = t.totals[rank].Plus(breakdownOf(cat, end-start))
 	if t.perRank[rank] >= t.limit {
 		t.dropped[rank]++
+		metricDroppedSpans.Inc()
 		return
 	}
 	t.perRank[rank]++
@@ -144,6 +150,19 @@ func (t *Tracer) Dropped() []int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]int64(nil), t.dropped...)
+}
+
+// TotalDropped returns the cluster-wide count of spans dropped to the
+// storage cap. Totals stay exact regardless; a non-zero value only means the
+// per-op views (Chrome trace, critical-path top ops) are incomplete.
+func (t *Tracer) TotalDropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, d := range t.dropped {
+		n += d
+	}
+	return n
 }
 
 // Info summarizes the tracer's contents for a run report.

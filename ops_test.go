@@ -1,0 +1,121 @@
+package twoface
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestOpsServerLiveScrape hammers /metrics and /healthz over real HTTP while
+// a run executes — the concurrency contract of the ops endpoint (scrapes
+// snapshot state and never perturb the simulation), checked for data races
+// by the suite's -race pass.
+func TestOpsServerLiveScrape(t *testing.T) {
+	DefaultMetrics().Reset()
+	DefaultMetrics().SetEnabled(true)
+	defer DefaultMetrics().SetEnabled(false)
+
+	srv, err := ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetStatus("running")
+
+	scrape := func(path string) (string, string, error) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			return "", "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type"), err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var scrapeErr error
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := scrape("/metrics"); err != nil {
+					mu.Lock()
+					scrapeErr = err
+					mu.Unlock()
+					return
+				}
+				if _, _, err := scrape("/healthz"); err != nil {
+					mu.Lock()
+					scrapeErr = err
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+
+	sys, err := New(Options{Nodes: 4, DenseColumns: 32, TimingOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Generate("web", 0.05, 9)
+	plan, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Multiply(RandomDense(int(a.NumCols), 32, 10))
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrapeErr != nil {
+		t.Fatalf("scrape during the run failed: %v", scrapeErr)
+	}
+
+	// After the run: the exposition is well formed and carries executor
+	// counters incremented mid-run.
+	body, ctype, err := scrape("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ctype, "application/openmetrics-text") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") || !strings.Contains(body, "# TYPE exec_") {
+		t.Fatalf("/metrics is not a valid exposition with executor metrics:\n%s", body)
+	}
+
+	// Publishing the finished run's report flips /report from 404 to JSON
+	// carrying the critical-path attribution.
+	rep := NewRunReport("ops-test")
+	rep.SetRun(res.Breakdowns, res.Transfer, res.ModeledSeconds, res.Wall)
+	srv.SetReport(rep)
+	srv.SetStatus("done")
+	body, _, err = scrape("/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CriticalPath == nil || back.CriticalPath.Makespan != res.ModeledSeconds {
+		t.Fatalf("/report critical path missing or wrong: %+v", back.CriticalPath)
+	}
+	if body, _, _ := scrape("/healthz"); body != "ok done\n" {
+		t.Fatalf("/healthz after the run = %q", body)
+	}
+}

@@ -43,6 +43,53 @@ grep -q '"traceEvents"' "$tmp/run.trace.json"
 grep -q '"go_version"' "$tmp/run.json"
 grep -q '"modeled_seconds"' "$tmp/run.json"
 
+echo "== live ops smoke (-listen endpoint scrapeable during a run)"
+go build -o "$tmp/twoface-run" ./cmd/twoface-run
+"$tmp/twoface-run" -matrix web -scale 0.1 -algo twoface -K 128 \
+    -listen 127.0.0.1:0 -explain -report "$tmp/live.json" >"$tmp/live.out" &
+live_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^ops endpoint: http://\([^ ]*\) .*|\1|p' "$tmp/live.out")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "ops endpoint never announced its address" >&2
+    kill "$live_pid" 2>/dev/null || true
+    exit 1
+fi
+# Scrape while the run is (probably) still alive; the exposition must be
+# well-formed OpenMetrics whenever we catch it.
+curl -sf "http://$addr/metrics" >"$tmp/metrics.out" || true
+curl -sf "http://$addr/healthz" >"$tmp/healthz.out" || true
+wait "$live_pid"
+if [ -s "$tmp/metrics.out" ]; then
+    grep -q '^# EOF$' "$tmp/metrics.out"
+fi
+if [ -s "$tmp/healthz.out" ]; then
+    grep -q '^ok ' "$tmp/healthz.out"
+fi
+# The -explain attribution printed and reconciled (the CLI fails otherwise).
+grep -q '^critical path: rank ' "$tmp/live.out"
+grep -q '"critical_path"' "$tmp/live.json"
+
+echo "== report compare soft gate (same config twice => no modeled regressions)"
+"$tmp/twoface-run" -matrix web -scale 0.1 -algo twoface -K 128 \
+    -report "$tmp/base.json" >/dev/null
+go run ./cmd/twoface-bench -compare-report "$tmp/base.json,$tmp/live.json" \
+    >"$tmp/compare.out" || true
+cat "$tmp/compare.out"
+# Identical configs on a deterministic simulator: modeled metrics must not
+# regress. Wall-clock rows jitter freely and are thresholded generously, so
+# this stays a soft signal unless a modeled row regresses.
+if go run ./cmd/twoface-bench -compare-report "$tmp/base.json,$tmp/live.json" \
+    -compare-fail >/dev/null 2>&1; then
+    :
+else
+    echo "note: compare gate saw regressions between identical-config runs (see above)" >&2
+fi
+
 echo "== chaos smoke (seeded fault injection, bit-exact degradation)"
 go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     -chaos-seed 7 >"$tmp/chaos.out"

@@ -34,6 +34,8 @@
 package twoface
 
 import (
+	"log/slog"
+
 	"twoface/internal/chaos"
 	"twoface/internal/cluster"
 	"twoface/internal/core"
@@ -90,6 +92,14 @@ type (
 	// ResilienceStats count a run's injected faults, retries, and
 	// degradations (see Result.Resilience).
 	ResilienceStats = cluster.ResilienceStats
+	// OpsServer serves the live ops endpoint: /metrics (OpenMetrics),
+	// /report, /healthz, and /debug/pprof over HTTP (see ServeOps).
+	OpsServer = obs.Server
+	// CriticalPath is the makespan attribution of one run: the straggler
+	// rank, its critical half, the dominant phase, and per-rank barrier wait.
+	CriticalPath = obs.CriticalPath
+	// ReportDiff is a benchstat-style comparison of two run reports.
+	ReportDiff = obs.Diff
 )
 
 // NewTracer returns an empty virtual-time span tracer (per-rank span cap;
@@ -104,6 +114,34 @@ func DefaultMetrics() *Metrics { return obs.Default }
 // NewRunReport starts a run report for the named tool, stamped with build
 // provenance (Go version, VCS commit when available).
 func NewRunReport(tool string) *RunReport { return obs.NewReport(tool) }
+
+// ServeOps starts the live ops HTTP endpoint on addr (host:port; ":0" picks
+// a free port), serving the default metrics registry at /metrics in
+// OpenMetrics text format alongside /report, /healthz, and /debug/pprof.
+// An empty addr is a no-op returning nil. Close the server when done.
+func ServeOps(addr string) (*OpsServer, error) { return obs.Serve(addr) }
+
+// SetupLogging parses a -log-level flag value ("" = off, or debug | info |
+// warn | error), installs a process-wide stderr slog logger (JSON lines
+// when asJSON) stamped with the tool name and a fresh run ID, and returns
+// it. Pass the result to Options.Logger to attach rank-attributed cluster
+// logging.
+func SetupLogging(tool, level string, asJSON bool) (*slog.Logger, string, error) {
+	return obs.SetupLogging(tool, level, asJSON)
+}
+
+// AnalyzeCriticalPath attributes a run's makespan from its per-rank
+// breakdowns: straggler, critical half, dominant phase, barrier wait. The
+// result's per-rank ledger fields are copied bit-for-bit from the input.
+func AnalyzeCriticalPath(breakdowns []Breakdown) *CriticalPath {
+	return obs.AnalyzeBreakdowns(breakdowns)
+}
+
+// CompareReportFiles diffs two run report (or trajectory) files with the
+// default noise thresholds — the twoface-bench -compare-report engine.
+func CompareReportFiles(oldPath, newPath string) (*ReportDiff, error) {
+	return obs.CompareFiles(oldPath, newPath, obs.DiffOptions{})
+}
 
 // RandomFaultPlan generates a survivable fault plan for a p-node cluster,
 // deterministic in seed: stragglers, transient get failures within the
