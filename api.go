@@ -102,8 +102,21 @@ type Options struct {
 	// synchronous path when the budget runs out), multicast legs straggle or
 	// fail, and ranks crash at virtual times. Survivable plans leave the
 	// computed C bit-identical to the fault-free run. Nil keeps the machine
-	// healthy and the fault machinery entirely out of the hot path.
+	// healthy and the fault machinery entirely out of the hot path. A plan
+	// with crashes aborts the run unless Recover is set.
 	Chaos *FaultPlan
+	// Recover switches crashed ranks from fail-clean (abort the run) to
+	// fail-recover: a crash becomes a membership transition, the survivors
+	// fence at the next barrier and re-execute the dead rank's unfinished
+	// work from its last virtual-time checkpoint, and Multiply still
+	// completes with the full C (see DESIGN.md section 12). Only the
+	// Two-Face executor recovers; baselines and SDDMM stay fail-clean.
+	Recover bool
+	// CheckpointInterval is the virtual-time cadence (seconds) at which each
+	// rank checkpoints its C panel and progress cursor when Recover is set.
+	// 0 picks an interval worth ~50 checkpoint write costs, keeping the
+	// modeled overhead of a fault-free run near 2%. Ignored without Recover.
+	CheckpointInterval float64
 }
 
 // System is a configured simulated cluster ready to preprocess and multiply.
@@ -216,6 +229,7 @@ func (s *System) newCluster(net NetModel) (*cluster.Cluster, error) {
 		}
 		clu.SetFaultInjector(inj)
 	}
+	clu.SetRecovery(s.opts.Recover)
 	return clu, nil
 }
 
@@ -375,10 +389,11 @@ func (p *Plan) execOptions() core.ExecOptions {
 		aw = 2
 	}
 	return core.ExecOptions{
-		AsyncWorkers:   aw,
-		SyncWorkers:    p.sys.opts.Workers,
-		SkipCompute:    p.sys.opts.TimingOnly,
-		DisableOverlap: p.sys.opts.DisableOverlap,
+		AsyncWorkers:       aw,
+		SyncWorkers:        p.sys.opts.Workers,
+		SkipCompute:        p.sys.opts.TimingOnly,
+		DisableOverlap:     p.sys.opts.DisableOverlap,
+		CheckpointInterval: p.sys.opts.CheckpointInterval,
 	}
 }
 

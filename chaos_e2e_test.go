@@ -277,3 +277,156 @@ func TestChaosCrashFailsCleanly(t *testing.T) {
 		t.Errorf("error %v does not wrap ErrAborted", err)
 	}
 }
+
+// --- Fail-recover: checkpointed crash recovery (DESIGN.md section 12) ---
+
+// TestChaosRecoverySingleWorkerExact is the recovery acceptance test: a
+// seeded crash plan with recovery enabled completes without abort, the
+// recovered C agrees with the fault-free run, and a same-seed replay is
+// bit-identical in C, makespan, and every resilience counter. Runs both the
+// batched and the legacy one-get-per-stripe async paths, with crashes at
+// the very start and in the middle of the run.
+func TestChaosRecoverySingleWorkerExact(t *testing.T) {
+	a, b := chaosWorkload(t)
+	for _, legacy := range []bool{false, true} {
+		name := "batched"
+		if legacy {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			runOnce := func(plan *FaultPlan, recovery bool, interval float64) *core.Result {
+				t.Helper()
+				sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols})
+				if err != nil {
+					t.Fatal(err)
+				}
+				net := sys.Net(a.NumRows)
+				params := core.Params{P: chaosNodes, K: b.Cols, W: 8, Coef: DeriveCoefficients(net), LegacyAsyncGets: legacy}
+				prep, err := core.Preprocess(a, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clu, err := cluster.New(chaosNodes, net)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan != nil {
+					inj, err := plan.Injector(chaosNodes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					clu.SetFaultInjector(inj)
+				}
+				clu.SetRecovery(recovery)
+				res, err := core.Exec(prep, b, clu, core.ExecOptions{AsyncWorkers: 1, SyncWorkers: 1, CheckpointInterval: interval})
+				if err != nil {
+					t.Fatalf("exec (recovery=%v): %v", recovery, err)
+				}
+				return res
+			}
+
+			clean := runOnce(nil, false, 0)
+			// The miniature workload's makespan is shorter than the automatic
+			// ~2%-overhead cadence, so pin an interval that forces
+			// checkpoints before the mid-run crashes.
+			interval := clean.ModeledSeconds / 20
+			for _, frac := range []float64{0, 0.3, 0.7} {
+				at := 1e-12 + frac*clean.ModeledSeconds
+				plan := &FaultPlan{Crashes: []chaos.Crash{{Rank: 1, At: at}}}
+				r1 := runOnce(plan, true, interval)
+				r2 := runOnce(plan, true, interval)
+
+				rs := r1.TotalResilience
+				if rs.Crashes != 1 {
+					t.Errorf("frac %v: Crashes = %d, want 1", frac, rs.Crashes)
+				}
+				if rs.RecoveredStripes+rs.RecoveredPanels == 0 {
+					t.Errorf("frac %v: nothing re-executed: %+v", frac, rs)
+				}
+				if rs.RecoverySeconds <= 0 {
+					t.Errorf("frac %v: no recovery time attributed: %+v", frac, rs)
+				}
+				// The recovered result must agree with the fault-free run.
+				if err := ulpEquivalent(r1.C, clean.C); err != nil {
+					t.Errorf("frac %v: recovered C differs from fault-free: %v", frac, err)
+				}
+				// And the replay must be an exact reproduction.
+				if err := bitIdentical(r1.C, r2.C); err != nil {
+					t.Errorf("frac %v: replay C not bit-identical: %v", frac, err)
+				}
+				if r1.ModeledSeconds != r2.ModeledSeconds {
+					t.Errorf("frac %v: replay makespan %v vs %v", frac, r1.ModeledSeconds, r2.ModeledSeconds)
+				}
+				for rank := range r1.Resilience {
+					if r1.Resilience[rank] != r2.Resilience[rank] {
+						t.Errorf("frac %v, rank %d: resilience not bit-identical:\n  %+v\n  %+v",
+							frac, rank, r1.Resilience[rank], r2.Resilience[rank])
+					}
+				}
+				// A mid-run crash leaves time for checkpoints at the auto
+				// cadence, and the checkpoint cut must shrink the redo.
+				if frac > 0 && rs.Checkpoints == 0 {
+					t.Errorf("frac %v: no checkpoints written before the crash", frac)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosRecoveryFacade: the public facade path — Options.Recover on a
+// crash-extended random plan — completes Multiply under concurrent workers
+// and matches the fault-free run within reassociation tolerance.
+func TestChaosRecoveryFacade(t *testing.T) {
+	a, b := chaosWorkload(t)
+	clean := runChaosAlgo(t, "twoface", a, b, nil)
+	plan := RandomFaultPlan(9, chaosNodes)
+	plan.Crashes = append(plan.Crashes, chaos.Crash{Rank: 2, At: 0.4 * clean.ModeledSeconds})
+	if !plan.Recoverable(chaosNodes) {
+		t.Fatal("plan must be recoverable")
+	}
+
+	sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols, Chaos: plan, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Multiply(b)
+	if err != nil {
+		t.Fatalf("recovery-enabled multiply must complete: %v", err)
+	}
+	if err := ulpEquivalent(res.C, clean.C); err != nil {
+		t.Errorf("recovered C differs from fault-free run: %v", err)
+	}
+	rs := res.TotalResilience
+	if rs.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1", rs.Crashes)
+	}
+	if rs.RecoveredStripes+rs.RecoveredPanels == 0 || rs.RecoverySeconds <= 0 {
+		t.Errorf("recovery not attributed: %+v", rs)
+	}
+}
+
+// TestChaosRecoveryAllCrashAborts: when every rank is doomed there is no
+// survivor to recover, and the run must still fail cleanly with typed
+// errors — the documented unrecoverable case.
+func TestChaosRecoveryAllCrashAborts(t *testing.T) {
+	a, b := chaosWorkload(t)
+	var crashes []chaos.Crash
+	for rank := 0; rank < chaosNodes; rank++ {
+		crashes = append(crashes, chaos.Crash{Rank: rank, At: 1e-12})
+	}
+	sys, err := New(Options{Nodes: chaosNodes, DenseColumns: b.Cols, Chaos: &FaultPlan{Crashes: crashes}, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Multiply(b); !errors.Is(err, cluster.ErrCrashed) {
+		t.Errorf("all-rank crash: %v, want ErrCrashed", err)
+	}
+}

@@ -39,6 +39,8 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "run every algorithm under a random survivable fault plan with this seed (0 = off)")
 		faultPlan  = flag.String("fault-plan", "", "run every algorithm under the JSON fault plan at this path")
+		recovery   = flag.Bool("recover", false, "recover crashed ranks from checkpoints instead of aborting (TwoFace runs only)")
+		ckptEvery  = flag.Float64("checkpoint-interval", 0, "virtual seconds between checkpoints under -recover (0 = auto)")
 		report     = flag.String("report", "", "write a structured JSON report of this invocation")
 		commOut    = flag.String("comm-out", "", "with -exp comm: write the per-matrix aggregation rows as JSON")
 		runsFile   = flag.String("runs-file", "BENCH_runs.json", "trajectory file appended to when -report is set (empty disables)")
@@ -91,7 +93,10 @@ func main() {
 	}
 
 	start := time.Now()
-	cfg := harness.Config{Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify, Listen: *listen}
+	cfg := harness.Config{
+		Scale: *scale, P: *p, Seed: *seed, Workers: *workers, Verify: *verify, Listen: *listen,
+		Recover: *recovery, CheckpointInterval: *ckptEvery,
+	}
 	srv, err := cfg.StartOps()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "twoface-bench:", err)
@@ -157,6 +162,9 @@ func writeReport(path, runsFile string, cfg harness.Config, exp string, wall tim
 	}
 	if cfg.Chaos != nil {
 		rep.Config["chaos_seed"] = cfg.Chaos.Seed
+	}
+	if cfg.Recover {
+		rep.Config["recover"] = true
 	}
 	rep.WallSeconds = wall.Seconds()
 	snap := obs.Default.Snapshot()

@@ -29,6 +29,13 @@
 //	                     twin run (bit-exact, or ulp-level for algorithms
 //	                     that accumulate concurrently)
 //	-fault-plan f.json   run under a hand-written fault plan
+//	-chaos-crash         add a recoverable rank crash to the -chaos-seed
+//	                     plan (pair with -recover, or watch the abort)
+//	-recover             fail-recover mode: survivors re-execute a crashed
+//	                     rank's work from its last checkpoint instead of
+//	                     aborting (twoface algorithm only)
+//	-checkpoint-interval virtual-seconds between checkpoints under -recover
+//	                     (0 = automatic ~2%-overhead cadence)
 package main
 
 import (
@@ -63,6 +70,9 @@ type cli struct {
 	memProfile string
 	chaosSeed  uint64
 	faultPlan  string
+	chaosCrash bool
+	recover    bool
+	ckptEvery  float64
 	forceGen   bool
 	allowFMA   bool
 	listen     string
@@ -93,6 +103,9 @@ func main() {
 	flag.IntVar(&c.traceCap, "trace-cap", 1<<16, "per-node transfer-trace event cap for -trace")
 	flag.Uint64Var(&c.chaosSeed, "chaos-seed", 0, "run under a random survivable fault plan with this seed (0 = off)")
 	flag.StringVar(&c.faultPlan, "fault-plan", "", "run under the JSON fault plan at this path")
+	flag.BoolVar(&c.chaosCrash, "chaos-crash", false, "add a recoverable rank crash to the -chaos-seed plan")
+	flag.BoolVar(&c.recover, "recover", false, "recover crashed ranks from checkpoints instead of aborting (twoface only)")
+	flag.Float64Var(&c.ckptEvery, "checkpoint-interval", 0, "virtual seconds between checkpoints under -recover (0 = auto)")
 	flag.BoolVar(&c.forceGen, "force-generic", false, "pin compute kernels to the portable pure-Go loops (no SIMD dispatch)")
 	flag.BoolVar(&c.allowFMA, "allow-fma", false, "opt compute kernels into fused multiply-add assembly (ulp-level drift vs default)")
 	flag.StringVar(&c.report, "report", "", "write a structured JSON run report")
@@ -159,6 +172,7 @@ func run(c cli) error {
 		Workers: c.syncW, AsyncWorkers: c.asyncW, LegacyAsyncGets: c.legacy,
 		DisableOverlap:      c.noOverlap,
 		ForceGenericKernels: c.forceGen, AllowFMA: c.allowFMA,
+		Recover: c.recover, CheckpointInterval: c.ckptEvery,
 	}
 	if c.trace {
 		opts.TraceEvents = c.traceCap
@@ -282,23 +296,33 @@ func resolveFaultPlan(c cli) (*twoface.FaultPlan, error) {
 	switch {
 	case c.faultPlan != "" && c.chaosSeed != 0:
 		return nil, fmt.Errorf("use -chaos-seed or -fault-plan, not both")
+	case c.chaosCrash && c.chaosSeed == 0:
+		return nil, fmt.Errorf("-chaos-crash needs -chaos-seed")
 	case c.faultPlan != "":
 		return twoface.LoadFaultPlan(c.faultPlan)
 	case c.chaosSeed != 0:
+		if c.chaosCrash {
+			return twoface.RandomFaultPlanWithCrash(c.chaosSeed, c.p), nil
+		}
 		return twoface.RandomFaultPlan(c.chaosSeed, c.p), nil
 	}
 	return nil, nil
 }
 
 // reportChaos prints the resilience summary of a chaotic run and, when the
-// plan is survivable and verification is on, replays the run on a healthy
-// twin system and checks the two results are bit-identical — the headline
-// guarantee of the degradation design.
+// plan is survivable (or recoverable under -recover) and verification is
+// on, replays the run on a healthy twin system and checks the two results
+// agree — the headline guarantee of the degradation and recovery designs.
 func reportChaos(c cli, a *twoface.SparseMatrix, res *twoface.Result, plan *twoface.FaultPlan) error {
 	rs := res.TotalResilience
 	fmt.Printf("chaos: %d get retries (%d exhausted), %d degradations (%.2f MB re-fetched synchronously), %d leg retries, %.3g s backoff, %.3g s injected delay\n",
 		rs.GetRetries, rs.GetExhausted, rs.Degradations, float64(8*rs.DegradedElems)/1e6, rs.LegRetries, rs.BackoffSeconds, rs.DelaySeconds)
-	if !c.verify || !plan.Survivable() {
+	if rs.Crashes > 0 {
+		fmt.Printf("chaos: recovered %d crashed rank(s): %d checkpoints (%.3g s), %d stripes + %d panels re-executed, %.2f MB re-fetched, %.3g s recovery work\n",
+			rs.Crashes, rs.Checkpoints, rs.CheckpointSeconds, rs.RecoveredStripes, rs.RecoveredPanels,
+			float64(8*rs.RefetchedElems)/1e6, rs.RecoverySeconds)
+	}
+	if !c.verify || !(plan.Survivable() || (c.recover && plan.Recoverable(c.p))) {
 		return nil
 	}
 	twinCfg := c
@@ -449,6 +473,15 @@ func buildReport(c cli, res *twoface.Result, tracer *twoface.Tracer) *twoface.Ru
 	}
 	if c.faultPlan != "" {
 		rep.Config["fault_plan"] = c.faultPlan
+	}
+	if c.chaosCrash {
+		rep.Config["chaos_crash"] = true
+	}
+	if c.recover {
+		rep.Config["recover"] = true
+		if c.ckptEvery > 0 {
+			rep.Config["checkpoint_interval"] = c.ckptEvery
+		}
 	}
 	rep.SetRun(res.Breakdowns, res.Transfer, res.ModeledSeconds, res.Wall)
 	rep.SetResilience(res.TotalResilience)

@@ -17,6 +17,7 @@ package chaos
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -82,10 +83,15 @@ type LegFault struct {
 }
 
 // Crash kills a rank once its virtual clock (modeled NodeTime) passes At.
-// The crashed rank fails its next transfer or barrier with
+// What happens next depends on the cluster's mode. Fail-clean (the
+// default): the crashed rank fails its next transfer or barrier with
 // cluster.ErrCrashed, which aborts the whole run; peers observe
-// cluster.ErrAborted instead of hanging. A plan with crashes is never
-// survivable.
+// cluster.ErrAborted instead of hanging. Fail-recover
+// (cluster.SetRecovery, twoface-run -recover): the death becomes a
+// membership transition and the survivors re-execute the dead rank's
+// unfinished work from its last checkpoint, so the run still completes.
+// A plan with crashes is never Survivable — completing it requires
+// recovery mode; see Recoverable.
 type Crash struct {
 	Rank int     `json:"rank"`
 	At   float64 `json:"at"`
@@ -202,19 +208,60 @@ func (p *Plan) Survivable() bool {
 	return true
 }
 
+// Recoverable reports whether a fail-recover run on a cluster of the given
+// rank count completes under this plan: every multicast leg stays within the
+// retry budget (as in Survivable), and the crashes leave at least one rank
+// alive to recover the others' work. Crashes aimed at ranks outside the
+// cluster are inert and don't count. A Survivable plan is trivially
+// recoverable.
+func (p *Plan) Recoverable(ranks int) bool {
+	budget := p.Retry.Normalize().MaxAttempts
+	for _, l := range p.Legs {
+		fails := l.Fails
+		if fails == 0 {
+			fails = 1
+		}
+		if fails >= budget {
+			return false
+		}
+	}
+	crashed := map[int]bool{}
+	for _, c := range p.Crashes {
+		if c.Rank < ranks {
+			crashed[c.Rank] = true
+		}
+	}
+	return len(crashed) < ranks
+}
+
 // Parse decodes a JSON-encoded plan and validates it. Unknown fields are
-// rejected so typos in hand-written plans fail loudly.
+// rejected so typos in hand-written plans fail loudly, and decode errors
+// name the offending field or byte offset.
 func Parse(data []byte) (*Plan, error) {
 	var p Plan
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("chaos: parsing plan: %w", err)
+		return nil, fmt.Errorf("chaos: parsing plan: %w", describeJSONError(err))
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// describeJSONError rewraps encoding/json decode errors so hand-written
+// plans fail with the offending field spelled out, not just a Go type.
+func describeJSONError(err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) && typeErr.Field != "" {
+		return fmt.Errorf("field %q: want %s, got %s", typeErr.Field, typeErr.Type, typeErr.Value)
+	}
+	var synErr *json.SyntaxError
+	if errors.As(err, &synErr) {
+		return fmt.Errorf("invalid JSON at byte %d: %w", synErr.Offset, err)
+	}
+	return err
 }
 
 // LoadFile reads and validates a JSON plan file (the twoface-run

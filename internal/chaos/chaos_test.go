@@ -5,6 +5,7 @@ import (
 	"math"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"twoface/internal/cluster"
@@ -225,5 +226,96 @@ func TestRandomPlanProperties(t *testing.T) {
 	}
 	if !exhausts {
 		t.Error("RandomPlan carries no budget-exhausting get fault")
+	}
+}
+
+// TestRecoverable: a crash plan is recoverable while at least one rank
+// survives, and leg faults past the budget stay fatal either way.
+func TestRecoverable(t *testing.T) {
+	if p := (&Plan{}); !p.Recoverable(4) {
+		t.Error("healthy plan must be recoverable")
+	}
+	one := &Plan{Crashes: []Crash{{Rank: 1, At: 0.1}}}
+	if one.Survivable() {
+		t.Error("crash plan must not be survivable")
+	}
+	if !one.Recoverable(4) {
+		t.Error("single crash on 4 ranks must be recoverable")
+	}
+	// In a 1-rank cluster the rank-1 crash is out of range and inert...
+	if !one.Recoverable(1) {
+		t.Error("out-of-range crash must be inert")
+	}
+	// ...but crashing the only rank there is leaves no survivor.
+	if (&Plan{Crashes: []Crash{{Rank: 0, At: 0.1}}}).Recoverable(1) {
+		t.Error("crashing the only rank must not be recoverable")
+	}
+	// Duplicate crashes of the same rank count once; out-of-range crashes
+	// are inert (the plan-serves-a-sweep contract).
+	dup := &Plan{Crashes: []Crash{{Rank: 0, At: 0.1}, {Rank: 0, At: 0.2}, {Rank: 99, At: 0.1}}}
+	if !dup.Recoverable(2) {
+		t.Error("one distinct in-range crash on 2 ranks must be recoverable")
+	}
+	all := &Plan{Crashes: []Crash{{Rank: 0, At: 0.1}, {Rank: 1, At: 0.1}}}
+	if all.Recoverable(2) {
+		t.Error("crashing every rank must not be recoverable")
+	}
+	// Collective legs beyond the retry budget abort regardless of recovery.
+	leg := &Plan{Legs: []LegFault{{Origin: -1, Root: -1, Prob: 1, Fails: 99}}}
+	if leg.Recoverable(4) {
+		t.Error("budget-exhausting leg fault must not be recoverable")
+	}
+}
+
+// TestRandomPlanWithCrash: the crash generator appends exactly one in-range
+// recoverable crash and leaves the base plan's faults byte-identical.
+func TestRandomPlanWithCrash(t *testing.T) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		p := RandomPlanWithCrash(seed, 8)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+		if p.Survivable() {
+			t.Fatalf("seed %d: crash plan must not be survivable", seed)
+		}
+		if !p.Recoverable(8) {
+			t.Fatalf("seed %d: crash plan must be recoverable", seed)
+		}
+		if len(p.Crashes) != 1 {
+			t.Fatalf("seed %d: want 1 crash, got %d", seed, len(p.Crashes))
+		}
+		if c := p.Crashes[0]; c.Rank < 0 || c.Rank >= 8 || c.At <= 0 {
+			t.Fatalf("seed %d: crash %+v out of range", seed, c)
+		}
+		if !reflect.DeepEqual(p, RandomPlanWithCrash(seed, 8)) {
+			t.Fatalf("seed %d: RandomPlanWithCrash not deterministic", seed)
+		}
+		// Stripping the crash must recover RandomPlan exactly: the crash
+		// draws come from an independent stream.
+		base := RandomPlan(seed, 8)
+		stripped := *p
+		stripped.Crashes = nil
+		if !reflect.DeepEqual(&stripped, base) {
+			t.Fatalf("seed %d: non-crash faults diverged from RandomPlan", seed)
+		}
+	}
+}
+
+// TestParseNamesOffendingField: hand-written plan typos come back with the
+// JSON field (or byte offset) spelled out, not just a Go type name.
+func TestParseNamesOffendingField(t *testing.T) {
+	_, err := Parse([]byte(`{"seed": 1, "crashes": [{"rank": "one", "at": 0.5}]}`))
+	if err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	if !strings.Contains(err.Error(), `"crashes.rank"`) {
+		t.Errorf("error %q does not name the offending field", err)
+	}
+	_, err = Parse([]byte(`{"seed": 1,}`))
+	if err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Errorf("error %q does not give the byte offset", err)
 	}
 }

@@ -4,9 +4,11 @@ package chaos
 // deterministic in seed: a compute straggler, a network straggler, a broad
 // transient-get fault, a targeted get fault heavy enough to exhaust the
 // retry budget (exercising the degradation path), and a sprinkle of
-// delayed/failed multicast legs. No crashes and no leg can outlast the
-// retry budget, so every algorithm must complete bit-exactly under it —
+// delayed/failed multicast legs. It never emits crashes — survivable means
+// every algorithm completes bit-exactly under the plan without recovery,
 // the contract the chaos harness and scripts/chaos.sh sweep over seeds.
+// RandomPlanWithCrash is the opt-in generator that adds a recoverable
+// crash on top.
 func RandomPlan(seed uint64, p int) *Plan {
 	if p < 1 {
 		p = 1
@@ -39,4 +41,31 @@ func RandomPlan(seed uint64, p int) *Plan {
 			{Origin: -1, Root: -1, Prob: span(0.05, 0.2), Fails: 1, Delay: span(1e-6, 1e-4)},
 		},
 	}
+}
+
+// RandomPlanWithCrash is RandomPlan plus one rank crash at a random early
+// virtual time — a plan that is not Survivable but is Recoverable on any
+// cluster with at least two ranks, for exercising the fail-recover path
+// (twoface-run -chaos-crash). The crash draws come strictly after the base
+// plan's, so for any seed the non-crash faults are byte-identical to
+// RandomPlan's: a recovery run and its fail-clean twin disagree only about
+// the crash itself.
+func RandomPlanWithCrash(seed uint64, p int) *Plan {
+	plan := RandomPlan(seed, p)
+	if p < 1 {
+		p = 1
+	}
+	// An independent generator stream keyed to the crash feature: the base
+	// plan's draws stay byte-identical for every existing seed, and future
+	// edits to RandomPlan cannot shift the crash draws (or vice versa).
+	s := splitmix64(seed ^ 0xdead5eedc4a5ed00)
+	next := func() uint64 { s = splitmix64(s); return s }
+	rank := int(next() % uint64(p))
+	// Early virtual times so the crash lands inside the run even on the
+	// small scaled-down matrices the chaos sweep uses (their makespans are
+	// a few tens of microseconds); a crash time beyond the rank's runtime
+	// is simply a rank that lives, which exercises nothing.
+	at := 2e-7 + unit(next())*(8e-6-2e-7)
+	plan.Crashes = append(plan.Crashes, Crash{Rank: rank, At: at})
+	return plan
 }

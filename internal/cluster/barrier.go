@@ -5,10 +5,12 @@ import "sync"
 // barrier is a reusable (cyclic) p-party barrier. A failing rank can break
 // it, releasing all current and future waiters with the recorded error, so
 // that collective operations fail fast instead of deadlocking when a peer
-// has exited.
+// has exited. A rank that dies under crash recovery instead *leaves*:
+// the party count shrinks and the survivors' barrier completes without it.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
+	initial int
 	parties int
 	count   int
 	gen     uint64
@@ -16,7 +18,7 @@ type barrier struct {
 }
 
 func newBarrier(parties int) *barrier {
-	b := &barrier{parties: parties}
+	b := &barrier{initial: parties, parties: parties}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -41,6 +43,20 @@ func (b *barrier) wait() error {
 	return b.err
 }
 
+// leave permanently removes one party (a crashed rank under recovery). If
+// every remaining party is already waiting, the barrier generation releases
+// immediately — the departure is what completes the survivors' fence.
+func (b *barrier) leave() {
+	b.mu.Lock()
+	b.parties--
+	if b.parties > 0 && b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
 func (b *barrier) breakWith(err error) {
 	b.mu.Lock()
 	if b.err == nil {
@@ -52,6 +68,7 @@ func (b *barrier) breakWith(err error) {
 
 func (b *barrier) reset() {
 	b.mu.Lock()
+	b.parties = b.initial
 	b.count = 0
 	b.err = nil
 	b.gen++

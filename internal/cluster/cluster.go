@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -29,6 +30,25 @@ type Cluster struct {
 	barrier *barrier
 	abort   atomic.Pointer[abortError] // first failure; nil while healthy
 	log     atomic.Pointer[slog.Logger]
+
+	// Crash-recovery membership. recovery is set before Run (SetRecovery);
+	// live and deaths are guarded by memMu and describe the current run.
+	memMu    sync.Mutex
+	recovery bool
+	live     int
+	deaths   []DeathRecord
+}
+
+// DeathRecord describes one rank's crash under recovery: when it died and
+// how far its checkpoints had durably progressed. Units is the count of
+// recovery units (async stripes/batches then row panels, in the executor's
+// canonical order) whose output the last checkpoint made visible; survivors
+// re-execute everything from Units onward.
+type DeathRecord struct {
+	Rank        int
+	At          float64 // virtual time of the crash
+	Units       int     // recovery units durably checkpointed
+	Checkpoints int64   // checkpoint writes the rank completed before dying
 }
 
 // New returns a cluster of p nodes with the given network model.
@@ -68,6 +88,10 @@ func (c *Cluster) Net() NetModel { return c.net }
 // survivors. The joined per-rank errors are returned.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
 	c.abort.Store(nil)
+	c.memMu.Lock()
+	c.live = c.p
+	c.deaths = nil
+	c.memMu.Unlock()
 	errs := make([]error, c.p)
 	var wg sync.WaitGroup
 	for i := 0; i < c.p; i++ {
@@ -141,9 +165,59 @@ func (c *Cluster) Reset() {
 	}
 	c.mu.Unlock()
 	c.abort.Store(nil)
+	c.memMu.Lock()
+	c.live = c.p
+	c.deaths = nil
+	c.memMu.Unlock()
 	for _, r := range c.ranks {
 		r.resetClock()
 	}
+}
+
+// SetRecovery enables (or disables) fail-recover mode for subsequent runs:
+// a fault-plan crash becomes a membership transition that survivors recover
+// from, instead of tripping the cluster-wide abort. Call it before Run.
+func (c *Cluster) SetRecovery(on bool) {
+	c.memMu.Lock()
+	c.recovery = on
+	c.memMu.Unlock()
+}
+
+// RecoveryEnabled reports whether fail-recover mode is on.
+func (c *Cluster) RecoveryEnabled() bool {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	return c.recovery
+}
+
+// Deaths returns the crashes recorded so far in the current run, in rank
+// order. Survivors read it after a barrier: every death strictly precedes
+// the completion of the fence the dead rank left, so all survivors observe
+// the same list.
+func (c *Cluster) Deaths() []DeathRecord {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	out := make([]DeathRecord, len(c.deaths))
+	copy(out, c.deaths)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// LiveRanks returns the sorted rank IDs still alive in the current run.
+func (c *Cluster) LiveRanks() []int {
+	dead := map[int]bool{}
+	c.memMu.Lock()
+	for _, d := range c.deaths {
+		dead[d.Rank] = true
+	}
+	c.memMu.Unlock()
+	out := make([]int, 0, c.p)
+	for i := 0; i < c.p; i++ {
+		if !dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // SpanRecorder observes virtual-time activity on the cluster's ranks. Span
@@ -203,6 +277,7 @@ type Rank struct {
 	fi         FaultInjector               // cached from the cluster; nil = healthy
 	retry      RetryPolicy
 	crashAt    float64 // virtual time of fault-plan crash; +Inf = never
+	recovering bool    // charges redirect to the Recovery category
 	counters   transferCounters
 	resilience resilienceCounters
 	trace      traceBuf
@@ -250,6 +325,9 @@ func (r *Rank) charge(cat Category, op string, dt float64) float64 {
 		panic(fmt.Sprintf("cluster: negative charge %v to %v", dt, cat))
 	}
 	r.mu.Lock()
+	if r.recovering {
+		cat = Recovery
+	}
 	if r.fi != nil {
 		dt *= r.fi.ScaleCharge(r.ID, cat)
 	}
@@ -295,9 +373,77 @@ func (r *Rank) Breakdown() Breakdown {
 func (r *Rank) resetClock() {
 	r.mu.Lock()
 	r.bd = Breakdown{}
+	r.recovering = false
 	r.mu.Unlock()
 	r.counters.reset()
 	r.resilience.reset()
+}
+
+// RecoveryEnabled reports whether the cluster is in fail-recover mode.
+func (r *Rank) RecoveryEnabled() bool { return r.c.RecoveryEnabled() }
+
+// CrashTime returns this rank's fault-plan crash time (+Inf = never).
+func (r *Rank) CrashTime() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashAt
+}
+
+// Deaths returns the crashes recorded so far in the current run.
+func (r *Rank) Deaths() []DeathRecord { return r.c.Deaths() }
+
+// BeginRecovery redirects this rank's subsequent charges into the Recovery
+// category (survivor re-execution of a dead rank's work happens after the
+// fence, serial with the rank's own halves). EndRecovery restores normal
+// charging. Only the post-fence recovery phase, which is single-threaded
+// per rank, may use this.
+func (r *Rank) BeginRecovery() {
+	r.mu.Lock()
+	r.recovering = true
+	r.mu.Unlock()
+}
+
+// EndRecovery restores normal category charging after BeginRecovery.
+func (r *Rank) EndRecovery() {
+	r.mu.Lock()
+	r.recovering = false
+	r.mu.Unlock()
+}
+
+func (r *Rank) isRecovering() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovering
+}
+
+// Die records this rank's fault-plan crash as a membership transition: the
+// death is published, the rank leaves the barrier (completing any fence the
+// survivors are waiting on), and its goroutine must return nil immediately
+// after. It fails — returning an error that the caller should propagate to
+// trip the PR 3 abort path — when recovery is disabled or when this is the
+// last live rank (nobody is left to recover).
+func (r *Rank) Die(at float64, units int, checkpoints int64) error {
+	c := r.c
+	c.memMu.Lock()
+	if !c.recovery {
+		c.memMu.Unlock()
+		return fmt.Errorf("cluster: rank %d: %w (crash time %.4g, recovery disabled)", r.ID, ErrCrashed, at)
+	}
+	if c.live <= 1 {
+		c.memMu.Unlock()
+		return fmt.Errorf("cluster: rank %d: %w (crash time %.4g, no live rank left to recover)", r.ID, ErrCrashed, at)
+	}
+	c.live--
+	c.deaths = append(c.deaths, DeathRecord{Rank: r.ID, At: at, Units: units, Checkpoints: checkpoints})
+	c.memMu.Unlock()
+	r.resilience.addCrash()
+	if l := r.logger(); l != nil {
+		l.Warn("rank crashed; survivors will recover",
+			"event", "crash.recoverable", "at", at,
+			"checkpointed_units", units, "checkpoints", checkpoints)
+	}
+	c.barrier.leave()
+	return nil
 }
 
 // Barrier blocks until every rank has reached it. It returns an error if

@@ -172,25 +172,59 @@ type ResilienceStats struct {
 	BackoffSeconds float64
 	// DelaySeconds is injected straggler-leg delay absorbed by transfers.
 	DelaySeconds float64
+	// Checkpoints counts crash-recovery checkpoint writes (zero unless
+	// recovery is enabled).
+	Checkpoints int64
+	// CheckpointSeconds is virtual time spent writing checkpoints (the
+	// Breakdown.Checkpoint total).
+	CheckpointSeconds float64
+	// Crashes counts this rank's own fault-plan crashes that were absorbed
+	// as membership transitions (at most 1 per run).
+	Crashes int64
+	// RecoveredStripes counts a dead rank's async stripes/batches this rank
+	// re-executed as a recovery delegate.
+	RecoveredStripes int64
+	// RecoveredPanels counts a dead rank's sync row panels this rank
+	// re-executed as a recovery delegate.
+	RecoveredPanels int64
+	// RefetchedElems counts float64 elements re-pulled through RecoverPull
+	// to rebuild a dead rank's inputs (distinct from DegradedElems, which
+	// counts the retry-exhaustion fallback).
+	RefetchedElems int64
+	// RecoverySeconds is virtual time this rank spent re-executing dead
+	// ranks' work (the Breakdown.Recovery total).
+	RecoverySeconds float64
 }
 
 // Plus returns the field-wise sum.
 func (s ResilienceStats) Plus(o ResilienceStats) ResilienceStats {
 	return ResilienceStats{
-		GetRetries:     s.GetRetries + o.GetRetries,
-		GetExhausted:   s.GetExhausted + o.GetExhausted,
-		Degradations:   s.Degradations + o.Degradations,
-		DegradedElems:  s.DegradedElems + o.DegradedElems,
-		LegRetries:     s.LegRetries + o.LegRetries,
-		BackoffSeconds: s.BackoffSeconds + o.BackoffSeconds,
-		DelaySeconds:   s.DelaySeconds + o.DelaySeconds,
+		GetRetries:        s.GetRetries + o.GetRetries,
+		GetExhausted:      s.GetExhausted + o.GetExhausted,
+		Degradations:      s.Degradations + o.Degradations,
+		DegradedElems:     s.DegradedElems + o.DegradedElems,
+		LegRetries:        s.LegRetries + o.LegRetries,
+		BackoffSeconds:    s.BackoffSeconds + o.BackoffSeconds,
+		DelaySeconds:      s.DelaySeconds + o.DelaySeconds,
+		Checkpoints:       s.Checkpoints + o.Checkpoints,
+		CheckpointSeconds: s.CheckpointSeconds + o.CheckpointSeconds,
+		Crashes:           s.Crashes + o.Crashes,
+		RecoveredStripes:  s.RecoveredStripes + o.RecoveredStripes,
+		RecoveredPanels:   s.RecoveredPanels + o.RecoveredPanels,
+		RefetchedElems:    s.RefetchedElems + o.RefetchedElems,
+		RecoverySeconds:   s.RecoverySeconds + o.RecoverySeconds,
 	}
 }
 
-// Faulted reports whether any fault handling happened at all.
+// Faulted reports whether any fault handling happened at all. Checkpoint
+// writes count: they are recovery overhead charged to the clock even when
+// no crash fires.
 func (s ResilienceStats) Faulted() bool {
 	return s.GetRetries != 0 || s.GetExhausted != 0 || s.Degradations != 0 ||
-		s.LegRetries != 0 || s.BackoffSeconds != 0 || s.DelaySeconds != 0
+		s.LegRetries != 0 || s.BackoffSeconds != 0 || s.DelaySeconds != 0 ||
+		s.Checkpoints != 0 || s.Crashes != 0 ||
+		s.RecoveredStripes != 0 || s.RecoveredPanels != 0 ||
+		s.RefetchedElems != 0 || s.RecoverySeconds != 0
 }
 
 // resilienceCounters is the mutable holder embedded in Rank. A mutex is
@@ -234,6 +268,33 @@ func (c *resilienceCounters) addDelay(d float64) {
 	c.mu.Unlock()
 }
 
+func (c *resilienceCounters) addCheckpoints(n int64, seconds float64) {
+	c.mu.Lock()
+	c.s.Checkpoints += n
+	c.s.CheckpointSeconds += seconds
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addCrash() {
+	c.mu.Lock()
+	c.s.Crashes++
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addRecovered(stripes, panels int64, seconds float64) {
+	c.mu.Lock()
+	c.s.RecoveredStripes += stripes
+	c.s.RecoveredPanels += panels
+	c.s.RecoverySeconds += seconds
+	c.mu.Unlock()
+}
+
+func (c *resilienceCounters) addRefetched(elems int64) {
+	c.mu.Lock()
+	c.s.RefetchedElems += elems
+	c.mu.Unlock()
+}
+
 func (c *resilienceCounters) snapshot() ResilienceStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -248,6 +309,17 @@ func (c *resilienceCounters) reset() {
 
 // ResilienceStats returns a copy of this rank's fault-handling counters.
 func (r *Rank) ResilienceStats() ResilienceStats { return r.resilience.snapshot() }
+
+// CountCheckpoints records n completed checkpoint writes costing the given
+// applied virtual seconds (already charged to the Checkpoint category by
+// the executor).
+func (r *Rank) CountCheckpoints(n int64, seconds float64) { r.resilience.addCheckpoints(n, seconds) }
+
+// CountRecovered records re-executed units of a dead rank's work and the
+// applied Recovery-category seconds they cost.
+func (r *Rank) CountRecovered(stripes, panels int64, seconds float64) {
+	r.resilience.addRecovered(stripes, panels, seconds)
+}
 
 // ResilienceStats returns every rank's fault-handling counters.
 func (c *Cluster) ResilienceStats() []ResilienceStats {

@@ -89,22 +89,33 @@ type NetModel struct {
 	// keeps speedups on small, highly local matrices (queen) from growing
 	// unboundedly.
 	SetupBase float64
+	// CheckpointAlpha is the fixed per-checkpoint cost of snapshotting a
+	// rank's C-panel accumulator and progress cursors to node-local durable
+	// storage (file open, metadata sync), in seconds. Charged to the
+	// Checkpoint category only when crash recovery is enabled.
+	CheckpointAlpha float64
+	// CheckpointBeta is the per-element cost of a checkpoint write — the
+	// inverse bandwidth of streaming the C block to local NVMe (~8 GB/s for
+	// 8-byte float64 elements at the default).
+	CheckpointBeta float64
 }
 
 // Default returns the NetModel matching the paper's measured Delta
 // coefficients (Table 3 plus the thread-count conventions of Table 2).
 func Default() NetModel {
 	return NetModel{
-		AlphaS:         1.36e-6,
-		BetaS:          1.95e-10,
-		AlphaA:         1.02e-5,
-		BetaA:          3.61e-9,
-		RegionAlpha:    1.275e-6, // AlphaA/8
-		GammaCore:      1.2e-9,
-		AsyncPenalty:   4, // gamma_A = 1.2e-9 * 4 / 8 threads = 6e-10 per nnz*K
-		KappaStripe:    8.72e-9,
-		SetupPerStripe: 2e-6,
-		SetupBase:      8e-3,
+		AlphaS:          1.36e-6,
+		BetaS:           1.95e-10,
+		AlphaA:          1.02e-5,
+		BetaA:           3.61e-9,
+		RegionAlpha:     1.275e-6, // AlphaA/8
+		GammaCore:       1.2e-9,
+		AsyncPenalty:    4, // gamma_A = 1.2e-9 * 4 / 8 threads = 6e-10 per nnz*K
+		KappaStripe:     8.72e-9,
+		SetupPerStripe:  2e-6,
+		SetupBase:       8e-3,
+		CheckpointAlpha: 5e-4,
+		CheckpointBeta:  1.25e-10, // ~8 GB/s local NVMe per float64
 	}
 }
 
@@ -124,6 +135,7 @@ func (n NetModel) Scaled(f float64) NetModel {
 	n.KappaStripe /= f
 	n.SetupPerStripe /= f
 	n.SetupBase /= f
+	n.CheckpointAlpha /= f
 	return n
 }
 
@@ -189,6 +201,13 @@ func (n NetModel) OneSidedBatchCost(regions int, elems int64) float64 {
 	return n.AlphaA + n.RegionAlpha*float64(regions-1) + n.BetaA*float64(elems)
 }
 
+// CheckpointCost returns the cost of one checkpoint write covering elems
+// float64 elements of accumulator state (plus negligible progress cursors):
+// a fixed open/sync overhead and a streaming write to node-local storage.
+func (n NetModel) CheckpointCost(elems int64) float64 {
+	return n.CheckpointAlpha + n.CheckpointBeta*float64(elems)
+}
+
 // SyncComputeCost returns the cost of multiplying nnz nonzeros against K
 // dense columns with the row-major buffered kernel spread over `threads`
 // threads.
@@ -230,6 +249,16 @@ type Breakdown struct {
 	// escape hatch, for the SDDMM executor, and for every baseline, which
 	// preserves the legacy serial accounting exactly.
 	SyncOverlap float64
+	// Checkpoint is virtual time spent writing crash-recovery checkpoints
+	// of the rank's C accumulator state to node-local storage. Serial with
+	// both halves (the snapshot must be consistent, so compute is fenced
+	// while it streams out); zero unless recovery is enabled.
+	Checkpoint float64
+	// Recovery is virtual time a survivor spends re-executing a dead rank's
+	// lost work: re-fetching its inputs and recomputing its panels/stripes.
+	// It happens after the post-run fence, strictly serial with the rank's
+	// own halves; zero in fault-free and fail-clean runs.
+	Recovery float64
 }
 
 // NodeTime returns the node's modeled makespan.
@@ -239,7 +268,7 @@ func (b Breakdown) NodeTime() float64 {
 	if async > sync {
 		sync = async
 	}
-	return b.Other + sync
+	return b.Other + b.Checkpoint + b.Recovery + sync
 }
 
 // field returns the ledger slot for a category, or nil if unknown.
@@ -257,6 +286,10 @@ func (b *Breakdown) field(cat Category) *float64 {
 		return &b.Other
 	case Overlap:
 		return &b.SyncOverlap
+	case Checkpoint:
+		return &b.Checkpoint
+	case Recovery:
+		return &b.Recovery
 	}
 	return nil
 }
@@ -270,6 +303,8 @@ func (b Breakdown) Plus(o Breakdown) Breakdown {
 		AsyncComp:   b.AsyncComp + o.AsyncComp,
 		Other:       b.Other + o.Other,
 		SyncOverlap: b.SyncOverlap + o.SyncOverlap,
+		Checkpoint:  b.Checkpoint + o.Checkpoint,
+		Recovery:    b.Recovery + o.Recovery,
 	}
 }
 
@@ -286,6 +321,12 @@ const (
 	AsyncComp
 	Other
 	Overlap
+	// Checkpoint and Recovery are the fail-recover categories: checkpoint
+	// writes and survivor re-execution. Like Other they are serial with both
+	// halves, and fault injectors scale them by 1 (local storage and the
+	// recovery protocol are not subject to network stragglers).
+	Checkpoint
+	Recovery
 )
 
 // String returns the Figure 10 label of the category.
@@ -303,6 +344,10 @@ func (c Category) String() string {
 		return "Other"
 	case Overlap:
 		return "Sync Overlap"
+	case Checkpoint:
+		return "Checkpoint"
+	case Recovery:
+		return "Recovery"
 	}
 	return "Unknown"
 }

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Fail-recover primitives: rank death as a membership transition. The
+// executor-level recovery protocol is tested in internal/core; here we pin
+// the cluster mechanics it builds on — Die freeing the barrier, death
+// records, the recovery charge redirect, and the extended stats plumbing.
+
+// TestDiePublishesDeathAndFreesBarrier: in recovery mode a rank death must
+// not strand the survivors — their next barrier completes without the dead
+// rank, and the death record (crash time, checkpoint cut) is visible after
+// that fence. Subsequent barriers keep working at the reduced party count.
+func TestDiePublishesDeathAndFreesBarrier(t *testing.T) {
+	c := mustNew(t, 3)
+	c.SetRecovery(true)
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			return r.Die(0.5, 7, 2)
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		deaths := r.Deaths()
+		if len(deaths) != 1 {
+			return fmt.Errorf("rank %d: %d deaths after fence, want 1", r.ID, len(deaths))
+		}
+		d := deaths[0]
+		if d.Rank != 1 || d.At != 0.5 || d.Units != 7 || d.Checkpoints != 2 {
+			return fmt.Errorf("death record %+v", d)
+		}
+		return r.Barrier() // post-recovery fence, again without rank 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalResilience().Crashes; got != 1 {
+		t.Errorf("Crashes = %d, want 1", got)
+	}
+	live := c.LiveRanks()
+	if len(live) != 2 || live[0] != 0 || live[1] != 2 {
+		t.Errorf("LiveRanks = %v, want [0 2]", live)
+	}
+}
+
+// TestDieRefusedOutsideRecovery: without recovery mode (or with no survivor
+// left) Die must refuse with a crash error, keeping fail-clean semantics.
+func TestDieRefusedOutsideRecovery(t *testing.T) {
+	c := mustNew(t, 2)
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Die(0.1, 0, 0)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Errorf("Die without recovery: %v, want ErrCrashed", err)
+	}
+
+	solo := mustNew(t, 1)
+	solo.SetRecovery(true)
+	err = solo.Run(func(r *Rank) error { return r.Die(0.1, 0, 0) })
+	if !errors.Is(err, ErrCrashed) {
+		t.Errorf("Die of the last rank: %v, want ErrCrashed", err)
+	}
+}
+
+// TestRecoveryChargeRedirect: between BeginRecovery and EndRecovery every
+// charge lands in the Recovery category regardless of its nominal one, and
+// NodeTime counts it serially (additively).
+func TestRecoveryChargeRedirect(t *testing.T) {
+	c := mustNew(t, 1)
+	err := c.Run(func(r *Rank) error {
+		r.Charge(AsyncComm, 1.0)
+		r.BeginRecovery()
+		r.Charge(AsyncComm, 2.0)
+		r.Charge(SyncComp, 3.0)
+		r.EndRecovery()
+		r.Charge(SyncComp, 4.0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := c.Breakdowns()[0]
+	if bd.Recovery != 5.0 {
+		t.Errorf("Recovery = %v, want 5", bd.Recovery)
+	}
+	if bd.AsyncComm != 1.0 || bd.SyncComp != 4.0 {
+		t.Errorf("nominal categories polluted: %+v", bd)
+	}
+	// Recovery and Checkpoint are serial additions to NodeTime, outside the
+	// sync/async overlap max.
+	want := 5.0 + 4.0 // Recovery + max(SyncComp, AsyncComm)
+	if bd.NodeTime() != want {
+		t.Errorf("NodeTime = %v, want %v", bd.NodeTime(), want)
+	}
+}
+
+// TestCheckpointInNodeTime: Checkpoint charges extend NodeTime additively.
+func TestCheckpointInNodeTime(t *testing.T) {
+	c := mustNew(t, 1)
+	err := c.Run(func(r *Rank) error {
+		r.Charge(SyncComp, 1.0)
+		r.ChargeOp(Checkpoint, "checkpoint.write", 0.25)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := c.Breakdowns()[0]
+	if bd.Checkpoint != 0.25 || bd.NodeTime() != 1.25 {
+		t.Errorf("Checkpoint = %v, NodeTime = %v, want 0.25 and 1.25", bd.Checkpoint, bd.NodeTime())
+	}
+}
+
+// TestResilienceStatsRecoveryFields: the checkpoint/recovery counters ride
+// through Plus and trip Faulted on their own.
+func TestResilienceStatsRecoveryFields(t *testing.T) {
+	a := ResilienceStats{
+		Checkpoints: 3, CheckpointSeconds: 0.5, Crashes: 1,
+		RecoveredStripes: 10, RecoveredPanels: 4, RefetchedElems: 1000, RecoverySeconds: 2.5,
+	}
+	sum := a.Plus(a)
+	if sum.Checkpoints != 6 || sum.CheckpointSeconds != 1.0 || sum.Crashes != 2 ||
+		sum.RecoveredStripes != 20 || sum.RecoveredPanels != 8 ||
+		sum.RefetchedElems != 2000 || sum.RecoverySeconds != 5.0 {
+		t.Errorf("Plus dropped recovery fields: %+v", sum)
+	}
+	for name, rs := range map[string]ResilienceStats{
+		"checkpoints": {Checkpoints: 1},
+		"crashes":     {Crashes: 1},
+		"recovered":   {RecoveredStripes: 1},
+		"refetched":   {RefetchedElems: 1},
+	} {
+		if !rs.Faulted() {
+			t.Errorf("%s alone must count as faulted", name)
+		}
+	}
+	if (ResilienceStats{}).Faulted() {
+		t.Error("zero stats must not count as faulted")
+	}
+}
+
+// TestResetClearsDeaths: Reset returns the cluster to full membership.
+func TestResetClearsDeaths(t *testing.T) {
+	c := mustNew(t, 2)
+	c.SetRecovery(true)
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			return r.Die(0.5, 0, 0)
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if len(c.Deaths()) != 0 {
+		t.Errorf("Deaths survive Reset: %v", c.Deaths())
+	}
+	if live := c.LiveRanks(); len(live) != 2 {
+		t.Errorf("LiveRanks after Reset = %v, want both", live)
+	}
+	if err := c.Run(func(r *Rank) error { return r.Barrier() }); err != nil {
+		t.Fatalf("cluster unusable after death + Reset: %v", err)
+	}
+}

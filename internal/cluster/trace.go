@@ -21,6 +21,7 @@ const (
 	TraceAllgather TraceOp = "allgather" // allgather reception
 	TraceRetry     TraceOp = "retry"     // injected transient failure, retried
 	TraceDegrade   TraceOp = "degrade"   // one-sided get degraded to the sync path
+	TraceRecover   TraceOp = "recover"   // survivor re-fetch of a dead rank's inputs
 )
 
 // Event is one traced transfer, from the receiving rank's perspective.

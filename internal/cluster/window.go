@@ -127,7 +127,10 @@ func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float
 		// target's NIC/memory bandwidth is consumed by incoming gets. Only
 		// true one-sided traffic pays it; multicast pulls (record=false)
 		// model root-driven collectives whose cost the root already carries.
-		if f := r.c.net.TargetContention; f > 0 && target != r.ID {
+		// Recovery re-execution skips it too: post-fence charging must stay
+		// single-rank, or the charge's category on the target would depend
+		// on whether the target was still inside its own recovery phase.
+		if f := r.c.net.TargetContention; f > 0 && target != r.ID && !r.isRecovering() {
 			r.c.ranks[target].ChargeOp(AsyncComm, "get.target_contention", f*r.c.net.OneSidedCost(len(regions), n))
 		}
 	}
@@ -234,5 +237,32 @@ func (r *Rank) SyncFallbackPull(target int, name string, regions []Region, dst [
 			"event", "degrade", "target", target, "elems", n, "regions", len(regions))
 	}
 	r.trace.record(Event{Rank: r.ID, Op: TraceDegrade, Peer: target, Elems: n, Msgs: 1})
+	return n, nil
+}
+
+// RecoverPull re-fetches a dead rank's input regions over the reliable
+// collective substrate so a survivor can re-execute its lost work. It packs
+// elements exactly like GetIndexed, counts the traffic as collective, and
+// attributes the elements to ResilienceStats.RefetchedElems (not
+// Degradations — nothing degraded; this is the recovery protocol working as
+// designed). No one-sided faults apply. The caller charges the collective
+// cost to the Recovery category (normally via BeginRecovery redirection).
+func (r *Rank) RecoverPull(target int, name string, regions []Region, dst []float64) (int64, error) {
+	if err := r.failed(); err != nil {
+		return 0, err
+	}
+	n, err := r.getIndexed(target, name, regions, dst, false)
+	if err != nil {
+		return n, err
+	}
+	// Reclassify as collective traffic, like MulticastPull.
+	r.counters.addOneSided(-n, -int64(len(regions)))
+	r.counters.addCollective(n, 1)
+	r.resilience.addRefetched(n)
+	if l := r.logger(); l != nil {
+		l.Info("recovery re-fetch of dead rank inputs",
+			"event", "recover.refetch", "target", target, "elems", n, "regions", len(regions))
+	}
+	r.trace.record(Event{Rank: r.ID, Op: TraceRecover, Peer: target, Elems: n, Msgs: 1})
 	return n, nil
 }

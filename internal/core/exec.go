@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,14 @@ type ExecOptions struct {
 	// SyncOverlap credit — which keeps golden traces and A/B accounting
 	// comparisons reproducible (DESIGN.md section 9).
 	DisableOverlap bool
+
+	// CheckpointInterval is the virtual-time cadence (seconds) between
+	// crash-recovery checkpoint writes. It only takes effect when the
+	// cluster has recovery enabled (cluster.SetRecovery); <= 0 selects an
+	// automatic cadence of defaultCheckpointCadence checkpoint costs, which
+	// bounds checkpoint overhead to ~1/defaultCheckpointCadence of runtime
+	// regardless of machine scale. See DESIGN.md section 12.
+	CheckpointInterval float64
 }
 
 func (o ExecOptions) sampling() sampling {
@@ -169,6 +178,16 @@ func logRun(res *Result) {
 			"leg_retries", rs.LegRetries,
 			"backoff_s", rs.BackoffSeconds,
 		)
+		if rs.Crashes > 0 || rs.Checkpoints > 0 {
+			attrs = append(attrs,
+				"crashes", rs.Crashes,
+				"checkpoints", rs.Checkpoints,
+				"recovered_stripes", rs.RecoveredStripes,
+				"recovered_panels", rs.RecoveredPanels,
+				"refetched_elems", rs.RefetchedElems,
+				"recovery_s", rs.RecoverySeconds,
+			)
+		}
 	}
 	l.Info("run complete", attrs...)
 }
@@ -191,9 +210,10 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 	k := params.K
 	out := atomicfloat.NewSlice(int(prep.Layout.NumRows) * k)
 	caches := prep.attachRowCaches(b)
+	rec := &recoveryCoordinator{}
 	start := time.Now()
 	runErr := clu.Run(func(r *cluster.Rank) error {
-		return execNode(prep, b, r, out, opts, caches)
+		return execNode(prep, b, r, out, opts, caches, rec)
 	})
 	if runErr != nil {
 		return nil, runErr
@@ -219,8 +239,13 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 	return res, nil
 }
 
-// execNode is Algorithm 1 for one node.
-func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Slice, opts ExecOptions, caches []*rowCache) error {
+// execNode is Algorithm 1 for one node. A rank whose fault plan dooms it to
+// crash runs the serialized checkpointing variant instead, so the set of
+// units its last checkpoint covers is deterministic (see execNodeDoomed).
+func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Slice, opts ExecOptions, caches []*rowCache, rec *recoveryCoordinator) error {
+	if r.RecoveryEnabled() && !math.IsInf(r.CrashTime(), 1) {
+		return execNodeDoomed(prep, b, r, out, opts, rec)
+	}
 	layout, params := prep.Layout, prep.Params
 	net := r.Net()
 	np := &prep.Nodes[r.ID]
@@ -405,8 +430,18 @@ func execNode(prep *Prep, b *dense.Matrix, r *cluster.Rank, out *atomicfloat.Sli
 			r.ChargeOp(cluster.Overlap, "sync.overlap", ov)
 		}
 	}
+	// Checkpoint accounting for a rank that survives to the end: its cadenced
+	// snapshots happened alongside the run, charged here as one lump since
+	// nothing ever restores from them (only a doomed rank's cuts matter).
+	chargeHealthyCheckpoints(r, np, k, opts)
 	r.Instant("epilogue.flush")
-	return r.Barrier()
+	if err := r.Barrier(); err != nil {
+		return err
+	}
+	// The barrier above is the recovery fence: every doomed rank has either
+	// passed it (it outran its crash time) or left it by dying, so the death
+	// list is final and identical across survivors.
+	return runRecoveryPhase(prep, b, r, out, opts, rec)
 }
 
 // stripeGate publishes one received dense stripe to the panel workers: the
@@ -558,7 +593,7 @@ func syncTransfers(prep *Prep, r *cluster.Rank, np *NodePart, recvBufs [][]float
 // C row. The flush is the only atomic traffic: each output row takes a
 // single AddRange pass instead of one CAS loop per scalar per nonzero, and
 // all scratch comes from the worker's pooled workspace.
-func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, ws *asyncScratch, n int, skipCompute bool, smp sampling) error {
+func processAsyncStripe(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out accumSink, ws *asyncScratch, n int, skipCompute bool, smp sampling) error {
 	layout, params := prep.Layout, prep.Params
 	net := r.Net()
 	k := params.K
@@ -665,7 +700,7 @@ func makeRowResolver(prep *Prep, b *dense.Matrix, rank int, recvBufs [][]float64
 // then a table lookup plus a shared AXPY kernel, with no closure calls. It
 // returns the panel's applied SyncComp charge for the pipeline's overlap
 // accounting.
-func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, resolve rowResolver, ws *panelScratch, n int, skipCompute bool, smp sampling) (float64, error) {
+func processSyncRowPanel(prep *Prep, r *cluster.Rank, np *NodePart, out accumSink, resolve rowResolver, ws *panelScratch, n int, skipCompute bool, smp sampling) (float64, error) {
 	params := prep.Params
 	net := r.Net()
 	k := params.K

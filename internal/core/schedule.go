@@ -5,7 +5,6 @@ import (
 	"math"
 	"sync"
 
-	"twoface/internal/atomicfloat"
 	"twoface/internal/cluster"
 	"twoface/internal/dense"
 	"twoface/internal/model"
@@ -292,7 +291,7 @@ func fingerprint(data []float64) uint64 {
 // the same per-stripe AsyncComputeCost as the per-stripe path, and the same
 // SyncFallbackPull degradation — applied per batch — when the retry budget
 // runs out.
-func processAsyncBatch(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out *atomicfloat.Slice, ws *asyncScratch, bt asyncBatch, cache *rowCache, skipCompute bool, smp sampling) error {
+func processAsyncBatch(prep *Prep, b *dense.Matrix, r *cluster.Rank, np *NodePart, out accumSink, ws *asyncScratch, bt asyncBatch, cache *rowCache, skipCompute bool, smp sampling) error {
 	layout, params := prep.Layout, prep.Params
 	net := r.Net()
 	k := params.K

@@ -46,6 +46,13 @@ type Config struct {
 	// plan (compiled per node count, so one plan serves a p-sweep). Rank
 	// indices beyond a particular run's node count are inert.
 	Chaos *chaos.Plan
+	// Recover switches crashed ranks from fail-clean aborts to checkpointed
+	// fail-recover on the Two-Face executor (baselines stay fail-clean; a
+	// crash there still aborts — see DESIGN.md section 12).
+	Recover bool
+	// CheckpointInterval is the virtual-time checkpoint cadence in seconds
+	// under Recover; 0 picks the automatic ~2%-overhead cadence.
+	CheckpointInterval float64
 	// Listen, when non-empty, is the host:port of the live ops endpoint
 	// (OpenMetrics /metrics, /report, /healthz, /debug/pprof) that StartOps
 	// binds, so a long experiment sweep is scrapeable while it runs.
@@ -180,6 +187,7 @@ func (c Config) Run(algo Algo, w *Workload, k, p int) Outcome {
 		}
 		clu.SetFaultInjector(inj)
 	}
+	clu.SetRecovery(cc.Recover)
 	b := w.B(k)
 	opts := baselines.Options{Workers: cc.Workers, MemBudgetElems: cc.MemBudget(), SkipCompute: !cc.Verify}
 
@@ -226,7 +234,10 @@ func (c Config) runTwoFace(w *Workload, k, p int, clu *cluster.Cluster, force *f
 		return nil, err
 	}
 	out.Prep = &prep.Stats
-	return core.Exec(prep, w.B(k), clu, core.ExecOptions{AsyncWorkers: cc.AsyncWorkers, SyncWorkers: cc.Workers, SkipCompute: !cc.Verify})
+	return core.Exec(prep, w.B(k), clu, core.ExecOptions{
+		AsyncWorkers: cc.AsyncWorkers, SyncWorkers: cc.Workers,
+		SkipCompute: !cc.Verify, CheckpointInterval: cc.CheckpointInterval,
+	})
 }
 
 func dsFactor(a Algo) int {

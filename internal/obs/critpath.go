@@ -21,7 +21,7 @@ import (
 // the attribution reconciles with the Breakdown bit-for-bit, which is what
 // lets a regression bot trust a diff of two of these.
 
-// RankPath is one rank's slice of the critical-path attribution. The six
+// RankPath is one rank's slice of the critical-path attribution. The eight
 // ledger fields are verbatim copies of the rank's Breakdown.
 type RankPath struct {
 	Rank int `json:"rank"`
@@ -32,10 +32,13 @@ type RankPath struct {
 	AsyncComm   float64 `json:"async_comm"`
 	AsyncComp   float64 `json:"async_comp"`
 	Other       float64 `json:"other"`
+	Checkpoint  float64 `json:"checkpoint,omitempty"`
+	Recovery    float64 `json:"recovery,omitempty"`
 
 	// SyncHalf is the pipelined sync-side makespan contribution
 	// (SyncComm + SyncComp - SyncOverlap); AsyncHalf is AsyncComm +
-	// AsyncComp. NodeTime = Other + max(SyncHalf, AsyncHalf).
+	// AsyncComp. NodeTime = Other + Checkpoint + Recovery +
+	// max(SyncHalf, AsyncHalf).
 	SyncHalf  float64 `json:"sync_half"`
 	AsyncHalf float64 `json:"async_half"`
 	NodeTime  float64 `json:"node_time"`
@@ -119,6 +122,8 @@ func AnalyzeBreakdowns(bds []cluster.Breakdown) *CriticalPath {
 			AsyncComm:   bd.AsyncComm,
 			AsyncComp:   bd.AsyncComp,
 			Other:       bd.Other,
+			Checkpoint:  bd.Checkpoint,
+			Recovery:    bd.Recovery,
 			SyncHalf:    bd.SyncComm + bd.SyncComp - bd.SyncOverlap,
 			AsyncHalf:   bd.AsyncComm + bd.AsyncComp,
 			NodeTime:    bd.NodeTime(),
@@ -155,6 +160,14 @@ func dominantPhase(s RankPath) (string, float64) {
 		v    float64
 	}
 	cands := []cand{{cluster.Other.String(), s.Other}}
+	// Checkpoint and Recovery are serial with both halves, like Other, so
+	// they are candidates regardless of which half is critical.
+	if s.Checkpoint > 0 {
+		cands = append(cands, cand{cluster.Checkpoint.String(), s.Checkpoint})
+	}
+	if s.Recovery > 0 {
+		cands = append(cands, cand{cluster.Recovery.String(), s.Recovery})
+	}
 	if s.CriticalHalf != "async" { // sync or tie
 		cands = append(cands,
 			cand{cluster.SyncComm.String(), s.SyncComm},
@@ -175,9 +188,10 @@ func dominantPhase(s RankPath) (string, float64) {
 }
 
 // criticalCategories returns the ledger categories that lie on the
-// straggler's critical path (its critical half plus Other).
+// straggler's critical path (its critical half plus the serial-additive
+// Other, Checkpoint, and Recovery).
 func criticalCategories(half string) []cluster.Category {
-	cats := []cluster.Category{cluster.Other}
+	cats := []cluster.Category{cluster.Other, cluster.Checkpoint, cluster.Recovery}
 	if half != "async" {
 		cats = append(cats, cluster.SyncComm, cluster.SyncComp)
 	}
@@ -250,9 +264,21 @@ func (cp *CriticalPath) Table() string {
 		cp.DominantPhase, cp.DominantSeconds, 100*safeFrac(cp.DominantSeconds, cp.Makespan))
 	fmt.Fprintf(&sb, "barrier wait (idle behind the straggler): %.4g s total across %d ranks\n",
 		cp.TotalBarrierWait, len(cp.Ranks))
-	fmt.Fprintf(&sb, "  %4s  %10s %10s %10s %10s %10s %10s | %10s %10s %10s %10s  %s\n",
-		"rank", "SyncComm", "SyncComp", "Overlap", "AsyncComm", "AsyncComp", "Other",
-		"syncHalf", "asyncHalf", "nodeTime", "barrier", "critical")
+	// The Checkpoint/Recovery columns appear only on runs that used them,
+	// keeping fault-free tables identical to previous releases.
+	showRecov := false
+	for _, rp := range cp.Ranks {
+		if rp.Checkpoint != 0 || rp.Recovery != 0 {
+			showRecov = true
+			break
+		}
+	}
+	recovHdr, recovRow := "", ""
+	fmt.Fprintf(&sb, "  %4s  %10s %10s %10s %10s %10s %10s", "rank", "SyncComm", "SyncComp", "Overlap", "AsyncComm", "AsyncComp", "Other")
+	if showRecov {
+		recovHdr = fmt.Sprintf(" %10s %10s", "Checkpoint", "Recovery")
+	}
+	fmt.Fprintf(&sb, "%s | %10s %10s %10s %10s  %s\n", recovHdr, "syncHalf", "asyncHalf", "nodeTime", "barrier", "critical")
 	for _, rp := range cp.Ranks {
 		mark := ""
 		if rp.Critical {
@@ -260,9 +286,13 @@ func (cp *CriticalPath) Table() string {
 		} else {
 			mark = rp.CriticalHalf
 		}
-		fmt.Fprintf(&sb, "  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g %10.3g | %10.3g %10.3g %10.3g %10.3g  %s\n",
-			rp.Rank, rp.SyncComm, rp.SyncComp, rp.SyncOverlap, rp.AsyncComm, rp.AsyncComp, rp.Other,
-			rp.SyncHalf, rp.AsyncHalf, rp.NodeTime, rp.BarrierWait, mark)
+		fmt.Fprintf(&sb, "  %4d  %10.3g %10.3g %10.3g %10.3g %10.3g %10.3g",
+			rp.Rank, rp.SyncComm, rp.SyncComp, rp.SyncOverlap, rp.AsyncComm, rp.AsyncComp, rp.Other)
+		if showRecov {
+			recovRow = fmt.Sprintf(" %10.3g %10.3g", rp.Checkpoint, rp.Recovery)
+		}
+		fmt.Fprintf(&sb, "%s | %10.3g %10.3g %10.3g %10.3g  %s\n",
+			recovRow, rp.SyncHalf, rp.AsyncHalf, rp.NodeTime, rp.BarrierWait, mark)
 	}
 	if len(cp.TopOps) > 0 {
 		fmt.Fprintf(&sb, "top ops on rank %d's critical path:\n", cp.Straggler)
@@ -289,7 +319,8 @@ func (cp *CriticalPath) Reconciles(bds []cluster.Breakdown) error {
 		rp := cp.Ranks[i]
 		if rp.SyncComm != bd.SyncComm || rp.SyncComp != bd.SyncComp ||
 			rp.SyncOverlap != bd.SyncOverlap || rp.AsyncComm != bd.AsyncComm ||
-			rp.AsyncComp != bd.AsyncComp || rp.Other != bd.Other {
+			rp.AsyncComp != bd.AsyncComp || rp.Other != bd.Other ||
+			rp.Checkpoint != bd.Checkpoint || rp.Recovery != bd.Recovery {
 			return fmt.Errorf("obs: rank %d attribution diverges from its ledger", i)
 		}
 		if rp.NodeTime != bd.NodeTime() {

@@ -210,3 +210,48 @@ func TestTracerCriticalPathDropWarning(t *testing.T) {
 		t.Fatal("table does not render the warning")
 	}
 }
+
+// TestAnalyzeRecoveryFields: the Checkpoint and Recovery ledger fields ride
+// through the analysis — copied per rank, counted in the serial makespan,
+// eligible as dominant phase, guarded by Reconciles, and surfaced as Table
+// columns only when a rank actually spent time there.
+func TestAnalyzeRecoveryFields(t *testing.T) {
+	bds := []cluster.Breakdown{
+		{SyncComm: 1, SyncComp: 1, Other: 0.1, Checkpoint: 0.2, Recovery: 5},
+		{AsyncComm: 1, Other: 0.1},
+	}
+	cp := AnalyzeBreakdowns(bds)
+	if cp.Ranks[0].Checkpoint != 0.2 || cp.Ranks[0].Recovery != 5 {
+		t.Fatalf("rank 0 recovery fields not copied: %+v", cp.Ranks[0])
+	}
+	if cp.Straggler != 0 {
+		t.Fatalf("straggler = %d, want 0 (recovery-dominated)", cp.Straggler)
+	}
+	if want := 0.1 + 0.2 + 5 + 2; cp.Makespan != want {
+		t.Fatalf("makespan = %g, want %g", cp.Makespan, want)
+	}
+	if cp.DominantPhase != "Recovery" {
+		t.Fatalf("dominant phase = %q, want Recovery", cp.DominantPhase)
+	}
+	if err := cp.Reconciles(bds); err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]cluster.Breakdown(nil), bds...)
+	mutated[0].Recovery += 1e-9
+	if err := cp.Reconciles(mutated); err == nil {
+		t.Fatal("Reconciles accepted a perturbed Recovery ledger")
+	}
+	mutated = append([]cluster.Breakdown(nil), bds...)
+	mutated[0].Checkpoint += 1e-9
+	if err := cp.Reconciles(mutated); err == nil {
+		t.Fatal("Reconciles accepted a perturbed Checkpoint ledger")
+	}
+
+	if tbl := cp.Table(); !strings.Contains(tbl, "Checkpoint") || !strings.Contains(tbl, "Recovery") {
+		t.Errorf("recovery run's table lacks the new columns:\n%s", tbl)
+	}
+	healthy := AnalyzeBreakdowns([]cluster.Breakdown{{SyncComm: 1, Other: 0.1}})
+	if tbl := healthy.Table(); strings.Contains(tbl, "Checkpoint") || strings.Contains(tbl, "Recovery") {
+		t.Errorf("fault-free table grew recovery columns:\n%s", tbl)
+	}
+}

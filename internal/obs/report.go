@@ -276,4 +276,11 @@ func RecordResilience(reg *Registry, rs cluster.ResilienceStats) {
 	reg.Gauge("chaos.leg_retries").Set(float64(rs.LegRetries))
 	reg.Gauge("chaos.backoff_seconds").Set(rs.BackoffSeconds)
 	reg.Gauge("chaos.delay_seconds").Set(rs.DelaySeconds)
+	reg.Gauge("chaos.checkpoints").Set(float64(rs.Checkpoints))
+	reg.Gauge("chaos.checkpoint_seconds").Set(rs.CheckpointSeconds)
+	reg.Gauge("chaos.crashes").Set(float64(rs.Crashes))
+	reg.Gauge("chaos.recovered_stripes").Set(float64(rs.RecoveredStripes))
+	reg.Gauge("chaos.recovered_panels").Set(float64(rs.RecoveredPanels))
+	reg.Gauge("chaos.refetched_elems").Set(float64(rs.RefetchedElems))
+	reg.Gauge("chaos.recovery_seconds").Set(rs.RecoverySeconds)
 }

@@ -116,6 +116,10 @@ func breakdownOf(cat cluster.Category, dt float64) cluster.Breakdown {
 		b.AsyncComp = dt
 	case cluster.Overlap:
 		b.SyncOverlap = dt
+	case cluster.Checkpoint:
+		b.Checkpoint = dt
+	case cluster.Recovery:
+		b.Recovery = dt
 	default:
 		b.Other = dt
 	}
@@ -206,7 +210,8 @@ type ChromeTrace struct {
 
 // chromeCategories orders the per-rank tracks top-to-bottom in the viewer.
 var chromeCategories = []cluster.Category{
-	cluster.SyncComm, cluster.SyncComp, cluster.AsyncComm, cluster.AsyncComp, cluster.Other, cluster.Overlap,
+	cluster.SyncComm, cluster.SyncComp, cluster.AsyncComm, cluster.AsyncComp,
+	cluster.Other, cluster.Overlap, cluster.Checkpoint, cluster.Recovery,
 }
 
 // ChromeTrace assembles the recorded spans into a trace-event document.

@@ -180,8 +180,8 @@ func TestChromeTraceGolden(t *testing.T) {
 			t.Fatalf("event pid %d out of range", ev.Pid)
 		}
 	}
-	if meta != clu.P()*(1+6) { // process_name + six category tracks per rank
-		t.Fatalf("%d metadata events, want %d", meta, clu.P()*7)
+	if meta != clu.P()*(1+8) { // process_name + eight category tracks per rank
+		t.Fatalf("%d metadata events, want %d", meta, clu.P()*9)
 	}
 	if complete != 2*2*5 { // 2 phases x 2 ranks x 5 charges
 		t.Fatalf("%d complete events, want 20", complete)

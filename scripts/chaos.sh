@@ -6,6 +6,12 @@
 # DESIGN.md section 7 describes the fault model; RandomFaultPlan guarantees
 # every generated plan is survivable, so any failure here is a resilience bug.
 #
+# A second column sweeps the same seeds with -chaos-crash -recover (TwoFace
+# only — checkpointed recovery covers the TwoFace executor, DESIGN.md
+# section 12): the plan gains one rank crash, survivors redistribute its
+# work, and the result must still match the fault-free twin with the crash
+# actually having fired.
+#
 # Usage: scripts/chaos.sh [seeds] [matrix] [scale]
 #   seeds   how many consecutive seeds to sweep, starting at 1 (default 10)
 #   matrix  registry matrix name (default web)
@@ -31,5 +37,18 @@ for seed in $(seq 1 "$seeds"); do
         fi
         echo "seed=$seed algo=$algo OK  ${out##*$'\n'}"
     done
+    # Recovery column: same seed plus one crash, TwoFace with -recover. The
+    # run must report an actual recovery (the crash fired) and still match
+    # the fault-free twin.
+    out=$(/tmp/twoface-run-chaos -matrix "$matrix" -scale "$scale" \
+        -algo twoface -chaos-seed "$seed" -chaos-crash -recover \
+        | grep '^chaos:' || true)
+    if ! grep -q 'chaos: recovered' <<<"$out" ||
+        ! grep -Eq 'bit-exact with the fault-free run|matches the fault-free run within float tolerance' <<<"$out"; then
+        echo "FAIL seed=$seed algo=twoface (crash recovery)" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "seed=$seed algo=twoface+crash OK  $(grep 'chaos: recovered' <<<"$out")"
 done
-echo "chaos sweep: all $seeds seeds x ${#algos[@]} algorithms bit-exact"
+echo "chaos sweep: all $seeds seeds x ${#algos[@]} algorithms bit-exact (+ crash recovery)"

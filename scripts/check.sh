@@ -95,6 +95,21 @@ go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     -chaos-seed 7 >"$tmp/chaos.out"
 grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos.out"
 
+echo "== crash-recovery smoke (checkpointed fail-recover, twin bit-exactness)"
+# A mid-run crash with -recover must complete without aborting, re-execute
+# the dead rank's work on the survivors, keep C bit-identical to the
+# fault-free twin, and -explain must still reconcile the makespan with the
+# checkpoint/recovery charges included (the CLI exits non-zero otherwise).
+cat >"$tmp/crash.json" <<'EOF'
+{"seed": 7, "crashes": [{"rank": 1, "at": 3e-6}]}
+EOF
+go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface -K 64 \
+    -fault-plan "$tmp/crash.json" -recover -checkpoint-interval 1e-6 \
+    -explain >"$tmp/crash.out"
+grep -q 'chaos: recovered 1 crashed rank' "$tmp/crash.out"
+grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/crash.out"
+grep -q '^critical path: rank ' "$tmp/crash.out"
+
 echo "== async aggregation smoke (batched vs legacy one-sided path, -race)"
 go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     >"$tmp/batched.out"

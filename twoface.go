@@ -152,6 +152,16 @@ func CompareReportFiles(oldPath, newPath string) (*ReportDiff, error) {
 // twoface-bench.
 func RandomFaultPlan(seed uint64, p int) *FaultPlan { return chaos.RandomPlan(seed, p) }
 
+// RandomFaultPlanWithCrash is RandomFaultPlan plus one rank crash at a
+// random early virtual time, deterministic in seed. The result is never
+// survivable fail-clean — run it with Options.Recover (twoface-run
+// -recover) so the survivors re-execute the dead rank's work and the run
+// still completes. The non-crash faults are byte-identical to
+// RandomFaultPlan's for the same seed.
+func RandomFaultPlanWithCrash(seed uint64, p int) *FaultPlan {
+	return chaos.RandomPlanWithCrash(seed, p)
+}
+
 // LoadFaultPlan reads and validates a JSON fault plan file (the
 // twoface-run -fault-plan format).
 func LoadFaultPlan(path string) (*FaultPlan, error) { return chaos.LoadFile(path) }
