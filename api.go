@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"sync"
 
 	"twoface/internal/baselines"
 	"twoface/internal/cluster"
@@ -170,10 +171,24 @@ func (s *System) DenseColumns() int { return s.opts.DenseColumns }
 // Plan is a preprocessed sparse matrix bound to a system: the stripe
 // classification, modified-COO matrices, and multicast metadata of the
 // paper's section 5.1, reusable across many Multiply calls.
+//
+// A Plan is safe for concurrent use: Multiply, MultiplySampled, and SDDMM
+// may be called from many goroutines. Calls on one Plan serialize under an
+// internal mutex — the simulated cluster, the cross-run row cache, and the
+// pooled per-run scratch are all single-run state — so concurrency within
+// one Plan buys ordering safety, not speedup. Concurrent throughput comes
+// from multiplying across distinct Plans (each has its own cluster), which
+// is how the serving layer (internal/serve) schedules traffic.
 type Plan struct {
 	sys  *System
 	prep *core.Prep
 	clu  *cluster.Cluster
+
+	// execMu serializes executions on this plan. The cluster's virtual
+	// clocks, ledgers, and windows are reset per run, and the row cache's
+	// per-run counters and B-identity check assume one run at a time;
+	// interleaving two Execs on one cluster would corrupt both.
+	execMu sync.Mutex
 }
 
 // autoWidth applies the Table 1 rule: a power of two near cols/512, floor 8.
@@ -264,7 +279,10 @@ func (p *Plan) NumRows() int { return int(p.prep.Layout.NumRows) }
 func (p *Plan) NumCols() int { return int(p.prep.Layout.NumCols) }
 
 // Multiply executes one distributed SpMM: C = A x B with the plan's A.
+// Safe for concurrent use; concurrent calls on one Plan serialize.
 func (p *Plan) Multiply(b *DenseMatrix) (*Result, error) {
+	p.execMu.Lock()
+	defer p.execMu.Unlock()
 	return core.Exec(p.prep, b, p.clu, p.execOptions())
 }
 
@@ -274,6 +292,8 @@ func (p *Plan) Multiply(b *DenseMatrix) (*Result, error) {
 // communication schedule — which dense rows move collectively and which
 // one-sidedly — is the SpMM plan's, reused verbatim.
 func (p *Plan) SDDMM(x, y *DenseMatrix) (*SDDMMResult, error) {
+	p.execMu.Lock()
+	defer p.execMu.Unlock()
 	return core.ExecSDDMM(p.prep, x, y, p.clu, p.execOptions())
 }
 
@@ -285,7 +305,19 @@ func (p *Plan) MultiplySampled(b *DenseMatrix, keep float64, seed uint64) (*Resu
 	opts := p.execOptions()
 	opts.SampleKeep = keep
 	opts.SampleSeed = seed
+	p.execMu.Lock()
+	defer p.execMu.Unlock()
 	return core.Exec(p.prep, b, p.clu, opts)
+}
+
+// FingerprintDense returns the dense-operand identity hash used by the
+// cross-run row cache to detect B changes between runs (DESIGN.md section
+// 8): a strided 16-sample content hash that always mixes the final element.
+// The serving layer keys request coalescing on it, so two requests coalesce
+// exactly when the row cache would have treated their operands as the same
+// B. It is an identity heuristic, not a cryptographic digest.
+func FingerprintDense(b *DenseMatrix) uint64 {
+	return core.FingerprintData(b.Data)
 }
 
 // Sampled reports whether an entry of A survives the sampling mask used by

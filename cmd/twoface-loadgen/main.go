@@ -1,0 +1,776 @@
+// Command twoface-loadgen drives the serving daemon (cmd/twoface-serve) with
+// measured load and emits the serving benchmark artifacts: a closed-loop
+// throughput-vs-concurrency sweep, an open-loop fixed-QPS latency profile, a
+// saturation probe demonstrating bounded queueing plus 429 shedding, and a
+// duplicate-coalescing experiment comparing effective QPS with coalescing on
+// versus the no_coalesce baseline.
+//
+// Usage:
+//
+//	twoface-loadgen -self-host -plans web:0.05 -copies 4 -mode all \
+//	    -out BENCH_serve.json -report REPORT_serve.md
+//	twoface-loadgen -target 127.0.0.1:8080 -mode sweep -conc 1,2,4,8
+//	twoface-loadgen -target 127.0.0.1:8080 -probe-coalesce   # smoke probe
+//
+// Methodology (SNIPPETS.md section 1 discipline): every measured point runs
+// -warmup discarded runs then -runs >= 3 measurement runs; reports carry
+// P50/P95/P99, coefficient of variation, scaling efficiency against the
+// lowest concurrency, and Cohen's d effect sizes so throughput deltas ship
+// with evidence they exceed run-to-run noise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twoface"
+	"twoface/internal/harness"
+	"twoface/internal/obs"
+	"twoface/internal/serve"
+)
+
+type cli struct {
+	target        string
+	selfHost      bool
+	plans         string
+	copies        int
+	k, p          int
+	seed          uint64
+	mode          string
+	probeCoalesce bool
+
+	conc     string
+	warmup   int
+	runs     int
+	requests int
+	qps      float64
+	runDur   time.Duration
+	seeds    int
+	dupFrac  float64
+
+	maxInFlight  int
+	maxQueue     int
+	queueTimeout time.Duration
+
+	out    string
+	report string
+}
+
+func main() {
+	var c cli
+	flag.StringVar(&c.target, "target", "", "serving daemon host:port (omit with -self-host)")
+	flag.BoolVar(&c.selfHost, "self-host", false, "start an in-process server instead of targeting a daemon")
+	flag.StringVar(&c.plans, "plans", "web:0.05", "-self-host resident plans ([name=]matrix:scale,...)")
+	flag.IntVar(&c.copies, "copies", 4, "-self-host: replicate each plan spec this many times (cross-plan parallelism)")
+	flag.IntVar(&c.k, "K", 32, "-self-host dense operand columns")
+	flag.IntVar(&c.p, "p", 4, "-self-host simulated nodes per plan")
+	flag.Uint64Var(&c.seed, "seed", 42, "-self-host matrix seed")
+	flag.StringVar(&c.mode, "mode", "all", "experiment: sweep|openloop|saturate|coalesce|all")
+	flag.BoolVar(&c.probeCoalesce, "probe-coalesce", false, "smoke probe: one held leader + one duplicate, assert the follower coalesces")
+	flag.StringVar(&c.conc, "conc", "1,2,4,8,16", "closed-loop concurrency sweep levels")
+	flag.IntVar(&c.warmup, "warmup", 1, "discarded warmup runs per point")
+	flag.IntVar(&c.runs, "runs", 3, "measurement runs per point (>= 3 for effect sizes)")
+	flag.IntVar(&c.requests, "requests", 200, "requests per closed-loop run")
+	flag.Float64Var(&c.qps, "qps", 50, "open-loop arrival rate (requests/s)")
+	flag.DurationVar(&c.runDur, "run-dur", 2*time.Second, "open-loop run duration")
+	flag.IntVar(&c.seeds, "seeds", 8, "operand working-set size (distinct B seeds)")
+	flag.Float64Var(&c.dupFrac, "dup-frac", 0, "fraction of sweep requests pinned to seed 0 (duplicate pressure)")
+	flag.IntVar(&c.maxInFlight, "max-inflight", 4, "-self-host admission: concurrent executions")
+	flag.IntVar(&c.maxQueue, "max-queue", 16, "-self-host admission: queue slots")
+	flag.DurationVar(&c.queueTimeout, "queue-timeout", time.Second, "-self-host admission: max queue wait")
+	flag.StringVar(&c.out, "out", "", "append the benchmark record to this JSON trajectory (e.g. BENCH_serve.json)")
+	flag.StringVar(&c.report, "report", "", "write a markdown report to this path (e.g. REPORT_serve.md)")
+	flag.Parse()
+
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c cli) error {
+	var srv *serve.Server
+	if c.selfHost {
+		if c.target != "" {
+			return fmt.Errorf("use -target or -self-host, not both")
+		}
+		var err error
+		if srv, err = selfHost(c); err != nil {
+			return err
+		}
+		defer srv.Close()
+		c.target = srv.Addr()
+		fmt.Printf("self-hosted server on %s\n", c.target)
+	}
+	if c.target == "" {
+		return fmt.Errorf("-target or -self-host is required")
+	}
+
+	lg := &loadgen{addr: c.target, client: &http.Client{Timeout: 60 * time.Second}, srv: srv}
+	plans, err := lg.discoverPlans()
+	if err != nil {
+		return err
+	}
+	if len(plans) == 0 {
+		return fmt.Errorf("server at %s has no resident plans", c.target)
+	}
+	lg.plans = plans
+
+	if c.probeCoalesce {
+		return lg.probeCoalesce()
+	}
+	if c.runs < 1 {
+		return fmt.Errorf("-runs must be >= 1")
+	}
+
+	record := map[string]any{
+		"bench": "serve",
+		"when":  time.Now().UTC().Format(time.RFC3339),
+		"config": map[string]any{
+			"target": c.target, "self_host": c.selfHost, "plans": plans,
+			"K": c.k, "p": c.p, "warmup": c.warmup, "runs": c.runs,
+			"requests": c.requests, "seeds": c.seeds, "dup_frac": c.dupFrac,
+			"max_inflight": c.maxInFlight, "max_queue": c.maxQueue,
+			"queue_timeout_ms": c.queueTimeout.Milliseconds(),
+			"num_cpu":          runtime.NumCPU(), "go": runtime.Version(),
+		},
+	}
+	var md mdReport
+	md.title(c)
+
+	want := func(m string) bool { return c.mode == "all" || c.mode == m }
+	if want("sweep") {
+		sweep, err := lg.sweep(c)
+		if err != nil {
+			return err
+		}
+		record["sweep"] = sweep
+		md.sweep(sweep)
+	}
+	if want("openloop") {
+		ol, err := lg.openLoop(c)
+		if err != nil {
+			return err
+		}
+		record["open_loop"] = ol
+		md.openLoop(ol)
+	}
+	if want("saturate") {
+		sat, err := lg.saturate(c)
+		if err != nil {
+			return err
+		}
+		record["saturation"] = sat
+		md.saturation(sat, c)
+	}
+	if want("coalesce") {
+		co, err := lg.coalesce(c)
+		if err != nil {
+			return err
+		}
+		record["coalesce"] = co
+		md.coalesce(co)
+	}
+
+	if c.out != "" {
+		if err := obs.AppendTrajectory(c.out, record); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark record appended to %s\n", c.out)
+	}
+	if c.report != "" {
+		if err := os.WriteFile(c.report, md.bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", c.report)
+	}
+	return nil
+}
+
+// selfHost builds the resident registry in-process and serves it on a
+// loopback port, so the measured path (HTTP, admission, coalescing) is
+// identical to the daemon's while the artifact stays reproducible.
+func selfHost(c cli) (*serve.Server, error) {
+	twoface.DefaultMetrics().SetEnabled(true)
+	reg := serve.NewRegistry()
+	for _, spec := range strings.Split(c.plans, ",") {
+		spec = strings.TrimSpace(spec)
+		for i := 0; i < c.copies; i++ {
+			name := ""
+			base := spec
+			if j := strings.IndexByte(spec, '='); j >= 0 {
+				name, base = spec[:j], spec[j+1:]
+			} else {
+				name = base[:strings.IndexAny(base+":", ":")]
+			}
+			if c.copies > 1 {
+				name = fmt.Sprintf("%s%d", name, i)
+			}
+			res, err := buildResident(name, base, c, c.seed+uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			if err := reg.Add(res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	srv := serve.New(serve.Config{
+		MaxInFlight:  c.maxInFlight,
+		MaxQueue:     c.maxQueue,
+		QueueTimeout: c.queueTimeout,
+		AllowHold:    true,
+	}, reg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+func buildResident(name, spec string, c cli, seed uint64) (*serve.Resident, error) {
+	matrix, scale := spec, 0.25
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		s, err := strconv.ParseFloat(spec[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plan spec %q: bad scale", spec)
+		}
+		matrix, scale = spec[:i], s
+	}
+	sys, err := twoface.New(twoface.Options{Nodes: c.p, DenseColumns: c.k})
+	if err != nil {
+		return nil, err
+	}
+	a := twoface.Generate(matrix, scale, seed)
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess %s: %w", spec, err)
+	}
+	return &serve.Resident{Name: name, Plan: pl, K: c.k, Source: fmt.Sprintf("%s:%g", matrix, scale)}, nil
+}
+
+// loadgen is one client against one serving endpoint.
+type loadgen struct {
+	addr   string
+	client *http.Client
+	plans  []string
+	srv    *serve.Server // non-nil in self-host mode
+}
+
+func (lg *loadgen) discoverPlans() ([]string, error) {
+	resp, err := lg.client.Get("http://" + lg.addr + "/v1/plans")
+	if err != nil {
+		return nil, fmt.Errorf("discovering plans: %w", err)
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// outcome is one request's client-side observation.
+type outcome struct {
+	status    int
+	latencyMS float64
+	coalesced bool
+}
+
+// post issues one seed-addressed multiply.
+func (lg *loadgen) post(plan string, seed uint64, holdMS, queueTimeoutMS int, noCoalesce bool) (outcome, error) {
+	body := map[string]any{"plan": plan, "seed": seed}
+	if holdMS > 0 {
+		body["hold_ms"] = holdMS
+	}
+	if queueTimeoutMS > 0 {
+		body["queue_timeout_ms"] = queueTimeoutMS
+	}
+	if noCoalesce {
+		body["no_coalesce"] = true
+	}
+	buf, _ := json.Marshal(body)
+	start := time.Now()
+	resp, err := lg.client.Post("http://"+lg.addr+"/v1/multiply", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return outcome{}, err
+	}
+	defer resp.Body.Close()
+	o := outcome{status: resp.StatusCode, latencyMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if resp.StatusCode == http.StatusOK {
+		var mr struct {
+			Coalesced bool `json:"coalesced"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			return o, err
+		}
+		o.coalesced = mr.Coalesced
+	}
+	return o, nil
+}
+
+// runClosed runs one closed-loop trial: conc workers share a budget of
+// total requests, each looping pick-plan → pick-seed → post.
+func (lg *loadgen) runClosed(conc, total, seeds int, dupFrac float64, noCoalesce bool) (qps float64, lat []float64, shed, coalesced int, err error) {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	lat = make([]float64, 0, total)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				plan := lg.plans[i%len(lg.plans)]
+				seed := uint64(i % seeds)
+				if dupFrac > 0 && float64(i%100) < dupFrac*100 {
+					seed = 0
+					plan = lg.plans[0]
+				}
+				o, err := lg.post(plan, seed, 0, 0, noCoalesce)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstEr == nil {
+						firstEr = err
+					}
+				case o.status == http.StatusOK:
+					lat = append(lat, o.latencyMS)
+					if o.coalesced {
+						coalesced++
+					}
+				case o.status == http.StatusTooManyRequests:
+					shed++
+				default:
+					if firstEr == nil {
+						firstEr = fmt.Errorf("unexpected status %d", o.status)
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return 0, nil, 0, 0, firstEr
+	}
+	wall := time.Since(start).Seconds()
+	return float64(len(lat)) / wall, lat, shed, coalesced, nil
+}
+
+// sweepPoint is one concurrency level of the closed-loop sweep.
+type sweepPoint struct {
+	Conc              int             `json:"conc"`
+	RunQPS            []float64       `json:"run_qps"`
+	QPSMean           float64         `json:"qps_mean"`
+	QPSCV             float64         `json:"qps_cv"`
+	Latency           harness.Summary `json:"latency_ms"`
+	ScalingEfficiency float64         `json:"scaling_efficiency"`
+	CohenDVsPrev      *float64        `json:"cohen_d_vs_prev,omitempty"`
+	Shed              int             `json:"shed"`
+	Coalesced         int             `json:"coalesced"`
+}
+
+func (lg *loadgen) sweep(c cli) ([]sweepPoint, error) {
+	levels, err := parseConc(c.conc)
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	var prevQPS []float64
+	baseConc, baseQPS := 0, 0.0
+	for _, conc := range levels {
+		for i := 0; i < c.warmup; i++ {
+			if _, _, _, _, err := lg.runClosed(conc, c.requests, c.seeds, c.dupFrac, false); err != nil {
+				return nil, fmt.Errorf("conc %d warmup: %w", conc, err)
+			}
+		}
+		pt := sweepPoint{Conc: conc}
+		var allLat []float64
+		for i := 0; i < c.runs; i++ {
+			qps, lat, shed, coal, err := lg.runClosed(conc, c.requests, c.seeds, c.dupFrac, false)
+			if err != nil {
+				return nil, fmt.Errorf("conc %d run %d: %w", conc, i, err)
+			}
+			pt.RunQPS = append(pt.RunQPS, qps)
+			allLat = append(allLat, lat...)
+			pt.Shed += shed
+			pt.Coalesced += coal
+		}
+		pt.QPSMean, _ = harness.MeanStd(pt.RunQPS)
+		pt.QPSCV = harness.CV(pt.RunQPS)
+		pt.Latency = harness.Summarize(allLat)
+		if baseConc == 0 {
+			baseConc, baseQPS = conc, pt.QPSMean
+		}
+		pt.ScalingEfficiency = harness.ScalingEfficiency(baseConc, baseQPS, conc, pt.QPSMean)
+		if prevQPS != nil {
+			pt.CohenDVsPrev = fin(harness.CohenD(pt.RunQPS, prevQPS))
+		}
+		prevQPS = pt.RunQPS
+		fmt.Printf("sweep conc=%-3d qps=%.1f (cv %.1f%%)  p50=%.2fms p95=%.2fms p99=%.2fms  eff=%.2f shed=%d\n",
+			conc, pt.QPSMean, 100*pt.QPSCV, pt.Latency.P50, pt.Latency.P95, pt.Latency.P99, pt.ScalingEfficiency, pt.Shed)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// openLoopResult is the fixed-rate latency profile.
+type openLoopResult struct {
+	TargetQPS   float64         `json:"target_qps"`
+	AchievedQPS float64         `json:"achieved_qps"`
+	Latency     harness.Summary `json:"latency_ms"`
+	Shed        int             `json:"shed"`
+	Runs        int             `json:"runs"`
+}
+
+// openLoop fires requests at a fixed arrival rate regardless of completions
+// (open-loop load, no coordinated omission) and profiles response latency.
+func (lg *loadgen) openLoop(c cli) (*openLoopResult, error) {
+	if c.qps <= 0 {
+		return nil, fmt.Errorf("-qps must be > 0 for open-loop mode")
+	}
+	interval := time.Duration(float64(time.Second) / c.qps)
+	res := &openLoopResult{TargetQPS: c.qps, Runs: c.runs}
+	var allLat []float64
+	for run := 0; run < c.warmup+c.runs; run++ {
+		measured := run >= c.warmup
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		tick := time.NewTicker(interval)
+		deadline := time.Now().Add(c.runDur)
+		i := 0
+		for time.Now().Before(deadline) {
+			<-tick.C
+			i++
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				plan := lg.plans[i%len(lg.plans)]
+				o, err := lg.post(plan, uint64(i%c.seeds), 0, 0, false)
+				if !measured || err != nil {
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if o.status == http.StatusOK {
+					allLat = append(allLat, o.latencyMS)
+				} else if o.status == http.StatusTooManyRequests {
+					res.Shed++
+				}
+			}(i)
+		}
+		tick.Stop()
+		wg.Wait()
+	}
+	res.Latency = harness.Summarize(allLat)
+	res.AchievedQPS = float64(len(allLat)) / (float64(c.runs) * c.runDur.Seconds())
+	fmt.Printf("open-loop target=%.0f qps achieved=%.1f qps  p50=%.2fms p95=%.2fms p99=%.2fms shed=%d\n",
+		res.TargetQPS, res.AchievedQPS, res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Shed)
+	return res, nil
+}
+
+// saturationResult demonstrates overload behavior: bounded queueing and 429
+// shedding instead of collapse.
+type saturationResult struct {
+	Conc           int             `json:"conc"`
+	Requests       int             `json:"requests"`
+	Completed      int             `json:"completed"`
+	Shed           int             `json:"shed"`
+	QPS            float64         `json:"qps"`
+	Latency        harness.Summary `json:"latency_ms"`
+	QueueHighWater int64           `json:"queue_high_water,omitempty"`
+	RetryAfterSeen bool            `json:"retry_after_seen"`
+}
+
+func (lg *loadgen) saturate(c cli) (*saturationResult, error) {
+	conc := 8 * c.maxInFlight
+	if conc < 32 {
+		conc = 32
+	}
+	// Short per-request queue deadline: overload resolves as shedding, not
+	// as every request waiting out the full server timeout.
+	res := &saturationResult{Conc: conc, Requests: c.requests * 2}
+	var (
+		mu     sync.Mutex
+		allLat []float64
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= res.Requests {
+					return
+				}
+				// hold_ms pins the service time so overload does not depend
+				// on scheduler luck; servers without -allow-hold ignore it
+				// and shed only under real load.
+				plan := lg.plans[i%len(lg.plans)]
+				req, _ := json.Marshal(map[string]any{
+					"plan": plan, "seed": uint64(i % c.seeds),
+					"no_coalesce": true, "queue_timeout_ms": 300, "hold_ms": 20,
+				})
+				t0 := time.Now()
+				resp, err := lg.client.Post("http://"+lg.addr+"/v1/multiply", "application/json", bytes.NewReader(req))
+				if err != nil {
+					continue
+				}
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				ra := resp.Header.Get("Retry-After")
+				code := resp.StatusCode
+				resp.Body.Close()
+				mu.Lock()
+				switch code {
+				case http.StatusOK:
+					res.Completed++
+					allLat = append(allLat, lat)
+				case http.StatusTooManyRequests:
+					res.Shed++
+					if ra != "" {
+						res.RetryAfterSeen = true
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.QPS = float64(res.Completed) / time.Since(start).Seconds()
+	res.Latency = harness.Summarize(allLat)
+	if lg.srv != nil {
+		res.QueueHighWater = lg.srv.QueueHighWater()
+	}
+	fmt.Printf("saturate conc=%d: %d completed (%.1f qps), %d shed with 429 (retry-after %v), queue high-water %d\n",
+		res.Conc, res.Completed, res.QPS, res.Shed, res.RetryAfterSeen, res.QueueHighWater)
+	if res.Shed == 0 {
+		return nil, fmt.Errorf("saturation at conc %d shed nothing — admission limits not exercised", conc)
+	}
+	return res, nil
+}
+
+// coalesceResult compares duplicate-heavy traffic with coalescing against
+// the no_coalesce baseline.
+type coalesceResult struct {
+	Conc           int       `json:"conc"`
+	CoalescedQPS   []float64 `json:"coalesced_run_qps"`
+	UncoalescedQPS []float64 `json:"uncoalesced_run_qps"`
+	Speedup        float64   `json:"speedup"`
+	CohenD         *float64  `json:"cohen_d,omitempty"`
+	CoalescedFrac  float64   `json:"coalesced_frac"`
+}
+
+// coalesce hammers one plan with one operand from many workers — the
+// worst-case duplicate storm — and measures effective QPS with coalescing
+// on and off. Duplicates of an in-flight execution ride along for free, so
+// the coalesced arm should multiply effective throughput.
+func (lg *loadgen) coalesce(c cli) (*coalesceResult, error) {
+	conc := 8
+	res := &coalesceResult{Conc: conc}
+	var coalescedHits, served int
+	for arm := 0; arm < 2; arm++ {
+		noCoalesce := arm == 1
+		for i := 0; i < c.warmup; i++ {
+			if _, _, _, _, err := lg.runClosed(conc, c.requests, 1, 1, noCoalesce); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < c.runs; i++ {
+			qps, lat, shed, coal, err := lg.runClosed(conc, c.requests, 1, 1, noCoalesce)
+			if err != nil {
+				return nil, err
+			}
+			_ = shed
+			if noCoalesce {
+				res.UncoalescedQPS = append(res.UncoalescedQPS, qps)
+			} else {
+				res.CoalescedQPS = append(res.CoalescedQPS, qps)
+				coalescedHits += coal
+				served += len(lat)
+			}
+		}
+	}
+	cm, _ := harness.MeanStd(res.CoalescedQPS)
+	um, _ := harness.MeanStd(res.UncoalescedQPS)
+	res.Speedup = cm / um
+	res.CohenD = fin(harness.CohenD(res.CoalescedQPS, res.UncoalescedQPS))
+	if served > 0 {
+		res.CoalescedFrac = float64(coalescedHits) / float64(served)
+	}
+	d := math.NaN()
+	if res.CohenD != nil {
+		d = *res.CohenD
+	}
+	fmt.Printf("coalesce conc=%d: %.1f qps coalesced vs %.1f qps uncoalesced — %.2fx (d=%.1f, %.0f%% of responses coalesced)\n",
+		conc, cm, um, res.Speedup, d, 100*res.CoalescedFrac)
+	return res, nil
+}
+
+// probeCoalesce is the check.sh smoke: hold one leader in flight, send an
+// identical duplicate, and assert the duplicate coalesced onto the leader.
+// Requires the server to run with -allow-hold.
+func (lg *loadgen) probeCoalesce() error {
+	plan := lg.plans[0]
+	type res struct {
+		o   outcome
+		err error
+	}
+	leadCh := make(chan res, 1)
+	go func() {
+		o, err := lg.post(plan, 12345, 500, 0, false)
+		leadCh <- res{o, err}
+	}()
+	time.Sleep(150 * time.Millisecond) // leader is inside its hold window
+	follower, err := lg.post(plan, 12345, 0, 0, false)
+	if err != nil {
+		return fmt.Errorf("follower request: %w", err)
+	}
+	lead := <-leadCh
+	if lead.err != nil {
+		return fmt.Errorf("leader request: %w", lead.err)
+	}
+	if lead.o.status != http.StatusOK || follower.status != http.StatusOK {
+		return fmt.Errorf("probe statuses: leader %d, follower %d", lead.o.status, follower.status)
+	}
+	if lead.o.coalesced {
+		return fmt.Errorf("leader marked coalesced")
+	}
+	if !follower.coalesced {
+		return fmt.Errorf("follower did not coalesce onto the held leader (is the server running with -allow-hold?)")
+	}
+	fmt.Println("coalesce probe: leader executed, duplicate coalesced — OK")
+	return nil
+}
+
+// fin returns &v when v is finite, nil otherwise — JSON has no encoding for
+// NaN or Inf, so non-finite statistics are omitted rather than crashing the
+// marshal.
+func fin(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func parseConc(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -conc entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-conc is empty")
+	}
+	return out, nil
+}
+
+// mdReport accumulates the REPORT_serve.md markdown.
+type mdReport struct {
+	sb strings.Builder
+}
+
+func (m *mdReport) bytes() []byte { return []byte(m.sb.String()) }
+
+func (m *mdReport) title(c cli) {
+	fmt.Fprintf(&m.sb, "# Serving benchmark\n\n")
+	fmt.Fprintf(&m.sb, "Generated by `twoface-loadgen` on %s.\n\n", time.Now().UTC().Format("2006-01-02"))
+	fmt.Fprintf(&m.sb, "Configuration: plans=%s ×%d copies, K=%d, p=%d nodes/plan; admission max-inflight=%d, "+
+		"max-queue=%d, queue-timeout=%s; host has %d CPU core(s) (%s). Methodology: %d warmup run(s) discarded, "+
+		"%d measurement runs per point, %d requests per closed-loop run, %d-seed operand working set.\n\n",
+		c.plans, c.copies, c.k, c.p, c.maxInFlight, c.maxQueue, c.queueTimeout,
+		runtime.NumCPU(), runtime.Version(), c.warmup, c.runs, c.requests, c.seeds)
+}
+
+func (m *mdReport) sweep(points []sweepPoint) {
+	fmt.Fprintf(&m.sb, "## Throughput vs concurrency (closed loop)\n\n")
+	fmt.Fprintf(&m.sb, "| conc | QPS (mean) | CV | P50 ms | P95 ms | P99 ms | scaling eff | d vs prev | shed | coalesced |\n")
+	fmt.Fprintf(&m.sb, "|-----:|-----------:|---:|-------:|-------:|-------:|------------:|----------:|-----:|----------:|\n")
+	for _, p := range points {
+		d := "—"
+		if p.CohenDVsPrev != nil {
+			d = fmt.Sprintf("%.1f", *p.CohenDVsPrev)
+		}
+		fmt.Fprintf(&m.sb, "| %d | %.1f | %.1f%% | %.2f | %.2f | %.2f | %.2f | %s | %d | %d |\n",
+			p.Conc, p.QPSMean, 100*p.QPSCV, p.Latency.P50, p.Latency.P95, p.Latency.P99,
+			p.ScalingEfficiency, d, p.Shed, p.Coalesced)
+	}
+	fmt.Fprintf(&m.sb, "\nScaling efficiency is measured against linear scaling from the first level. "+
+		"The throughput ceiling is min(resident plans, max-inflight, host cores): one plan executes one "+
+		"multiply at a time, admission bounds concurrent executions, and the multiply itself is CPU-bound. "+
+		"On a host where cores are the binding constraint, throughput holds flat as concurrency rises "+
+		"(latency grows linearly, the queue absorbs the excess) rather than collapsing — the bounded-capacity "+
+		"behavior the admission layer exists to provide.\n\n")
+}
+
+func (m *mdReport) openLoop(ol *openLoopResult) {
+	fmt.Fprintf(&m.sb, "## Open-loop latency at fixed arrival rate\n\n")
+	fmt.Fprintf(&m.sb, "Target %.0f req/s (arrivals independent of completions — no coordinated omission): "+
+		"achieved %.1f req/s served, P50 %.2f ms, P95 %.2f ms, P99 %.2f ms, %d shed.\n\n",
+		ol.TargetQPS, ol.AchievedQPS, ol.Latency.P50, ol.Latency.P95, ol.Latency.P99, ol.Shed)
+}
+
+func (m *mdReport) saturation(sat *saturationResult, c cli) {
+	fmt.Fprintf(&m.sb, "## Saturation: bounded queue + load shedding\n\n")
+	fmt.Fprintf(&m.sb, "%d closed-loop workers against max-inflight=%d, max-queue=%d: %d requests completed "+
+		"(%.1f QPS, P99 %.2f ms), %d shed with HTTP 429", sat.Conc, c.maxInFlight, c.maxQueue,
+		sat.Completed, sat.QPS, sat.Latency.P99, sat.Shed)
+	if sat.RetryAfterSeen {
+		fmt.Fprintf(&m.sb, " (Retry-After present)")
+	}
+	if sat.QueueHighWater > 0 {
+		fmt.Fprintf(&m.sb, "; the admission queue never exceeded %d entries (bound %d)", sat.QueueHighWater, c.maxQueue)
+	}
+	fmt.Fprintf(&m.sb, ". Overload resolves as fast, explicit shedding — served latency stays bounded instead of "+
+		"the backlog growing without limit.\n\n")
+}
+
+func (m *mdReport) coalesce(co *coalesceResult) {
+	cm, _ := harness.MeanStd(co.CoalescedQPS)
+	um, _ := harness.MeanStd(co.UncoalescedQPS)
+	d := math.NaN()
+	if co.CohenD != nil {
+		d = *co.CohenD
+	}
+	fmt.Fprintf(&m.sb, "## Duplicate coalescing\n\n")
+	fmt.Fprintf(&m.sb, "%d workers hammering one plan with one operand (worst-case duplicate storm): "+
+		"%.1f effective QPS with coalescing vs %.1f QPS with `no_coalesce` — **%.2f× effective throughput** "+
+		"(Cohen's d %.1f; %.0f%% of coalesced-arm responses rode an in-flight leader). Coalesced duplicates "+
+		"share the leader's execution without consuming admission slots; the `no_coalesce` arm executes every "+
+		"duplicate and serializes on the plan.\n",
+		co.Conc, cm, um, co.Speedup, d, 100*co.CoalescedFrac)
+}

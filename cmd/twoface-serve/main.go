@@ -1,0 +1,204 @@
+// Command twoface-serve is the resident-plan serving daemon: it preprocesses
+// a set of matrices once at startup, holds the resulting plans in memory, and
+// serves multiply requests over HTTP with bounded admission control and
+// duplicate coalescing (internal/serve, DESIGN.md section 13).
+//
+// Usage:
+//
+//	twoface-serve -plans web:0.25,stokes:0.1 -K 128 -p 8 -listen :8080
+//	twoface-serve -plans fast=web:0.05 -max-inflight 8 -max-queue 256
+//	twoface-serve -plans saved=plan.tfp -K 64
+//
+// Each -plans entry is [name=]matrix:scale (a generator spec) or
+// [name=]path.tfp (a saved preprocessing plan); the name defaults to the
+// matrix name or the file basename. Endpoints:
+//
+//	POST /v1/multiply    run one multiply (JSON body, or octet-stream B)
+//	GET  /v1/plans       list resident plans
+//	GET  /metrics        OpenMetrics exposition (serve.* counters included)
+//	GET  /healthz        liveness + status (serving / draining)
+//
+// SIGTERM/SIGINT starts a graceful drain: queued requests are completed or
+// refused with 503, in-flight multiplies finish, and the process exits 0
+// once the HTTP layer is idle (or after -drain-timeout, whichever first).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"twoface"
+	"twoface/internal/serve"
+)
+
+type cli struct {
+	listen   string
+	plans    string
+	k, p     int
+	syncW    int
+	asyncW   int
+	seed     uint64
+	forceGen bool
+	allowFMA bool
+
+	maxInFlight  int
+	maxQueue     int
+	queueTimeout time.Duration
+	maxBytes     int64
+	maxBodyBytes int64
+	drainTimeout time.Duration
+	allowHold    bool
+	logLevel     string
+	logJSON      bool
+}
+
+func main() {
+	var c cli
+	flag.StringVar(&c.listen, "listen", ":8080", "listen address (host:port; :0 picks a free port)")
+	flag.StringVar(&c.plans, "plans", "", "resident plans: comma-separated [name=]matrix:scale or [name=]path.tfp")
+	flag.IntVar(&c.k, "K", 128, "dense operand columns")
+	flag.IntVar(&c.p, "p", 8, "simulated nodes per plan")
+	flag.IntVar(&c.syncW, "sync-workers", 4, "goroutines per node on the collective path (wall-clock only)")
+	flag.IntVar(&c.asyncW, "async-workers", 2, "goroutines per node draining the one-sided queue (wall-clock only)")
+	flag.Uint64Var(&c.seed, "seed", 42, "seed for generated matrices")
+	flag.BoolVar(&c.forceGen, "force-generic", false, "pin compute kernels to the portable pure-Go loops")
+	flag.BoolVar(&c.allowFMA, "allow-fma", false, "opt compute kernels into fused multiply-add assembly")
+	flag.IntVar(&c.maxInFlight, "max-inflight", 4, "concurrent multiply executions")
+	flag.IntVar(&c.maxQueue, "max-queue", 64, "requests waiting for a slot before shedding with 429")
+	flag.DurationVar(&c.queueTimeout, "queue-timeout", 2*time.Second, "max time a request waits for a slot")
+	flag.Int64Var(&c.maxBytes, "max-inflight-bytes", 1<<30, "operand byte budget across executing+queued requests (-1 disables)")
+	flag.Int64Var(&c.maxBodyBytes, "max-body-bytes", 256<<20, "max bytes in one request body")
+	flag.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "max time to drain on SIGTERM before cutting stragglers")
+	flag.BoolVar(&c.allowHold, "allow-hold", false, "honor the hold_ms request field (load-testing aid)")
+	flag.StringVar(&c.logLevel, "log-level", "info", "structured logging to stderr: debug|info|warn|error (empty = off)")
+	flag.BoolVar(&c.logJSON, "log-json", false, "emit log records as JSON lines")
+	flag.Parse()
+
+	if err := run(c); err != nil {
+		fmt.Fprintln(os.Stderr, "twoface-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c cli) error {
+	if c.plans == "" {
+		return fmt.Errorf("-plans is required (e.g. -plans web:0.25,stokes:0.1)")
+	}
+	logger, _, err := twoface.SetupLogging("twoface-serve", c.logLevel, c.logJSON)
+	if err != nil {
+		return err
+	}
+	twoface.DefaultMetrics().SetEnabled(true)
+
+	reg := serve.NewRegistry()
+	for _, spec := range strings.Split(c.plans, ",") {
+		res, err := buildResident(strings.TrimSpace(spec), c)
+		if err != nil {
+			return err
+		}
+		if err := reg.Add(res); err != nil {
+			return err
+		}
+		st := res.Plan.Stats()
+		fmt.Printf("plan %q: %s — %dx%d, %d nonzeros, %d sync / %d async stripes, prep %.2fs\n",
+			res.Name, res.Source, res.Plan.NumRows(), res.Plan.NumCols(),
+			st.TotalNNZ, st.SyncStripes, st.AsyncStripes, st.WallSeconds)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:      c.maxInFlight,
+		MaxQueue:         c.maxQueue,
+		QueueTimeout:     c.queueTimeout,
+		MaxInFlightBytes: c.maxBytes,
+		MaxBodyBytes:     c.maxBodyBytes,
+		AllowHold:        c.allowHold,
+		Logger:           logger,
+	}, reg)
+	if err := srv.Start(c.listen); err != nil {
+		return err
+	}
+	fmt.Printf("serving on http://%s (/v1/multiply, /v1/plans, /metrics, /healthz)\n", srv.Addr())
+	logger.Info("serving", "addr", srv.Addr(), "plans", reg.Names(),
+		"max_inflight", c.maxInFlight, "max_queue", c.maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	fmt.Printf("%s: draining (up to %v)\n", got, c.drainTimeout)
+	logger.Info("draining", "signal", got.String(), "timeout", c.drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Println("drained; exiting cleanly")
+	return nil
+}
+
+// buildResident turns one -plans entry into a preprocessed resident plan.
+// Each resident gets its own System so plans execute independently.
+func buildResident(spec string, c cli) (*serve.Resident, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("empty -plans entry")
+	}
+	name := ""
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		name, spec = spec[:i], spec[i+1:]
+	}
+	sys, err := twoface.New(twoface.Options{
+		Nodes: c.p, DenseColumns: c.k,
+		Workers: c.syncW, AsyncWorkers: c.asyncW,
+		ForceGenericKernels: c.forceGen, AllowFMA: c.allowFMA,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if strings.HasSuffix(spec, ".tfp") {
+		pl, err := sys.LoadPlan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("plan %q: %w", spec, err)
+		}
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(spec), ".tfp")
+		}
+		return &serve.Resident{Name: name, Plan: pl, K: c.k, Source: spec}, nil
+	}
+
+	matrix, scale := spec, 0.25
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 {
+		s, err := strconv.ParseFloat(spec[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plan spec %q: bad scale %q", spec, spec[i+1:])
+		}
+		matrix, scale = spec[:i], s
+	}
+	known := false
+	for _, m := range twoface.Matrices() {
+		if m == matrix {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown matrix %q (have %v)", matrix, twoface.Matrices())
+	}
+	a := twoface.Generate(matrix, scale, c.seed)
+	pl, err := sys.Preprocess(a)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess %s: %w", spec, err)
+	}
+	if name == "" {
+		name = matrix
+	}
+	return &serve.Resident{Name: name, Plan: pl, K: c.k, Source: fmt.Sprintf("%s:%g", matrix, scale)}, nil
+}

@@ -1,0 +1,132 @@
+package twoface_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"twoface"
+)
+
+// TestConcurrentMultiplyOnOnePlan hammers a single Plan from many goroutines
+// with a mix of dense operands. The Plan contract says concurrent Multiply
+// calls serialize internally; under -race this test is the proof that the
+// shared cluster state, the cross-run row cache (which the mixed operands
+// keep invalidating), and the pooled scratch survive the traffic, and every
+// call must still return the exact reference product for its own B.
+func TestConcurrentMultiplyOnOnePlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency hammer is not a -short test")
+	}
+	a := twoface.Generate("web", 0.05, 7)
+	sys, err := twoface.New(twoface.Options{Nodes: 4, DenseColumns: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three operands: repeats of one B exercise the row-cache hit path,
+	// switches between them exercise invalidation mid-hammer.
+	const nOperands = 3
+	bs := make([]*twoface.DenseMatrix, nOperands)
+	want := make([]*twoface.DenseMatrix, nOperands)
+	for i := range bs {
+		bs[i] = twoface.RandomDense(plan.NumCols(), sys.DenseColumns(), uint64(100+i))
+		want[i], err = twoface.Reference(a, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				bi := (g + it) % nOperands
+				res, err := plan.Multiply(bs[bi])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %v", g, it, err)
+					return
+				}
+				if !res.C.AlmostEqual(want[bi], 1e-9) {
+					errs <- fmt.Errorf("goroutine %d iter %d: C does not match the reference for operand %d", g, it, bi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMixedExecKinds interleaves Multiply, MultiplySampled, and
+// SDDMM on one Plan from separate goroutines — the three entry points share
+// the cluster, so all of them must take the same serialization.
+func TestConcurrentMixedExecKinds(t *testing.T) {
+	a := twoface.Generate("web", 0.05, 11)
+	sys, err := twoface.New(twoface.Options{Nodes: 4, DenseColumns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Preprocess(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := twoface.RandomDense(plan.NumCols(), 8, 21)
+	x := twoface.RandomDense(plan.NumRows(), 8, 22)
+	y := twoface.RandomDense(plan.NumCols(), 8, 23)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		if _, err := plan.Multiply(b); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := plan.MultiplySampled(b, 0.5, 9); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := plan.SDDMM(x, y); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFingerprintDense pins the coalescing-key contract: identical contents
+// agree, any single-element mutation — including the tail, which the strided
+// sampler would otherwise miss — changes the fingerprint.
+func TestFingerprintDense(t *testing.T) {
+	b1 := twoface.RandomDense(64, 8, 1)
+	b2 := twoface.RandomDense(64, 8, 1)
+	if twoface.FingerprintDense(b1) != twoface.FingerprintDense(b2) {
+		t.Fatal("identical operands fingerprint differently")
+	}
+	fp := twoface.FingerprintDense(b1)
+	b1.Data[len(b1.Data)-1] += 1
+	if twoface.FingerprintDense(b1) == fp {
+		t.Fatal("tail mutation did not change the fingerprint")
+	}
+}

@@ -257,6 +257,13 @@ func (p *Prep) attachRowCaches(b *dense.Matrix) []*rowCache {
 	return p.rowCaches
 }
 
+// FingerprintData exposes the dense-operand identity hash that keys the
+// cross-run row cache (DESIGN.md section 8). The serving layer reuses it as
+// the request-coalescing key, so "same B" means exactly the same thing to
+// the coalescer as it does to the cache — coalesced traffic and row-cache
+// hits are two views of one identity.
+func FingerprintData(data []float64) uint64 { return fingerprint(data) }
+
 // fingerprint hashes 16 strided samples of the buffer plus its final
 // element — a cheap guard against callers mutating B in place between runs
 // on one Plan. The last element is always mixed: the strided loop rarely

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -28,6 +29,13 @@ type Server struct {
 	status string
 	ln     net.Listener
 	srv    *http.Server
+	extra  []route
+}
+
+// route is one caller-registered handler (see Handle).
+type route struct {
+	pattern string
+	handler http.Handler
 }
 
 // NewServer returns a server exposing reg. A nil reg uses the process-wide
@@ -56,9 +64,26 @@ func (s *Server) SetStatus(status string) {
 	s.mu.Unlock()
 }
 
-// Handler returns the ops mux: /metrics, /report, /healthz, /debug/pprof/*.
+// Handle registers an additional handler on the ops mux, so a daemon can
+// mount its own routes (e.g. /v1/multiply) next to the observability
+// endpoints and share one listener, one Start, and one graceful Shutdown.
+// Call before Start; patterns follow http.ServeMux rules and must not
+// collide with the built-in ops routes.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extra = append(s.extra, route{pattern: pattern, handler: handler})
+}
+
+// Handler returns the ops mux: /metrics, /report, /healthz, /debug/pprof/*,
+// plus any caller-registered routes (see Handle).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.mu.Lock()
+	for _, rt := range s.extra {
+		mux.Handle(rt.pattern, rt.handler)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -129,7 +154,8 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Safe to call without a prior Start.
+// Close stops the server immediately, dropping in-flight requests. Safe to
+// call without a prior Start. Long-lived daemons should prefer Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	srv := s.srv
@@ -139,6 +165,29 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes first (no new
+// connections), then in-flight handlers run to completion, bounded by ctx —
+// when ctx expires the remaining connections are closed hard and ctx's error
+// is returned. This is the stop path a long-lived daemon wants on SIGTERM;
+// the original Close drops in-flight scrapes and multiplies on the floor.
+// Safe to call without a prior Start, and at most once per Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown abandons lingering connections when ctx expires; close
+		// them so the process does not leak their goroutines.
+		_ = srv.Close()
+	}
+	return err
 }
 
 // Serve is the one-call form used by the CLIs: start an ops server for the

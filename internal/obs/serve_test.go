@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // get fetches path from the server and returns status, content type, body.
@@ -94,6 +96,118 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if err := s.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+}
+
+// TestServerShutdownDrains proves the graceful-stop contract a long-lived
+// daemon relies on: an in-flight handler runs to completion while Shutdown
+// waits, the response arrives intact, and once Shutdown returns the listener
+// is gone. A second Shutdown (and one without a Start) is a no-op.
+func TestServerShutdownDrains(t *testing.T) {
+	s := NewServer(NewRegistry())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	}))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned before the in-flight handler finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request = %q, %v; want it drained intact", r.body, r.err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := NewServer(nil).Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown without Start: %v", err)
+	}
+}
+
+// TestServerShutdownDeadline: when the drain context expires first, Shutdown
+// gives up, reports the context error, and hard-closes the straggler so its
+// goroutine cannot leak.
+func TestServerShutdownDeadline(t *testing.T) {
+	s := NewServer(NewRegistry())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	s.Handle("/stuck", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil despite a stuck handler")
+	}
+}
+
+// TestServerHandle mounts an extra route and checks it coexists with the
+// built-in ops endpoints on one mux.
+func TestServerHandle(t *testing.T) {
+	s := NewServer(NewRegistry())
+	s.Handle("/v1/echo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "echo")
+	}))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _, body := get(t, s, "/v1/echo"); code != http.StatusOK || body != "echo" {
+		t.Fatalf("/v1/echo = %d %q", code, body)
+	}
+	if code, _, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatalf("ops route lost after Handle: %d", code)
 	}
 }
 

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: the daemon accepts at most MaxInFlight concurrent
+// multiplies and queues at most MaxQueue more, each with a deadline. Beyond
+// that it sheds load — 429 with Retry-After — instead of letting latency
+// collapse under an unbounded backlog. A memory cap rides along: the dense
+// operands of executing and queued requests may not exceed MaxInFlightBytes,
+// so a burst of huge operands sheds even when slots remain.
+
+// Admission failure modes, mapped onto HTTP statuses by the handler.
+var (
+	// ErrOverloaded: the wait queue (or the in-flight byte budget) is full.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrQueueDeadline: the request sat in the admission queue past its
+	// deadline without a slot freeing up.
+	ErrQueueDeadline = errors.New("serve: queue deadline exceeded")
+	// ErrDraining: the server is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: draining, not accepting work")
+	// ErrClientGone: the client disconnected while queued.
+	ErrClientGone = errors.New("serve: client disconnected while queued")
+)
+
+// admission is the bounded slot-and-queue gate in front of the executor
+// pool.
+type admission struct {
+	slots        chan struct{} // capacity MaxInFlight
+	maxQueue     int64
+	maxBytes     int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	bytes    atomic.Int64
+	maxDepth atomic.Int64 // high-water queue depth, for the saturation test
+
+	drain     chan struct{} // closed by startDrain
+	draining  atomic.Bool
+	drainOnce atomic.Bool
+}
+
+func newAdmission(maxInFlight, maxQueue int, maxBytes int64, queueTimeout time.Duration) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = 2 * time.Second
+	}
+	return &admission{
+		slots:        make(chan struct{}, maxInFlight),
+		maxQueue:     int64(maxQueue),
+		maxBytes:     maxBytes,
+		queueTimeout: queueTimeout,
+		drain:        make(chan struct{}),
+	}
+}
+
+// startDrain flips the gate shut: future acquires fail with ErrDraining and
+// every queued waiter is woken to fail the same way. In-flight work is
+// unaffected — it holds its slot until release.
+func (a *admission) startDrain() {
+	if a.drainOnce.CompareAndSwap(false, true) {
+		a.draining.Store(true)
+		close(a.drain)
+	}
+}
+
+// acquire claims an execution slot for a request carrying `bytes` of dense
+// operand, waiting in the bounded queue up to the smaller of the configured
+// queue timeout and `deadline` (0 means no per-request override). On success
+// the returned release func must be called exactly once. On failure it
+// returns one of the admission errors above.
+func (a *admission) acquire(ctx context.Context, bytes int64, deadline time.Duration) (release func(), err error) {
+	if a.draining.Load() {
+		return nil, ErrDraining
+	}
+	if a.maxBytes > 0 && bytes > 0 {
+		if a.bytes.Add(bytes) > a.maxBytes {
+			a.bytes.Add(-bytes)
+			return nil, ErrOverloaded
+		}
+	} else {
+		bytes = 0
+	}
+	undoBytes := func() {
+		if bytes > 0 {
+			a.bytes.Add(-bytes)
+		}
+	}
+	grant := func() func() {
+		in := a.inflight.Add(1)
+		metricInflight.Set(float64(in))
+		var done atomic.Bool
+		return func() {
+			if !done.CompareAndSwap(false, true) {
+				return
+			}
+			undoBytes()
+			metricInflight.Set(float64(a.inflight.Add(-1)))
+			<-a.slots
+		}
+	}
+
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return grant(), nil
+	default:
+	}
+
+	// Queue, bounded. The depth gauge tracks the post-increment depth; the
+	// high-water mark is what the saturation harness asserts stays bounded.
+	q := a.queued.Add(1)
+	if q > a.maxQueue {
+		a.queued.Add(-1)
+		undoBytes()
+		return nil, ErrOverloaded
+	}
+	metricQueueDepth.Set(float64(q))
+	for {
+		hw := a.maxDepth.Load()
+		if q <= hw || a.maxDepth.CompareAndSwap(hw, q) {
+			break
+		}
+	}
+	defer func() {
+		metricQueueDepth.Set(float64(a.queued.Add(-1)))
+	}()
+
+	wait := a.queueTimeout
+	if deadline > 0 && deadline < wait {
+		wait = deadline
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return grant(), nil
+	case <-timer.C:
+		undoBytes()
+		return nil, ErrQueueDeadline
+	case <-a.drain:
+		undoBytes()
+		return nil, ErrDraining
+	case <-ctx.Done():
+		undoBytes()
+		return nil, ErrClientGone
+	}
+}
+
+// QueueHighWater reports the maximum queue depth observed since start.
+func (a *admission) QueueHighWater() int64 { return a.maxDepth.Load() }

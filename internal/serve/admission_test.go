@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"twoface/internal/obs"
+)
+
+// TestAdmissionFastPath: free slots admit without queueing, and release
+// returns them.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 4, 0, time.Second)
+	r1, err := a.acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r1() // double release is a no-op, not a corrupted slot count
+	r2()
+	for i := 0; i < 2; i++ {
+		r, err := a.acquire(context.Background(), 0, 0)
+		if err != nil {
+			t.Fatalf("slot %d after release: %v", i, err)
+		}
+		defer r()
+	}
+}
+
+// TestAdmissionOverload: with slots and queue full, acquire sheds
+// immediately with ErrOverloaded instead of blocking.
+func TestAdmissionOverload(t *testing.T) {
+	a := newAdmission(1, 1, 0, time.Minute)
+	rel, err := a.acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// One queued waiter fills the queue.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(context.Background(), 0, 0)
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+	// The next request finds queue full.
+	if _, err := a.acquire(context.Background(), 0, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+	a.startDrain()
+	if err := <-queued; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter woke with %v, want ErrDraining", err)
+	}
+}
+
+// TestAdmissionQueueDeadlineOrdering: two requests queue behind a held slot
+// with different deadlines. The short-deadline one expires and is shed even
+// though a slot frees up later; the long-deadline one — queued after it —
+// still acquires. Expiry removes the loser from the queue accounting.
+func TestAdmissionQueueDeadlineOrdering(t *testing.T) {
+	a := newAdmission(1, 4, 0, time.Minute)
+	rel, err := a.acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shortErr := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(context.Background(), 0, 30*time.Millisecond)
+		shortErr <- err
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+	longErr := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(context.Background(), 0, 10*time.Second)
+		if err == nil {
+			defer r()
+		}
+		longErr <- err
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 2 })
+
+	if err := <-shortErr; !errors.Is(err, ErrQueueDeadline) {
+		t.Fatalf("short-deadline waiter = %v, want ErrQueueDeadline", err)
+	}
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+	rel() // now the slot frees: only the surviving waiter may take it
+	if err := <-longErr; err != nil {
+		t.Fatalf("long-deadline waiter = %v, want success after release", err)
+	}
+	if a.QueueHighWater() != 2 {
+		t.Fatalf("queue high water = %d, want 2", a.QueueHighWater())
+	}
+}
+
+// TestAdmissionClientGone: a queued waiter whose request context dies is
+// released with ErrClientGone.
+func TestAdmissionClientGone(t *testing.T) {
+	a := newAdmission(1, 4, 0, time.Minute)
+	rel, err := a.acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, 0, 0)
+		got <- err
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, ErrClientGone) {
+		t.Fatalf("cancelled waiter = %v, want ErrClientGone", err)
+	}
+}
+
+// TestAdmissionByteBudget: the operand byte budget sheds oversized traffic
+// even with free slots, and releases reclaim the budget.
+func TestAdmissionByteBudget(t *testing.T) {
+	a := newAdmission(4, 4, 100, time.Second)
+	rel, err := a.acquire(context.Background(), 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.acquire(context.Background(), 30, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget acquire = %v, want ErrOverloaded", err)
+	}
+	rel()
+	rel2, err := a.acquire(context.Background(), 30, 0)
+	if err != nil {
+		t.Fatalf("post-release acquire = %v", err)
+	}
+	rel2()
+	if got := a.bytes.Load(); got != 0 {
+		t.Fatalf("byte budget leaked: %d", got)
+	}
+}
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func init() { obs.Default.SetEnabled(true) }

@@ -1,0 +1,77 @@
+package serve
+
+import "sync"
+
+// Request coalescing: concurrent multiplies of the same (plan, B) pair are
+// one unit of work. The first request in becomes the leader and executes;
+// identical requests arriving while it is in flight become followers and
+// wait on the leader's outcome — result and error alike — without consuming
+// an admission slot. The key reuses the executor's cross-run B-identity
+// fingerprint (core.FingerprintData, DESIGN.md section 8), so "identical"
+// means precisely what the row cache means by "same B": coalescing collapses
+// concurrent duplicates, the row cache accelerates sequential ones, and the
+// metrics keep the two distinguishable (serve.coalesced vs
+// serve.rowcache.hits).
+
+// flightKey identifies one unit of multiply work.
+type flightKey struct {
+	plan  string
+	fp    uint64 // FingerprintDense of the operand
+	elems int    // operand length, guarding fingerprint collisions across shapes
+}
+
+// flight is one in-progress execution plus everyone waiting on it. The
+// leader writes res/err and then closes done; followers read only after
+// <-done, which is the happens-before edge.
+type flight struct {
+	done chan struct{}
+	res  *execOutcome
+	err  error
+
+	followers int64 // guarded by the coalescer mutex until done closes
+}
+
+// coalescer tracks in-flight executions by key.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[flightKey]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: map[flightKey]*flight{}}
+}
+
+// join returns the flight for key and whether the caller is its leader. A
+// leader must eventually call settle exactly once.
+func (c *coalescer) join(key flightKey) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		f.followers++
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
+}
+
+// settle publishes the leader's outcome to every follower and retires the
+// key. Removal precedes publication: a duplicate arriving after settle
+// starts a fresh flight rather than receiving a stale result, and every
+// follower that joined before removal observes exactly this outcome —
+// including the error path, so a shed or failed leader sheds or fails its
+// whole cohort.
+func (c *coalescer) settle(key flightKey, f *flight, res *execOutcome, err error) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// followerCount reports how many followers shared the flight; call only
+// after the flight settled (the count is frozen once the key is removed...
+// and new joins are impossible).
+func (f *flight) followerCount() int64 {
+	return f.followers
+}

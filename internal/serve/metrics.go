@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+
+	"twoface/internal/obs"
+)
+
+// Serving metrics, registered on the process-wide registry so the PR 7 ops
+// endpoint (/metrics OpenMetrics exposition, /report snapshots) and the slog
+// layer cover the daemon for free. The request-outcome counters partition:
+// every request that passes parsing lands in exactly one of completed, shed
+// (429), drained (503), or failed (500 / client gone), so
+//
+//	serve.requests == serve.completed + serve.shed + serve.drained + serve.failed
+//
+// holds at every quiescent instant — the identity the serving tests assert.
+// serve.coalesced counts follower requests that shared a leader's execution
+// (they still land in an outcome bucket); serve.exec counts actual
+// Plan.Multiply runs, so requests - exec bounds the work coalescing and
+// shedding saved. Row-cache hit counters come from the executor's own
+// Result, keeping "coalesced" and "row-cache hit" distinguishable: the
+// former never entered the executor, the latter did and skipped refetching.
+var (
+	metricRequests    = obs.Default.Counter("serve.requests")
+	metricBadRequests = obs.Default.Counter("serve.bad_requests")
+	metricCompleted   = obs.Default.Counter("serve.completed")
+	metricShed        = obs.Default.Counter("serve.shed")
+	metricDrained     = obs.Default.Counter("serve.drained")
+	metricFailed      = obs.Default.Counter("serve.failed")
+	metricCoalesced   = obs.Default.Counter("serve.coalesced")
+	metricExecs       = obs.Default.Counter("serve.exec")
+
+	metricInflight   = obs.Default.Gauge("serve.inflight")
+	metricQueueDepth = obs.Default.Gauge("serve.queue.depth")
+
+	metricLatency   = obs.Default.Histogram("serve.latency_seconds", obs.ExpBuckets(1e-4, 2, 20))
+	metricQueueWait = obs.Default.Histogram("serve.queue_seconds", obs.ExpBuckets(1e-5, 2, 20))
+	metricExecTime  = obs.Default.Histogram("serve.exec_seconds", obs.ExpBuckets(1e-4, 2, 20))
+
+	metricRowCacheHits   = obs.Default.Counter("serve.rowcache.hits")
+	metricRowCacheMisses = obs.Default.Counter("serve.rowcache.misses")
+)
+
+// planMetrics are the per-plan counters, registered lazily on first traffic.
+type planMetrics struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+var (
+	planMetricsMu sync.Mutex
+	planMetricsBy = map[string]*planMetrics{}
+	tenantCounter = map[string]*obs.Counter{}
+)
+
+// metricsForPlan returns (registering on first use) the counters for one
+// resident plan.
+func metricsForPlan(name string) *planMetrics {
+	planMetricsMu.Lock()
+	defer planMetricsMu.Unlock()
+	if pm, ok := planMetricsBy[name]; ok {
+		return pm
+	}
+	slug := metricSlug(name)
+	pm := &planMetrics{
+		requests: obs.Default.Counter("serve.plan." + slug + ".requests"),
+		latency:  obs.Default.Histogram("serve.plan."+slug+".latency_seconds", obs.ExpBuckets(1e-4, 2, 20)),
+	}
+	planMetricsBy[name] = pm
+	return pm
+}
+
+// tenantRequests returns the per-tenant request counter.
+func tenantRequests(tenant string) *obs.Counter {
+	planMetricsMu.Lock()
+	defer planMetricsMu.Unlock()
+	if c, ok := tenantCounter[tenant]; ok {
+		return c
+	}
+	c := obs.Default.Counter("serve.tenant." + metricSlug(tenant) + ".requests")
+	tenantCounter[tenant] = c
+	return c
+}
+
+// metricSlug maps an arbitrary plan/tenant name onto the exposition-safe
+// charset: lowercase alphanumerics with underscores.
+func metricSlug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "default"
+	}
+	return b.String()
+}

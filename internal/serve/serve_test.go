@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"twoface"
+	"twoface/internal/obs"
+)
+
+// Shared test fixture: two small resident plans, preprocessed once. The
+// matrices differ so cross-plan traffic is distinguishable; reference
+// products pin correctness.
+var (
+	fixtureOnce sync.Once
+	fixtureReg  *Registry
+	fixtureRef  map[string]map[uint64]*twoface.DenseMatrix // plan -> seed -> A x B(seed)
+)
+
+const fixtureK = 8
+
+func fixture(t *testing.T) *Registry {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureReg = NewRegistry()
+		fixtureRef = map[string]map[uint64]*twoface.DenseMatrix{}
+		for i, name := range []string{"alpha", "beta"} {
+			a := twoface.Generate("web", 0.04, uint64(7+i))
+			sys, err := twoface.New(twoface.Options{Nodes: 2, DenseColumns: fixtureK})
+			if err != nil {
+				panic(err)
+			}
+			plan, err := sys.Preprocess(a)
+			if err != nil {
+				panic(err)
+			}
+			if err := fixtureReg.Add(&Resident{Name: name, Plan: plan, K: fixtureK, Source: "web:0.04"}); err != nil {
+				panic(err)
+			}
+			fixtureRef[name] = map[uint64]*twoface.DenseMatrix{}
+			for _, seed := range []uint64{1, 2} {
+				b := twoface.RandomDense(plan.NumCols(), fixtureK, seed)
+				want, err := twoface.Reference(a, b)
+				if err != nil {
+					panic(err)
+				}
+				fixtureRef[name][seed] = want
+			}
+		}
+	})
+	return fixtureReg
+}
+
+// startServer boots a server over the fixture registry with a clean metrics
+// slate and tears it down with the test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	obs.Default.Reset()
+	s := New(cfg, fixture(t))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// postJSON sends one multiply request and decodes the reply.
+func postJSON(t *testing.T, addr string, req MultiplyRequest) (int, http.Header, *MultiplyResponse, string) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+"/v1/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/multiply: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, resp.Header, nil, string(raw)
+	}
+	var mr MultiplyResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatalf("bad multiply response %q: %v", raw, err)
+	}
+	return resp.StatusCode, resp.Header, &mr, string(raw)
+}
+
+func seedReq(plan string, seed uint64) MultiplyRequest {
+	s := seed
+	return MultiplyRequest{Plan: plan, Seed: &s}
+}
+
+// TestMultiplyEndToEnd: a seed-addressed multiply returns the exact
+// reference product (checksum and, with include_c, the full C), and a
+// repeat of the same operand reuses the cross-run row cache.
+func TestMultiplyEndToEnd(t *testing.T) {
+	s := startServer(t, Config{})
+	req := seedReq("alpha", 1)
+	req.IncludeC = true
+	code, _, mr, raw := postJSON(t, s.Addr(), req)
+	if code != http.StatusOK {
+		t.Fatalf("multiply = %d: %s", code, raw)
+	}
+	want := fixtureRef["alpha"][1]
+	if mr.Rows != want.Rows || mr.K != want.Cols || len(mr.C) != len(want.Data) {
+		t.Fatalf("result shape %dx%d (%d elems), want %dx%d", mr.Rows, mr.K, len(mr.C), want.Rows, want.Cols)
+	}
+	for i, v := range mr.C {
+		if math.Abs(v-want.Data[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %g, want %g", i, v, want.Data[i])
+		}
+	}
+	got := &twoface.DenseMatrix{Rows: mr.Rows, Cols: mr.K, Data: mr.C}
+	if mr.Checksum != twoface.FingerprintDense(got) {
+		t.Fatalf("checksum %d does not fingerprint the returned C", mr.Checksum)
+	}
+	if mr.Coalesced {
+		t.Fatal("lone request marked coalesced")
+	}
+
+	// Same operand again: sequential duplicate → row-cache hits, not
+	// coalescing.
+	_, _, mr2, _ := postJSON(t, s.Addr(), seedReq("alpha", 1))
+	if mr2.Checksum != mr.Checksum {
+		t.Fatal("repeat request returned a different product")
+	}
+	if mr2.Coalesced {
+		t.Fatal("sequential duplicate must not be coalesced")
+	}
+	if mr2.RowCacheHits == 0 {
+		t.Fatal("repeat multiply on the same operand saw no row-cache hits")
+	}
+	if metricCoalesced.Value() != 0 {
+		t.Fatal("sequential traffic bumped the coalesce counter")
+	}
+}
+
+// TestBinaryOperand: the octet-stream encoding runs the same multiply as
+// the JSON seed addressing of the identical operand.
+func TestBinaryOperand(t *testing.T) {
+	s := startServer(t, Config{})
+	code, _, viaSeed, raw0 := postJSON(t, s.Addr(), seedReq("beta", 2))
+	if code != http.StatusOK {
+		t.Fatalf("seed-mode multiply = %d: %s", code, raw0)
+	}
+	res := fixture(t).Get("beta")
+	b := twoface.RandomDense(res.Plan.NumCols(), fixtureK, 2)
+	raw := make([]byte, 8*len(b.Data))
+	for i, v := range b.Data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	resp, err := http.Post("http://"+s.Addr()+"/v1/multiply?plan=beta", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary multiply = %d: %s", resp.StatusCode, body)
+	}
+	var mr MultiplyResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Checksum != viaSeed.Checksum {
+		t.Fatalf("binary multiply checksum %d, seed-mode checksum %d", mr.Checksum, viaSeed.Checksum)
+	}
+
+	// Truncated payload → 400, not a crash or a hung slot.
+	resp2, err := http.Post("http://"+s.Addr()+"/v1/multiply?plan=beta", "application/octet-stream", bytes.NewReader(raw[:16]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated binary operand = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestRequestValidation walks the 4xx surface.
+func TestRequestValidation(t *testing.T) {
+	s := startServer(t, Config{})
+	cases := []struct {
+		name string
+		req  MultiplyRequest
+		code int
+	}{
+		{"missing plan", MultiplyRequest{}, http.StatusBadRequest},
+		{"unknown plan", seedReq("nope", 1), http.StatusNotFound},
+		{"missing operand", MultiplyRequest{Plan: "alpha"}, http.StatusBadRequest},
+		{"wrong length", MultiplyRequest{Plan: "alpha", B: []float64{1, 2, 3}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, _, _, body := postJSON(t, s.Addr(), tc.req); code != tc.code {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, code, tc.code, body)
+		}
+	}
+	if metricRequests.Value() != 0 {
+		t.Fatalf("4xx traffic entered the outcome accounting: requests=%d", metricRequests.Value())
+	}
+	if metricBadRequests.Value() == 0 {
+		t.Fatal("bad requests went uncounted")
+	}
+	// GET is not a multiply.
+	resp, err := http.Get("http://" + s.Addr() + "/v1/multiply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/multiply = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPlansEndpoint lists the residents with their dimensions.
+func TestPlansEndpoint(t *testing.T) {
+	s := startServer(t, Config{})
+	resp, err := http.Get("http://" + s.Addr() + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []PlanInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("plans = %+v", infos)
+	}
+	if infos[0].K != fixtureK || infos[0].Rows == 0 || infos[0].Prep.TotalNNZ == 0 {
+		t.Fatalf("plan info incomplete: %+v", infos[0])
+	}
+}
+
+// TestCoalescing: two concurrent identical requests run one execution; the
+// follower's response carries the leader's result and the coalesced mark.
+// Metrics separate the two (coalesced=1, exec=1, completed=2).
+func TestCoalescing(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true})
+
+	leader := seedReq("alpha", 1)
+	leader.HoldMillis = 500
+	type result struct {
+		mr   *MultiplyResponse
+		code int
+	}
+	leadCh := make(chan result, 1)
+	go func() {
+		code, _, mr, _ := postJSON(t, s.Addr(), leader)
+		leadCh <- result{mr, code}
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // leader is inside its hold window
+
+	code, _, follower, raw := postJSON(t, s.Addr(), seedReq("alpha", 1))
+	if code != http.StatusOK {
+		t.Fatalf("follower = %d: %s", code, raw)
+	}
+	lead := <-leadCh
+	if lead.code != http.StatusOK {
+		t.Fatalf("leader = %d", lead.code)
+	}
+	if lead.mr.Coalesced {
+		t.Fatal("leader marked coalesced")
+	}
+	if !follower.Coalesced {
+		t.Fatal("follower not marked coalesced")
+	}
+	if follower.Checksum != lead.mr.Checksum {
+		t.Fatal("follower got a different product than its leader")
+	}
+	if got := metricExecs.Value(); got != 1 {
+		t.Fatalf("exec count = %d, want 1 (coalesced)", got)
+	}
+	if got := metricCoalesced.Value(); got != 1 {
+		t.Fatalf("coalesced count = %d, want 1", got)
+	}
+	checkOutcomeIdentity(t)
+
+	// A no_coalesce duplicate while another hold is in flight executes on
+	// its own.
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), leader)
+		leadCh <- result{nil, code}
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 3 })
+	time.Sleep(20 * time.Millisecond)
+	solo := seedReq("alpha", 1)
+	solo.NoCoalesce = true
+	if code, _, mr, _ := postJSON(t, s.Addr(), solo); code != http.StatusOK || mr.Coalesced {
+		t.Fatalf("no_coalesce duplicate: code=%d coalesced=%v", code, mr != nil && mr.Coalesced)
+	}
+	<-leadCh
+	if got := metricCoalesced.Value(); got != 1 {
+		t.Fatalf("no_coalesce request coalesced anyway (count %d)", got)
+	}
+}
+
+// TestCoalescedFollowerSeesLeaderError: with the lone slot blocked, a
+// leader whose queue deadline expires sheds — and its follower sheds with
+// it, observing the leader's error rather than hanging or executing.
+func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4})
+
+	blocker := seedReq("beta", 2)
+	blocker.HoldMillis = 1500
+	blockCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), blocker)
+		blockCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+
+	leader := seedReq("alpha", 1)
+	leader.QueueTimeoutMillis = 300
+	leadCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), leader)
+		leadCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 2 })
+	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+
+	fCode, fHdr, _, fBody := postJSON(t, s.Addr(), seedReq("alpha", 1))
+	lCode := <-leadCh
+	if lCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-deadline leader = %d, want 429", lCode)
+	}
+	if fCode != http.StatusTooManyRequests {
+		t.Fatalf("follower of shed leader = %d, want 429 (%s)", fCode, fBody)
+	}
+	if fHdr.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if code := <-blockCh; code != http.StatusOK {
+		t.Fatalf("blocker = %d", code)
+	}
+	if got := metricShed.Value(); got != 2 {
+		t.Fatalf("shed count = %d, want 2 (leader + follower)", got)
+	}
+	if got := metricExecs.Value(); got != 1 {
+		t.Fatalf("exec count = %d, want 1 (only the blocker ran)", got)
+	}
+	checkOutcomeIdentity(t)
+}
+
+// TestSaturationSheds: a burst far beyond capacity sheds with 429 instead
+// of building an unbounded backlog; the queue's high-water mark respects
+// MaxQueue, successes stay correct, and the outcome counters partition the
+// traffic exactly.
+func TestSaturationSheds(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 2, QueueTimeout: 5 * time.Second})
+	const burst = 12
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := seedReq("alpha", uint64(i)) // distinct operands: no coalescing
+			req.NoCoalesce = true
+			req.HoldMillis = 100
+			code, _, mr, _ := postJSON(t, s.Addr(), req)
+			codes[i] = code
+			if code == http.StatusOK && mr.Checksum == 0 {
+				t.Errorf("request %d: zero checksum on success", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d in saturation burst", c)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("saturation burst shed nothing")
+	}
+	if ok < 3 { // the slot holder plus the two queued
+		t.Fatalf("only %d requests completed, want >= 3", ok)
+	}
+	if hw := s.QueueHighWater(); hw > 2 {
+		t.Fatalf("queue high water %d exceeds MaxQueue 2", hw)
+	}
+	if int(metricCompleted.Value()) != ok || int(metricShed.Value()) != shed {
+		t.Fatalf("metrics disagree with observed outcomes: completed=%d/%d shed=%d/%d",
+			metricCompleted.Value(), ok, metricShed.Value(), shed)
+	}
+	checkOutcomeIdentity(t)
+}
+
+// TestShutdownDrains: in-flight work completes, a queued request is 503'd,
+// and post-drain connections are refused — SIGTERM cannot strand a client
+// without an answer.
+func TestShutdownDrains(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 10 * time.Second})
+
+	inflight := seedReq("alpha", 1)
+	inflight.HoldMillis = 400
+	inCh := make(chan *MultiplyResponse, 1)
+	go func() {
+		_, _, mr, _ := postJSON(t, s.Addr(), inflight)
+		inCh <- mr
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond)
+
+	queued := seedReq("beta", 2)
+	qCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), queued)
+		qCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 2 })
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if mr := <-inCh; mr == nil || mr.Checksum == 0 {
+		t.Fatal("in-flight multiply did not complete across shutdown")
+	}
+	if code := <-qCh; code != http.StatusServiceUnavailable {
+		t.Fatalf("queued request at shutdown = %d, want 503", code)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("listener alive after Shutdown")
+	}
+	if got := metricDrained.Value(); got != 1 {
+		t.Fatalf("drained count = %d, want 1", got)
+	}
+	checkOutcomeIdentity(t)
+}
+
+// TestOperandCacheBounded: the per-resident operand cache reuses matrices
+// and never exceeds its cap.
+func TestOperandCacheBounded(t *testing.T) {
+	res := fixture(t).Get("alpha")
+	b1 := res.Operand(99)
+	if res.Operand(99) != b1 {
+		t.Fatal("same seed returned a different operand")
+	}
+	for seed := uint64(0); seed < 2*maxCachedOperands; seed++ {
+		res.Operand(seed)
+	}
+	res.opMu.Lock()
+	n := len(res.operands)
+	res.opMu.Unlock()
+	if n > maxCachedOperands {
+		t.Fatalf("operand cache grew to %d, cap %d", n, maxCachedOperands)
+	}
+}
+
+// TestMetricsExposed: the serving counters surface through the ops /metrics
+// exposition mounted on the same listener.
+func TestMetricsExposed(t *testing.T) {
+	s := startServer(t, Config{})
+	postJSON(t, s.Addr(), seedReq("alpha", 1))
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"serve_requests_total 1",
+		"serve_completed_total 1",
+		"serve_exec_total 1",
+		"serve_plan_alpha_requests_total 1",
+		"serve_tenant_default_requests_total 1",
+		"# TYPE serve_latency_seconds histogram",
+		"# EOF",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// checkOutcomeIdentity asserts the metric partition documented in
+// metrics.go: every admitted request landed in exactly one outcome bucket.
+func checkOutcomeIdentity(t *testing.T) {
+	t.Helper()
+	req := metricRequests.Value()
+	sum := metricCompleted.Value() + metricShed.Value() + metricDrained.Value() + metricFailed.Value()
+	if req != sum {
+		t.Fatalf("outcome identity broken: requests=%d but completed+shed+drained+failed=%d "+
+			"(completed=%d shed=%d drained=%d failed=%d)",
+			req, sum, metricCompleted.Value(), metricShed.Value(), metricDrained.Value(), metricFailed.Value())
+	}
+}

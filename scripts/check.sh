@@ -154,4 +154,55 @@ go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     -fault-plan "$tmp/legs.json" >"$tmp/chaos_legs.out"
 grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos_legs.out"
 
+echo "== serve smoke (resident-plan daemon: multiply, coalesce, metrics, drain)"
+go build -o "$tmp/twoface-serve" ./cmd/twoface-serve
+go build -o "$tmp/twoface-loadgen" ./cmd/twoface-loadgen
+# Both kernel-dispatch modes: SIMD (default) and the forced-generic loops.
+for genflag in "" "-force-generic"; do
+    "$tmp/twoface-serve" -plans web:0.05 -K 32 -p 4 -listen 127.0.0.1:0 \
+        -allow-hold $genflag >"$tmp/serve.out" 2>&1 &
+    serve_pid=$!
+    saddr=""
+    for _ in $(seq 1 200); do
+        saddr=$(sed -n 's|^serving on http://\([^ ]*\) .*|\1|p' "$tmp/serve.out")
+        [ -n "$saddr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$saddr" ]; then
+        echo "serve daemon never announced its address" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # One multiply over plain HTTP answers with a result checksum.
+    curl -sf -X POST "http://$saddr/v1/multiply" -H 'Content-Type: application/json' \
+        -d '{"plan":"web","seed":1}' | grep -q '"checksum":'
+    # Two identical concurrent requests: the duplicate must ride the leader.
+    "$tmp/twoface-loadgen" -target "$saddr" -probe-coalesce
+    curl -sf "http://$saddr/metrics" >"$tmp/serve_metrics.out"
+    grep -q '^# EOF$' "$tmp/serve_metrics.out"
+    coalesced=$(sed -n 's/^serve_coalesced_total \([0-9]*\)$/\1/p' "$tmp/serve_metrics.out")
+    if [ -z "$coalesced" ] || [ "$coalesced" -lt 1 ]; then
+        echo "metrics show no coalesced request (serve_coalesced_total=$coalesced)" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # The outcome counters partition the admitted traffic exactly.
+    awk '
+        /^serve_requests_total /  { req = $2 }
+        /^serve_completed_total / { done += $2 }
+        /^serve_shed_total /      { done += $2 }
+        /^serve_drained_total /   { done += $2 }
+        /^serve_failed_total /    { done += $2 }
+        END { exit !(req == done) }
+    ' "$tmp/serve_metrics.out" || {
+        echo "serve outcome counters do not sum to serve_requests_total" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    }
+    # SIGTERM drains and exits cleanly (non-zero exit fails the gate).
+    kill -TERM "$serve_pid"
+    wait "$serve_pid"
+    grep -q 'drained; exiting cleanly' "$tmp/serve.out"
+done
+
 echo "== check.sh: all green"

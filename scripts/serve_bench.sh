@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduce the serving benchmark artifacts: a self-hosted daemon driven by
+# twoface-loadgen through the closed-loop concurrency sweep, the open-loop
+# fixed-rate latency profile, the saturation probe (bounded queue + 429
+# shedding), and the duplicate-coalescing comparison. Appends a record to
+# BENCH_serve.json and rewrites REPORT_serve.md; compare runs with
+#
+#   git diff BENCH_serve.json REPORT_serve.md
+#
+# Numbers are wall-clock and host-dependent (the committed record lists the
+# host core count under config.num_cpu). Extra flags pass through to
+# twoface-loadgen, e.g.  scripts/serve_bench.sh -conc 1,4,16 -runs 5
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+go run ./cmd/twoface-loadgen -self-host -plans web:0.05 -copies 4 -K 32 -p 4 \
+    -mode all -conc 1,2,4,8,16 -runs 3 -warmup 1 -requests 150 \
+    -qps 50 -run-dur 2s \
+    -out BENCH_serve.json -report REPORT_serve.md "$@"
