@@ -313,9 +313,10 @@ func (p *Plan) MultiplySampled(b *DenseMatrix, keep float64, seed uint64) (*Resu
 // FingerprintDense returns the dense-operand identity hash used by the
 // cross-run row cache to detect B changes between runs (DESIGN.md section
 // 8): a strided 16-sample content hash that always mixes the final element.
-// The serving layer keys request coalescing on it, so two requests coalesce
-// exactly when the row cache would have treated their operands as the same
-// B. It is an identity heuristic, not a cryptographic digest.
+// It is a mutation-detection heuristic, not a digest: two distinct operands
+// can share a fingerprint, which is why the serving layer's request
+// coalescing keys on exact operand identity (full-content hash plus a
+// bitwise check) instead of this sample.
 func FingerprintDense(b *DenseMatrix) uint64 {
 	return core.FingerprintData(b.Data)
 }

@@ -115,9 +115,11 @@ func TestConcurrentMixedExecKinds(t *testing.T) {
 	}
 }
 
-// TestFingerprintDense pins the coalescing-key contract: identical contents
-// agree, any single-element mutation — including the tail, which the strided
-// sampler would otherwise miss — changes the fingerprint.
+// TestFingerprintDense pins the row-cache invalidation contract: identical
+// contents agree, and a tail mutation — which the strided sampler would
+// otherwise miss — changes the fingerprint. (It is a sampled heuristic, so
+// the serving coalescer keys on exact identity instead; see
+// internal/serve/coalesce.go.)
 func TestFingerprintDense(t *testing.T) {
 	b1 := twoface.RandomDense(64, 8, 1)
 	b2 := twoface.RandomDense(64, 8, 1)

@@ -258,10 +258,10 @@ func (p *Prep) attachRowCaches(b *dense.Matrix) []*rowCache {
 }
 
 // FingerprintData exposes the dense-operand identity hash that keys the
-// cross-run row cache (DESIGN.md section 8). The serving layer reuses it as
-// the request-coalescing key, so "same B" means exactly the same thing to
-// the coalescer as it does to the cache — coalesced traffic and row-cache
-// hits are two views of one identity.
+// cross-run row cache (DESIGN.md section 8). It is a sampled heuristic for
+// detecting in-place mutation of one caller's buffer; it is NOT collision
+// free across distinct operands, so the serving layer's request coalescing
+// deliberately does not key on it (see internal/serve/coalesce.go).
 func FingerprintData(data []float64) uint64 { return fingerprint(data) }
 
 // fingerprint hashes 16 strided samples of the buffer plus its final

@@ -162,6 +162,23 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta to the gauge when the registry is enabled.
+// Unlike a read-compute-Set sequence, concurrent Adds never lose or
+// reorder each other, so balanced increments/decrements always return the
+// gauge to its prior value.
+func (g *Gauge) Add(delta float64) {
+	if !g.reg.enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			g.set.Store(true)
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (0 if never set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

@@ -43,6 +43,35 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeAddConcurrent: balanced concurrent Adds must return the gauge
+// exactly to its starting value — the property a read-compute-Set sequence
+// cannot provide.
+func TestGaugeAddConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g")
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("disabled gauge took an add")
+	}
+	reg.SetEnabled(true)
+	g.Set(7)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 7 {
+		t.Fatalf("gauge = %g after balanced concurrent adds, want 7", v)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	reg := NewRegistry()
 	reg.SetEnabled(true)

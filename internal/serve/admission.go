@@ -96,16 +96,20 @@ func (a *admission) acquire(ctx context.Context, bytes int64, deadline time.Dura
 			a.bytes.Add(-bytes)
 		}
 	}
+	// Gauges move by atomic deltas (Gauge.Add), not read-compute-Set: two
+	// concurrent acquire/release pairs can interleave a stale Set that never
+	// self-corrects, whereas balanced Adds always return the gauge to truth.
 	grant := func() func() {
-		in := a.inflight.Add(1)
-		metricInflight.Set(float64(in))
+		a.inflight.Add(1)
+		metricInflight.Add(1)
 		var done atomic.Bool
 		return func() {
 			if !done.CompareAndSwap(false, true) {
 				return
 			}
 			undoBytes()
-			metricInflight.Set(float64(a.inflight.Add(-1)))
+			a.inflight.Add(-1)
+			metricInflight.Add(-1)
 			<-a.slots
 		}
 	}
@@ -125,7 +129,7 @@ func (a *admission) acquire(ctx context.Context, bytes int64, deadline time.Dura
 		undoBytes()
 		return nil, ErrOverloaded
 	}
-	metricQueueDepth.Set(float64(q))
+	metricQueueDepth.Add(1)
 	for {
 		hw := a.maxDepth.Load()
 		if q <= hw || a.maxDepth.CompareAndSwap(hw, q) {
@@ -133,7 +137,8 @@ func (a *admission) acquire(ctx context.Context, bytes int64, deadline time.Dura
 		}
 	}
 	defer func() {
-		metricQueueDepth.Set(float64(a.queued.Add(-1)))
+		a.queued.Add(-1)
+		metricQueueDepth.Add(-1)
 	}()
 
 	wait := a.queueTimeout

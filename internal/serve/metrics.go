@@ -72,12 +72,26 @@ func metricsForPlan(name string) *planMetrics {
 	return pm
 }
 
-// tenantRequests returns the per-tenant request counter.
+// maxTenantMetrics caps how many distinct per-tenant counters the daemon
+// registers. The tenant string is client-supplied and unvalidated, so
+// without a cap any client could grow the process-wide registry (and the
+// /metrics exposition) without bound. Overflow tenants fold into one
+// serve.tenant.other.requests counter — totals stay exact, only the
+// per-tenant breakdown saturates.
+const maxTenantMetrics = 64
+
+var tenantOverflow = obs.Default.Counter("serve.tenant.other.requests")
+
+// tenantRequests returns the per-tenant request counter, or the shared
+// overflow counter once maxTenantMetrics distinct tenants are registered.
 func tenantRequests(tenant string) *obs.Counter {
 	planMetricsMu.Lock()
 	defer planMetricsMu.Unlock()
 	if c, ok := tenantCounter[tenant]; ok {
 		return c
+	}
+	if len(tenantCounter) >= maxTenantMetrics {
+		return tenantOverflow
 	}
 	c := obs.Default.Counter("serve.tenant." + metricSlug(tenant) + ".requests")
 	tenantCounter[tenant] = c

@@ -24,6 +24,7 @@ import (
 	"io"
 	"log/slog"
 	"math"
+	"mime"
 	"net/http"
 	"strconv"
 	"time"
@@ -213,12 +214,14 @@ type execOutcome struct {
 }
 
 // parsedRequest is a multiply request after validation: the resident it
-// addresses and the materialized operand.
+// addresses, the materialized operand, and the exact-identity coalescing
+// key (see coalesce.go for why the key is not the row cache's sampled
+// fingerprint).
 type parsedRequest struct {
 	req      MultiplyRequest
 	resident *Resident
 	b        *twoface.DenseMatrix
-	fp       uint64
+	key      flightKey
 	bytes    int64 // operand bytes counted against the admission budget
 }
 
@@ -268,39 +271,58 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	metricsForPlan(pr.resident.Name).requests.Inc()
 	tenantRequests(pr.req.Tenant).Inc()
 
-	var fl *flight
-	leader := true
-	key := flightKey{plan: pr.resident.Name, fp: pr.fp, elems: len(pr.b.Data)}
-	if !pr.req.NoCoalesce {
-		fl, leader = s.coal.join(key)
-	}
-	if !leader {
-		s.awaitFlight(w, r, pr, fl, start)
-		return
-	}
+	countedCoalesced := false
+	for {
+		var fl *flight
+		leader := true
+		if !pr.req.NoCoalesce {
+			fl, leader = s.coal.join(pr.key, pr.b.Data)
+		}
+		if leader {
+			out, err := s.execute(r.Context(), pr)
+			if fl != nil {
+				s.coal.settle(pr.key, fl, out, err, leaderOnlyError(pr, err))
+			}
+			s.respond(w, pr, out, err, false, start)
+			if fl != nil && s.log.Enabled(nil, slog.LevelDebug) && fl.followerCount() > 0 {
+				s.log.Debug("coalesced execution",
+					"plan", pr.resident.Name, "followers", fl.followerCount(), "key", pr.key.id)
+			}
+			return
+		}
 
-	out, err := s.execute(r.Context(), pr)
-	if fl != nil {
-		s.coal.settle(key, fl, out, err)
-	}
-	s.respond(w, pr, out, err, false, start)
-	if fl != nil && s.log.Enabled(nil, slog.LevelDebug) && fl.followerCount() > 0 {
-		s.log.Debug("coalesced execution",
-			"plan", pr.resident.Name, "followers", fl.followerCount(), "fp", pr.fp)
+		// Follower: wait for the leader's outcome (or the client to give
+		// up) and respond with the shared result. A flight abandoned on a
+		// leader-specific error loops back to re-elect a new leader among
+		// the surviving followers instead of inheriting the error.
+		if !countedCoalesced {
+			metricCoalesced.Inc()
+			countedCoalesced = true
+		}
+		select {
+		case <-fl.done:
+		case <-r.Context().Done():
+			metricFailed.Inc()
+			return
+		}
+		if fl.abandoned {
+			continue
+		}
+		s.respond(w, pr, fl.res, fl.err, true, start)
+		return
 	}
 }
 
-// awaitFlight is the follower path: wait for the leader's outcome (or the
-// client to give up) and respond with the shared result.
-func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, pr *parsedRequest, fl *flight, start time.Time) {
-	metricCoalesced.Inc()
-	select {
-	case <-fl.done:
-	case <-r.Context().Done():
-		metricFailed.Inc()
-		return
+// leaderOnlyError reports whether err condemns only this leader, not the
+// work: the leader's client disconnected, or its self-shortened queue
+// deadline expired (a still-connected follower without that override would
+// have kept waiting). Shared conditions — execution failure, the server's
+// own queue deadline, overload, drain — stay cohort-wide.
+func leaderOnlyError(pr *parsedRequest, err error) bool {
+	if errors.Is(err, ErrClientGone) {
+		return true
 	}
-	s.respond(w, pr, fl.res, fl.err, true, start)
+	return errors.Is(err, ErrQueueDeadline) && pr.req.QueueTimeoutMillis > 0
 }
 
 // execute runs one multiply under admission control.
@@ -409,8 +431,14 @@ func (s *Server) parseRequest(r *http.Request) (*parsedRequest, error) {
 	var req MultiplyRequest
 	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
 	binaryB := false
-	switch ct := r.Header.Get("Content-Type"); {
-	case ct == "application/octet-stream":
+	// Compare the media type only, so parameterized headers like
+	// "application/octet-stream; charset=binary" still select binary mode.
+	mediaType := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(mediaType); err == nil {
+		mediaType = mt
+	}
+	switch {
+	case mediaType == "application/octet-stream":
 		binaryB = true
 		q := r.URL.Query()
 		req.Plan = q.Get("plan")
@@ -489,7 +517,15 @@ func (s *Server) parseRequest(r *http.Request) (*parsedRequest, error) {
 	default:
 		return nil, badRequest("missing operand: give b, seed, or an octet-stream body")
 	}
-	pr.fp = twoface.FingerprintDense(pr.b)
+	// Exact-identity coalescing key: the seed addresses a deterministic
+	// server-materialized operand, so seed equality is operand equality;
+	// inline operands hash every element (and join confirms bitwise
+	// equality against the leader — see coalesce.go).
+	if req.Seed != nil && !binaryB {
+		pr.key = flightKey{plan: resident.Name, seeded: true, id: *req.Seed, elems: len(pr.b.Data)}
+	} else {
+		pr.key = flightKey{plan: resident.Name, id: operandHash(pr.b.Data), elems: len(pr.b.Data)}
+	}
 	return pr, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -174,6 +175,26 @@ func TestBinaryOperand(t *testing.T) {
 		t.Fatalf("binary multiply checksum %d, seed-mode checksum %d", mr.Checksum, viaSeed.Checksum)
 	}
 
+	// A parameterized Content-Type still selects binary mode: only the
+	// media type matters, not its parameters.
+	resp3, err := http.Post("http://"+s.Addr()+"/v1/multiply?plan=beta",
+		"application/octet-stream; charset=binary", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("parameterized octet-stream multiply = %d: %s", resp3.StatusCode, body3)
+	}
+	var mr3 MultiplyResponse
+	if err := json.Unmarshal(body3, &mr3); err != nil {
+		t.Fatal(err)
+	}
+	if mr3.Checksum != viaSeed.Checksum {
+		t.Fatalf("parameterized binary checksum %d, seed-mode checksum %d", mr3.Checksum, viaSeed.Checksum)
+	}
+
 	// Truncated payload → 400, not a crash or a hung slot.
 	resp2, err := http.Post("http://"+s.Addr()+"/v1/multiply?plan=beta", "application/octet-stream", bytes.NewReader(raw[:16]))
 	if err != nil {
@@ -305,10 +326,13 @@ func TestCoalescing(t *testing.T) {
 }
 
 // TestCoalescedFollowerSeesLeaderError: with the lone slot blocked, a
-// leader whose queue deadline expires sheds — and its follower sheds with
-// it, observing the leader's error rather than hanging or executing.
+// leader whose server-wide queue deadline expires sheds — and its follower
+// sheds with it, observing the leader's error rather than hanging or
+// executing. (The deadline here is the server's, a shared condition; a
+// leader-only failure re-elects instead — see the re-election tests.)
 func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
-	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4})
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4,
+		QueueTimeout: 300 * time.Millisecond})
 
 	blocker := seedReq("beta", 2)
 	blocker.HoldMillis = 1500
@@ -321,7 +345,6 @@ func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
 	time.Sleep(20 * time.Millisecond) // blocker holds the slot
 
 	leader := seedReq("alpha", 1)
-	leader.QueueTimeoutMillis = 300
 	leadCh := make(chan int, 1)
 	go func() {
 		code, _, _, _ := postJSON(t, s.Addr(), leader)
@@ -351,6 +374,251 @@ func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
 		t.Fatalf("exec count = %d, want 1 (only the blocker ran)", got)
 	}
 	checkOutcomeIdentity(t)
+}
+
+// TestLeaderDeadlineReElection: a leader that shed only because of its own
+// self-shortened queue_timeout_ms must not shed its followers — the flight
+// is abandoned and a follower re-elects itself leader and completes.
+func TestLeaderDeadlineReElection(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4})
+
+	blocker := seedReq("beta", 2)
+	blocker.HoldMillis = 700
+	blockCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), blocker)
+		blockCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+
+	leader := seedReq("alpha", 1)
+	leader.QueueTimeoutMillis = 200 // leader-only: shorter than the server's 2s
+	leadCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), leader)
+		leadCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 2 })
+	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+
+	fCode, _, follower, fBody := postJSON(t, s.Addr(), seedReq("alpha", 1))
+	lCode := <-leadCh
+	if lCode != http.StatusTooManyRequests {
+		t.Fatalf("self-deadlined leader = %d, want 429", lCode)
+	}
+	if fCode != http.StatusOK {
+		t.Fatalf("follower of self-deadlined leader = %d, want 200 (%s)", fCode, fBody)
+	}
+	if follower.Coalesced {
+		t.Fatal("re-elected follower marked coalesced: it executed itself")
+	}
+	if follower.Checksum != twoface.FingerprintDense(fixtureRef["alpha"][1]) {
+		t.Fatal("re-elected follower returned the wrong product")
+	}
+	if code := <-blockCh; code != http.StatusOK {
+		t.Fatalf("blocker = %d", code)
+	}
+	if got := metricShed.Value(); got != 1 {
+		t.Fatalf("shed count = %d, want 1 (leader only)", got)
+	}
+	if got := metricExecs.Value(); got != 2 {
+		t.Fatalf("exec count = %d, want 2 (blocker + re-elected follower)", got)
+	}
+	checkOutcomeIdentity(t)
+}
+
+// TestClientGoneLeaderReElection: a leader whose client disconnects while
+// queued abandons the flight; the follower re-elects and completes instead
+// of inheriting a failure for a client that is still connected.
+func TestClientGoneLeaderReElection(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true, MaxInFlight: 1, MaxQueue: 4})
+
+	blocker := seedReq("beta", 2)
+	blocker.HoldMillis = 600
+	blockCh := make(chan int, 1)
+	go func() {
+		code, _, _, _ := postJSON(t, s.Addr(), blocker)
+		blockCh <- code
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(seedReq("alpha", 1))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+s.Addr()+"/v1/multiply", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	leadCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leadCh <- err
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 2 })
+	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+
+	fCh := make(chan struct {
+		code int
+		mr   *MultiplyResponse
+	}, 1)
+	go func() {
+		code, _, mr, _ := postJSON(t, s.Addr(), seedReq("alpha", 1))
+		fCh <- struct {
+			code int
+			mr   *MultiplyResponse
+		}{code, mr}
+	}()
+	waitFor(t, func() bool { return metricCoalesced.Value() == 1 })
+	cancel() // leader's client goes away while queued
+	if err := <-leadCh; err == nil {
+		t.Fatal("canceled leader request reported success")
+	}
+
+	f := <-fCh
+	if f.code != http.StatusOK {
+		t.Fatalf("follower of disconnected leader = %d, want 200", f.code)
+	}
+	if f.mr.Coalesced {
+		t.Fatal("re-elected follower marked coalesced: it executed itself")
+	}
+	if f.mr.Checksum != twoface.FingerprintDense(fixtureRef["alpha"][1]) {
+		t.Fatal("re-elected follower returned the wrong product")
+	}
+	if code := <-blockCh; code != http.StatusOK {
+		t.Fatalf("blocker = %d", code)
+	}
+	// The leader's handler finishes asynchronously with its client's error.
+	waitFor(t, func() bool { return metricFailed.Value() == 1 })
+	if got := metricExecs.Value(); got != 2 {
+		t.Fatalf("exec count = %d, want 2 (blocker + re-elected follower)", got)
+	}
+	checkOutcomeIdentity(t)
+}
+
+// TestNearDuplicateDoesNotCoalesce is the regression test for keying
+// coalescing on the sampled row-cache fingerprint: two concurrent inline-B
+// requests whose operands differ only in an element the 17-probe
+// fingerprint never samples must each receive their own product, not share
+// one execution.
+func TestNearDuplicateDoesNotCoalesce(t *testing.T) {
+	s := startServer(t, Config{AllowHold: true})
+	res := fixture(t).Get("alpha")
+	cols := res.Plan.NumCols()
+
+	b1 := twoface.RandomDense(cols, fixtureK, 5)
+	b2 := &twoface.DenseMatrix{Rows: cols, Cols: fixtureK, Data: append([]float64(nil), b1.Data...)}
+	n := len(b2.Data)
+	step := n / 16
+	if step < 2 {
+		t.Fatalf("operand too small (%d elems) to have unsampled elements", n)
+	}
+	b2.Data[1] += 1 // index 1 is never probed when step >= 2
+	if twoface.FingerprintDense(b1) != twoface.FingerprintDense(b2) {
+		t.Fatal("test premise broken: sampled fingerprints differ for the near-duplicate")
+	}
+
+	lead := MultiplyRequest{Plan: "alpha", B: b1.Data, HoldMillis: 400}
+	leadCh := make(chan *MultiplyResponse, 1)
+	go func() {
+		_, _, mr, _ := postJSON(t, s.Addr(), lead)
+		leadCh <- mr
+	}()
+	waitFor(t, func() bool { return metricRequests.Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // leader is inside its hold window
+
+	code, _, near, raw := postJSON(t, s.Addr(), MultiplyRequest{Plan: "alpha", B: b2.Data, IncludeC: true})
+	if code != http.StatusOK {
+		t.Fatalf("near-duplicate = %d: %s", code, raw)
+	}
+	if near.Coalesced {
+		t.Fatal("near-duplicate coalesced onto a different operand's execution")
+	}
+	if <-leadCh == nil {
+		t.Fatal("leader failed")
+	}
+	if got := metricExecs.Value(); got != 2 {
+		t.Fatalf("exec count = %d, want 2 (distinct operands must both run)", got)
+	}
+	if got := metricCoalesced.Value(); got != 0 {
+		t.Fatalf("coalesced count = %d, want 0", got)
+	}
+	// The near-duplicate's C is the product of ITS operand, not the leader's.
+	a := twoface.Generate("web", 0.04, 7)
+	want, err := twoface.Reference(a, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near.C) != len(want.Data) {
+		t.Fatalf("near-duplicate returned %d elements, want %d", len(near.C), len(want.Data))
+	}
+	for i, v := range near.C {
+		if math.Abs(v-want.Data[i]) > 1e-9 {
+			t.Fatalf("near-duplicate C[%d] = %g, want %g (got another request's product?)", i, v, want.Data[i])
+		}
+	}
+}
+
+// TestCoalescerCollisionFallsBackToSolo: a full-hash collision between
+// bitwise-unequal operands must degrade to solo execution, never to
+// sharing a flight.
+func TestCoalescerCollisionFallsBackToSolo(t *testing.T) {
+	c := newCoalescer()
+	key := flightKey{plan: "p", id: 42, elems: 3}
+	b1 := []float64{1, 2, 3}
+	fl, leader := c.join(key, b1)
+	if fl == nil || !leader {
+		t.Fatal("first join must lead a fresh flight")
+	}
+	// Same key, different bits: simulated 64-bit hash collision.
+	fl2, leader2 := c.join(key, []float64{1, 2, 4})
+	if fl2 != nil || !leader2 {
+		t.Fatalf("collision join = (%v, %v), want solo execution (nil flight, leader)", fl2, leader2)
+	}
+	// A genuinely identical operand still coalesces.
+	fl3, leader3 := c.join(key, append([]float64(nil), b1...))
+	if fl3 != fl || leader3 {
+		t.Fatal("identical operand failed to join the flight")
+	}
+	c.settle(key, fl, nil, nil, false)
+	<-fl.done
+}
+
+// TestTenantMetricsBounded: client-supplied tenant names cannot grow the
+// metric registry without bound — past the cap, traffic folds into the
+// shared overflow counter.
+func TestTenantMetricsBounded(t *testing.T) {
+	planMetricsMu.Lock()
+	saved := tenantCounter
+	tenantCounter = map[string]*obs.Counter{}
+	planMetricsMu.Unlock()
+	t.Cleanup(func() {
+		planMetricsMu.Lock()
+		tenantCounter = saved
+		planMetricsMu.Unlock()
+	})
+	before := tenantOverflow.Value()
+	for i := 0; i < 4*maxTenantMetrics; i++ {
+		tenantRequests(fmt.Sprintf("tenant-%d", i)).Inc()
+	}
+	planMetricsMu.Lock()
+	n := len(tenantCounter)
+	planMetricsMu.Unlock()
+	if n > maxTenantMetrics {
+		t.Fatalf("tenant counter map grew to %d, cap %d", n, maxTenantMetrics)
+	}
+	if got := tenantOverflow.Value() - before; got != int64(3*maxTenantMetrics) {
+		t.Fatalf("overflow counter absorbed %d requests, want %d", got, 3*maxTenantMetrics)
+	}
+	// A tenant registered before the cap keeps its own counter afterwards.
+	if tenantRequests("tenant-0") == tenantOverflow {
+		t.Fatal("pre-cap tenant folded into overflow")
+	}
 }
 
 // TestSaturationSheds: a burst far beyond capacity sheds with 429 instead
@@ -400,6 +668,14 @@ func TestSaturationSheds(t *testing.T) {
 	if int(metricCompleted.Value()) != ok || int(metricShed.Value()) != shed {
 		t.Fatalf("metrics disagree with observed outcomes: completed=%d/%d shed=%d/%d",
 			metricCompleted.Value(), ok, metricShed.Value(), shed)
+	}
+	// Gauges move by atomic deltas, so after the burst fully settles both
+	// must read exactly zero — no stale value from an interleaved update.
+	if v := metricInflight.Value(); v != 0 {
+		t.Fatalf("inflight gauge = %g after burst, want 0", v)
+	}
+	if v := metricQueueDepth.Value(); v != 0 {
+		t.Fatalf("queue depth gauge = %g after burst, want 0", v)
 	}
 	checkOutcomeIdentity(t)
 }
