@@ -118,6 +118,17 @@ type Options struct {
 	// 0 picks an interval worth ~50 checkpoint write costs, keeping the
 	// modeled overhead of a fault-free run near 2%. Ignored without Recover.
 	CheckpointInterval float64
+	// Transport overrides the byte-movement backend. Nil (the default) uses
+	// the in-process virtual-time simulator. A wall-clock backend (e.g.
+	// internal/transport/tcp) turns the system into one rank of a
+	// multi-process cluster: this process executes only the transport's
+	// local ranks, ledgers measure real elapsed time, and communication-model
+	// charges are reported as measured rather than modeled. The transport's
+	// cluster size must equal Nodes. A provided transport is single-use:
+	// create one Plan (or run one baseline) per System. Chaos and Recover
+	// are rejected with a wall-clock transport — fault injection and
+	// checkpoint cadence are virtual-time machinery.
+	Transport Transport
 }
 
 // System is a configured simulated cluster ready to preprocess and multiply.
@@ -132,6 +143,14 @@ func New(opts Options) (*System, error) {
 	}
 	if opts.DenseColumns < 1 {
 		return nil, fmt.Errorf("twoface: Options.DenseColumns must be >= 1, got %d", opts.DenseColumns)
+	}
+	if opts.Transport != nil {
+		if tp := opts.Transport.P(); tp != opts.Nodes {
+			return nil, fmt.Errorf("twoface: Options.Transport serves %d ranks, Options.Nodes is %d", tp, opts.Nodes)
+		}
+		if opts.Transport.WallClock() && (opts.Chaos != nil || opts.Recover) {
+			return nil, errors.New("twoface: Chaos and Recover are virtual-time machinery; they cannot run on a wall-clock transport")
+		}
 	}
 	if opts.Workers == 0 {
 		opts.Workers = 4
@@ -224,7 +243,15 @@ func (s *System) params(net NetModel) core.Params {
 // newCluster builds a cluster with the system's observability options
 // (transfer tracing, span recording) applied.
 func (s *System) newCluster(net NetModel) (*cluster.Cluster, error) {
-	clu, err := cluster.New(s.opts.Nodes, net)
+	var (
+		clu *cluster.Cluster
+		err error
+	)
+	if s.opts.Transport != nil {
+		clu, err = cluster.NewWithTransport(s.opts.Transport, net)
+	} else {
+		clu, err = cluster.New(s.opts.Nodes, net)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +304,22 @@ func (p *Plan) NumRows() int { return int(p.prep.Layout.NumRows) }
 
 // NumCols reports the plan's sparse matrix column count (B's required rows).
 func (p *Plan) NumCols() int { return int(p.prep.Layout.NumCols) }
+
+// RowBlocks returns each rank's C row block [lo, hi) in rank order — the
+// assembly map a multi-process runner needs to gather rank-local partial
+// outputs into the full C.
+func (p *Plan) RowBlocks() [][2]int {
+	out := make([][2]int, len(p.prep.Nodes))
+	for i := range p.prep.Nodes {
+		out[i] = [2]int{int(p.prep.Nodes[i].RowLo), int(p.prep.Nodes[i].RowHi)}
+	}
+	return out
+}
+
+// Transport returns the byte-movement backend of the plan's cluster. With
+// Options.Transport set this is that transport; multi-process runners use it
+// to publish and gather C row blocks after Multiply.
+func (p *Plan) Transport() Transport { return p.clu.Transport() }
 
 // Multiply executes one distributed SpMM: C = A x B with the plan's A.
 // Safe for concurrent use; concurrent calls on one Plan serialize.

@@ -81,6 +81,10 @@ type cli struct {
 	explain    bool
 	explainOut bool // -explain-json: attribution as JSON on stdout
 	quiet      bool // suppress progress prints (fault-free twin run)
+	rank       int
+	peers      string
+	rendezvous string
+	writeC     string
 }
 
 func main() {
@@ -116,6 +120,10 @@ func main() {
 	flag.BoolVar(&c.logJSON, "log-json", false, "emit log records as JSON lines (with -log-level)")
 	flag.BoolVar(&c.explain, "explain", false, "print the critical-path makespan attribution after the run")
 	flag.BoolVar(&c.explainOut, "explain-json", false, "print the critical-path attribution as JSON")
+	flag.IntVar(&c.rank, "rank", -1, "multi-process mode: run as this rank of a real TCP cluster (-1 = in-process simulator)")
+	flag.StringVar(&c.peers, "peers", "", "multi-process mode: comma-separated host:port of every rank, in rank order")
+	flag.StringVar(&c.rendezvous, "rendezvous", "", "multi-process mode: directory where ranks publish their bound addresses (use instead of -peers)")
+	flag.StringVar(&c.writeC, "write-c", "", "write the computed C to this file (raw row-major float64; rank 0 only in multi-process mode)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -125,6 +133,9 @@ func main() {
 }
 
 func run(c cli) error {
+	if c.rank >= 0 {
+		return runTCP(c)
+	}
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
 		if err != nil {
@@ -225,6 +236,12 @@ func run(c cli) error {
 		}
 	}
 	report(res)
+	if c.writeC != "" && res.C != nil {
+		if err := writeCFile(c.writeC, res.C); err != nil {
+			return err
+		}
+		fmt.Printf("wrote C: %s\n", c.writeC)
+	}
 
 	if c.explain || c.explainOut {
 		cp := tracer.CriticalPath()
@@ -503,8 +520,12 @@ func buildReport(c cli, res *twoface.Result, tracer *twoface.Tracer) *twoface.Ru
 }
 
 func report(res *twoface.Result) {
-	fmt.Printf("modeled time: %.4g s (wall %v)\n", res.ModeledSeconds, res.Wall)
-	fmt.Println("per-node breakdown (modeled seconds):")
+	kind := "modeled"
+	if res.Measured {
+		kind = "measured"
+	}
+	fmt.Printf("%s time: %.4g s (wall %v)\n", kind, res.ModeledSeconds, res.Wall)
+	fmt.Printf("per-node breakdown (%s seconds):\n", kind)
 	fmt.Printf("  %4s  %10s %10s %10s %10s %10s %10s\n", "node", "SyncComm", "SyncComp", "Overlap", "AsyncComm", "AsyncComp", "Other")
 	var overlap, serial float64
 	for i, bd := range res.Breakdowns {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -89,6 +90,17 @@ func main() {
 }
 
 func run(c cli) error {
+	// Install the signal handler before any slow work. The old order —
+	// preprocess, bind, print the banner, THEN Notify — left every second of
+	// startup under the default SIGTERM disposition: an orchestrator's
+	// early shutdown killed the process mid-preprocess with no drain
+	// message, and a signal landing between banner and Notify died after
+	// advertising the endpoint. Now a startup-time signal parks in the
+	// channel until the next check.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
 	if c.plans == "" {
 		return fmt.Errorf("-plans is required (e.g. -plans web:0.25,stokes:0.1)")
 	}
@@ -96,10 +108,14 @@ func run(c cli) error {
 	if err != nil {
 		return err
 	}
+	logger.Info("starting", "plans", c.plans, "listen", c.listen)
 	twoface.DefaultMetrics().SetEnabled(true)
 
 	reg := serve.NewRegistry()
 	for _, spec := range strings.Split(c.plans, ",") {
+		if got := pendingSignal(sig); got != nil {
+			return exitDuringStartup(logger, got, "preprocessing")
+		}
 		res, err := buildResident(strings.TrimSpace(spec), c)
 		if err != nil {
 			return err
@@ -111,6 +127,13 @@ func run(c cli) error {
 		fmt.Printf("plan %q: %s — %dx%d, %d nonzeros, %d sync / %d async stripes, prep %.2fs\n",
 			res.Name, res.Source, res.Plan.NumRows(), res.Plan.NumCols(),
 			st.TotalNNZ, st.SyncStripes, st.AsyncStripes, st.WallSeconds)
+	}
+
+	// A signal that landed during preprocessing must not bring the listener
+	// up only to tear it straight down — answer it before binding, so no
+	// client ever sees the port open.
+	if got := pendingSignal(sig); got != nil {
+		return exitDuringStartup(logger, got, "before listener")
 	}
 
 	srv := serve.New(serve.Config{
@@ -125,13 +148,16 @@ func run(c cli) error {
 	if err := srv.Start(c.listen); err != nil {
 		return err
 	}
-	fmt.Printf("serving on http://%s (/v1/multiply, /v1/plans, /metrics, /healthz)\n", srv.Addr())
-	logger.Info("serving", "addr", srv.Addr(), "plans", reg.Names(),
-		"max_inflight", c.maxInFlight, "max_queue", c.maxQueue)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	got := <-sig
+	// Print the banner only once we know no shutdown is already pending, so
+	// a startup-time signal never advertises an endpoint it is about to
+	// close (the banner/drain interleaving was racy before).
+	got := pendingSignal(sig)
+	if got == nil {
+		fmt.Printf("serving on http://%s (/v1/multiply, /v1/plans, /metrics, /healthz)\n", srv.Addr())
+		logger.Info("serving", "addr", srv.Addr(), "plans", reg.Names(),
+			"max_inflight", c.maxInFlight, "max_queue", c.maxQueue)
+		got = <-sig
+	}
 	fmt.Printf("%s: draining (up to %v)\n", got, c.drainTimeout)
 	logger.Info("draining", "signal", got.String(), "timeout", c.drainTimeout)
 
@@ -141,6 +167,27 @@ func run(c cli) error {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	fmt.Println("drained; exiting cleanly")
+	return nil
+}
+
+// pendingSignal drains one already-delivered signal without blocking.
+func pendingSignal(sig <-chan os.Signal) os.Signal {
+	select {
+	case s := <-sig:
+		return s
+	default:
+		return nil
+	}
+}
+
+// exitDuringStartup is the clean exit for a shutdown signal that arrived
+// before the server existed: nothing is listening and nothing is in flight,
+// so the drain is trivially complete. The message keeps the same "drained;
+// exiting cleanly" terminator the post-startup path prints, so process
+// supervisors can match one pattern.
+func exitDuringStartup(logger *slog.Logger, got os.Signal, stage string) error {
+	logger.Info("shutdown during startup", "signal", got.String(), "stage", stage)
+	fmt.Printf("%s during startup (%s): drained; exiting cleanly\n", got, stage)
 	return nil
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The tests below re-exec the test binary as the real daemon: TestMain
+// detects the env var and hands control to main(), so the child process has
+// the production signal handling, flag parsing, and exit codes — not a
+// test-harness approximation of them.
+func TestMain(m *testing.M) {
+	if os.Getenv("TWOFACE_SERVE_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// startServe launches the daemon as a child process with the given args and
+// returns the command plus a line-channel fed from its stderr (structured
+// logs) so tests can synchronize on startup progress.
+func startServe(t *testing.T, args ...string) (*exec.Cmd, *bytes.Buffer, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TWOFACE_SERVE_BE_MAIN=1")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default: // test stopped listening; keep draining so the child can't block
+			}
+		}
+		close(lines)
+	}()
+	return cmd, &stdout, lines
+}
+
+// waitForLine blocks until a stderr log line containing substr appears.
+func waitForLine(t *testing.T, lines <-chan string, substr string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("child stderr closed before %q appeared", substr)
+			}
+			if strings.Contains(line, substr) {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q on child stderr", substr)
+		}
+	}
+}
+
+// TestSigtermDuringStartup delivers SIGTERM as soon as the daemon has
+// installed its handler but is still preprocessing — before the listener
+// exists. The process must exit 0 with the drain message and must never
+// print the serving banner (no banner race: a dying process must not
+// advertise an endpoint).
+func TestSigtermDuringStartup(t *testing.T) {
+	// A large enough plan that preprocessing comfortably outlasts signal
+	// delivery; "starting" is logged right after signal.Notify, so the
+	// SIGTERM below always lands inside the startup window.
+	cmd, stdout, lines := startServe(t,
+		"-plans", "web:0.5", "-K", "32", "-p", "4", "-listen", "127.0.0.1:0")
+	waitForLine(t, lines, "starting")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("child exited with error (want clean exit 0): %v\nstdout:\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "drained; exiting cleanly") {
+		t.Fatalf("missing drain message in stdout:\n%s", out)
+	}
+	if strings.Contains(out, "serving on http://") {
+		t.Fatalf("startup-time SIGTERM still printed the serving banner:\n%s", out)
+	}
+}
+
+// TestSigtermAfterStartupDrains is the post-startup control: once the banner
+// is up, SIGTERM must drain and exit 0 — the startup rework must not have
+// broken the normal path.
+func TestSigtermAfterStartupDrains(t *testing.T) {
+	cmd, stdout, lines := startServe(t,
+		"-plans", "web:0.05", "-K", "16", "-p", "2", "-listen", "127.0.0.1:0")
+	waitForLine(t, lines, "serving")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("child exited with error: %v\nstdout:\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"serving on http://", "draining", "drained; exiting cleanly"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	// The banner must precede the drain chatter — no interleaving.
+	if strings.Index(out, "serving on http://") > strings.Index(out, "draining") {
+		t.Fatalf("banner printed after drain started:\n%s", out)
+	}
+}

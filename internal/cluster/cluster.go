@@ -8,28 +8,32 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Cluster is a simulated p-node distributed machine. Create one with New,
-// then execute a distributed program with Run; every node runs the program
-// concurrently in its own goroutine, communicating through the Rank handle.
+// Cluster is a p-node distributed machine. Create one with New (in-process
+// virtual-time simulator) or NewWithTransport (any Transport backend), then
+// execute a distributed program with Run; every node this process hosts runs
+// the program concurrently in its own goroutine, communicating through the
+// Rank handle. Under the simulator that is all p nodes; under a
+// multi-process transport it is this process's single rank, with the peers
+// running the same program in their own processes.
 //
 // A Cluster may be Run multiple times; windows and virtual clocks reset
 // between runs only via Reset.
 type Cluster struct {
-	p   int
-	net NetModel
+	p    int
+	net  NetModel
+	tr   Transport
+	wall bool // transport measures real time; modeled charges are ignored
 
-	mu       sync.RWMutex
-	windows  []map[string][]float64 // per-rank named one-sided windows
-	staging  [][]float64            // per-rank deposit slots for exchanges
-	ranks    []*Rank
+	ranks []*Rank
+
+	mu       sync.RWMutex  // guards injector and retry
 	injector FaultInjector // nil = healthy machine
 	retry    RetryPolicy
 
-	barrier *barrier
-	abort   atomic.Pointer[abortError] // first failure; nil while healthy
-	log     atomic.Pointer[slog.Logger]
+	log atomic.Pointer[slog.Logger]
 
 	// Crash-recovery membership. recovery is set before Run (SetRecovery);
 	// live and deaths are guarded by memMu and describe the current run.
@@ -51,21 +55,31 @@ type DeathRecord struct {
 	Checkpoints int64   // checkpoint writes the rank completed before dying
 }
 
-// New returns a cluster of p nodes with the given network model.
+// New returns a cluster of p nodes on the in-process virtual-time simulator
+// with the given network model.
 func New(p int, net NetModel) (*Cluster, error) {
+	tr, err := NewMemTransport(p)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTransport(tr, net)
+}
+
+// NewWithTransport returns a cluster whose ranks communicate through the
+// given transport backend. Rank handles exist for all P ranks (so ledger and
+// counter accessors stay shape-stable), but Run executes the program only on
+// the transport's local ranks.
+func NewWithTransport(tr Transport, net NetModel) (*Cluster, error) {
+	p := tr.P()
 	if p < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", p)
 	}
 	c := &Cluster{
-		p:       p,
-		net:     net,
-		windows: make([]map[string][]float64, p),
-		staging: make([][]float64, p),
-		barrier: newBarrier(p),
-		retry:   RetryPolicy{}.Normalize(),
-	}
-	for i := range c.windows {
-		c.windows[i] = map[string][]float64{}
+		p:     p,
+		net:   net,
+		tr:    tr,
+		wall:  tr.WallClock(),
+		retry: RetryPolicy{}.Normalize(),
 	}
 	c.ranks = make([]*Rank, p)
 	for i := 0; i < p; i++ {
@@ -80,21 +94,27 @@ func (c *Cluster) P() int { return c.p }
 // Net returns the cluster's network model.
 func (c *Cluster) Net() NetModel { return c.net }
 
-// Run executes fn on every rank concurrently and waits for all of them. If
-// any rank returns an error, the whole cluster aborts: the barrier is
-// broken so ranks blocked in collectives fail fast, and every subsequent
+// Transport returns the transfer backend the cluster runs over.
+func (c *Cluster) Transport() Transport { return c.tr }
+
+// WallClock reports whether rank ledgers measure real elapsed time instead
+// of accumulating modeled virtual time (see Rank.Charge).
+func (c *Cluster) WallClock() bool { return c.wall }
+
+// Run executes fn on every local rank concurrently and waits for all of
+// them. If any rank returns an error, the whole cluster aborts: the barrier
+// is broken so ranks blocked in collectives fail fast, and every subsequent
 // window lookup, transfer, or retry-loop iteration on any rank observes an
 // ErrAborted-wrapping error, so a mid-run rank failure cannot deadlock the
 // survivors. The joined per-rank errors are returned.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
-	c.abort.Store(nil)
 	c.memMu.Lock()
 	c.live = c.p
 	c.deaths = nil
 	c.memMu.Unlock()
 	errs := make([]error, c.p)
 	var wg sync.WaitGroup
-	for i := 0; i < c.p; i++ {
+	for _, i := range c.tr.LocalRanks() {
 		wg.Add(1)
 		go func(rank *Rank) {
 			defer wg.Done()
@@ -105,30 +125,22 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 		}(c.ranks[i])
 	}
 	wg.Wait()
-	c.barrier.reset()
-	c.abort.Store(nil)
+	c.tr.Finish()
 	return errors.Join(errs...)
 }
 
 // abortWith records the first failure and releases every current and
 // future barrier waiter with an ErrAborted-wrapping error.
 func (c *Cluster) abortWith(cause error) {
-	err := &abortError{cause: cause}
-	if c.abort.CompareAndSwap(nil, err) {
+	if c.tr.Abort(cause) {
 		if l := c.log.Load(); l != nil {
 			l.Error("cluster aborted", "cause", cause.Error())
 		}
-		c.barrier.breakWith(err)
 	}
 }
 
 // abortedErr returns the cluster-wide abort error, or nil while healthy.
-func (c *Cluster) abortedErr() error {
-	if err := c.abort.Load(); err != nil {
-		return err
-	}
-	return nil
-}
+func (c *Cluster) abortedErr() error { return c.tr.AbortErr() }
 
 // Breakdowns returns a copy of every rank's virtual-time ledger.
 func (c *Cluster) Breakdowns() []Breakdown {
@@ -158,13 +170,7 @@ func (c *Cluster) TotalTime() float64 {
 // unrelated run. An attached fault injector survives: repeated runs on one
 // plan stay under the same fault regime.
 func (c *Cluster) Reset() {
-	c.mu.Lock()
-	for i := range c.windows {
-		c.windows[i] = map[string][]float64{}
-		c.staging[i] = nil
-	}
-	c.mu.Unlock()
-	c.abort.Store(nil)
+	c.tr.Reset()
 	c.memMu.Lock()
 	c.live = c.p
 	c.deaths = nil
@@ -272,6 +278,7 @@ type Rank struct {
 
 	mu         sync.Mutex
 	bd         Breakdown
+	lastWall   time.Time // wall-clock mode: end of the last measured interval
 	rec        SpanRecorder
 	log        atomic.Pointer[slog.Logger] // rank-attributed child of the cluster logger
 	fi         FaultInjector               // cached from the cluster; nil = healthy
@@ -300,6 +307,14 @@ func (r *Rank) Net() NetModel { return r.c.net }
 // node's ledger. Negative charges are rejected. An attached span recorder
 // sees the charge under the category's generic label; use ChargeOp to name
 // the phase.
+//
+// On a wall-clock transport the modeled dt is ignored: each charge instead
+// closes the real-time interval since the rank's previous charge and books
+// the measured seconds to its category, so the ledger's categories tile the
+// measured span of the run (the modeled categories are reported as
+// "measured"). SyncOverlap is the exception — overlap is a modeled credit
+// with no measurable duration of its own, so it books zero without
+// consuming the interval.
 func (r *Rank) Charge(cat Category, dt float64) {
 	r.charge(cat, "", dt)
 }
@@ -328,7 +343,24 @@ func (r *Rank) charge(cat Category, op string, dt float64) float64 {
 	if r.recovering {
 		cat = Recovery
 	}
-	if r.fi != nil {
+	if r.c.wall {
+		// Measured ledger: replace the modeled dt with the real interval
+		// since this rank's previous charge. Attribution is to the charge
+		// that closes the interval, which is the category whose operation
+		// just finished; with several goroutines charging one rank the
+		// intervals still tile wall time exactly, but category attribution
+		// is approximate under concurrency (see DESIGN.md section 14).
+		now := time.Now()
+		if cat == Overlap {
+			dt = 0 // modeled credit; no measurable duration, keep the interval open
+		} else {
+			dt = 0
+			if !r.lastWall.IsZero() {
+				dt = now.Sub(r.lastWall).Seconds()
+			}
+			r.lastWall = now
+		}
+	} else if r.fi != nil {
 		dt *= r.fi.ScaleCharge(r.ID, cat)
 	}
 	f := r.bd.field(cat)
@@ -373,6 +405,7 @@ func (r *Rank) Breakdown() Breakdown {
 func (r *Rank) resetClock() {
 	r.mu.Lock()
 	r.bd = Breakdown{}
+	r.lastWall = time.Time{}
 	r.recovering = false
 	r.mu.Unlock()
 	r.counters.reset()
@@ -442,7 +475,7 @@ func (r *Rank) Die(at float64, units int, checkpoints int64) error {
 			"event", "crash.recoverable", "at", at,
 			"checkpointed_units", units, "checkpoints", checkpoints)
 	}
-	c.barrier.leave()
+	c.tr.Leave(r.ID)
 	return nil
 }
 
@@ -456,5 +489,5 @@ func (r *Rank) Barrier() error {
 		return err
 	}
 	r.Instant("barrier")
-	return r.c.barrier.wait()
+	return r.c.tr.Barrier(r.ID)
 }

@@ -11,22 +11,14 @@ import "fmt"
 
 // deposit places data in this rank's staging slot.
 func (r *Rank) deposit(data []float64) {
-	r.c.mu.Lock()
-	r.c.staging[r.ID] = data
-	r.c.mu.Unlock()
+	r.c.tr.Deposit(r.ID, data)
 }
 
 func (r *Rank) collect(from int) ([]float64, error) {
 	if err := r.c.abortedErr(); err != nil {
 		return nil, err
 	}
-	if from < 0 || from >= r.P {
-		return nil, fmt.Errorf("cluster: rank %d: collect from %d out of range [0,%d)", r.ID, from, r.P)
-	}
-	r.c.mu.RLock()
-	d := r.c.staging[from]
-	r.c.mu.RUnlock()
-	return d, nil
+	return r.c.tr.Collect(r.ID, from)
 }
 
 // Sendrecv simultaneously sends `send` toward rank `to` and receives the

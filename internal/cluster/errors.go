@@ -47,3 +47,9 @@ func (e *abortError) Error() string {
 }
 
 func (e *abortError) Unwrap() []error { return []error{ErrAborted, e.cause} }
+
+// NewAbortError wraps cause in the cluster's abort error type, unwrapping to
+// both ErrAborted and cause. Transport backends outside this package use it
+// to surface remote aborts with the same errors.Is behaviour the in-process
+// simulator produces.
+func NewAbortError(cause error) error { return &abortError{cause: cause} }

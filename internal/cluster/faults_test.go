@@ -178,11 +178,12 @@ func TestResetClearsEverything(t *testing.T) {
 
 	c.Reset()
 
+	mt := c.Transport().(*memTransport)
 	for i := 0; i < c.P(); i++ {
-		if len(c.windows[i]) != 0 {
-			t.Errorf("rank %d still has %d windows after Reset", i, len(c.windows[i]))
+		if len(mt.windows[i]) != 0 {
+			t.Errorf("rank %d still has %d windows after Reset", i, len(mt.windows[i]))
 		}
-		if c.staging[i] != nil {
+		if mt.staging[i] != nil {
 			t.Errorf("rank %d staging slot not cleared", i)
 		}
 	}

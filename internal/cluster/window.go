@@ -20,28 +20,7 @@ type Region struct {
 // The slice is not copied: the caller must not mutate it until the window is
 // dropped. Call Barrier afterwards before peers access it.
 func (r *Rank) Expose(name string, data []float64) {
-	r.c.mu.Lock()
-	r.c.windows[r.ID][name] = data
-	r.c.mu.Unlock()
-}
-
-// window looks up a peer's exposed buffer. It observes the cluster-wide
-// abort flag so that a rank looping over window accesses after a peer
-// failure stops promptly instead of grinding on.
-func (r *Rank) window(target int, name string) ([]float64, error) {
-	if err := r.c.abortedErr(); err != nil {
-		return nil, err
-	}
-	if target < 0 || target >= r.P {
-		return nil, fmt.Errorf("cluster: rank %d: window target %d out of range [0,%d): %w", r.ID, target, r.P, ErrWindowMissing)
-	}
-	r.c.mu.RLock()
-	w, ok := r.c.windows[target][name]
-	r.c.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("cluster: rank %d: no window %q exposed by rank %d: %w", r.ID, name, target, ErrWindowMissing)
-	}
-	return w, nil
+	r.c.tr.Expose(r.ID, name, data)
 }
 
 // GetIndexed performs a one-sided read of the given regions from a peer's
@@ -98,22 +77,19 @@ func (r *Rank) GetIndexed(target int, name string, regions []Region, dst []float
 }
 
 func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float64, record bool) (int64, error) {
-	w, err := r.window(target, name)
-	if err != nil {
+	// Observe the cluster-wide abort flag before touching the transport, so
+	// a rank looping over window accesses after a peer failure stops
+	// promptly instead of grinding on.
+	if err := r.c.abortedErr(); err != nil {
 		return 0, err
 	}
-	var n int64
-	for _, reg := range regions {
-		if reg.Off < 0 || reg.Elems < 0 || reg.Off+reg.Elems > int64(len(w)) {
-			return 0, fmt.Errorf("cluster: rank %d: region [%d,+%d) outside window %q of rank %d (len %d): %w",
-				r.ID, reg.Off, reg.Elems, name, target, len(w), ErrRegionOOB)
-		}
-		if int64(len(dst))-n < reg.Elems {
-			return 0, fmt.Errorf("cluster: rank %d: destination too small for indexed get (%d < %d): %w",
-				r.ID, len(dst), n+reg.Elems, ErrDstTooSmall)
-		}
-		copy(dst[n:n+reg.Elems], w[reg.Off:reg.Off+reg.Elems])
-		n += reg.Elems
+	// The transport's Read is all-or-nothing: a failed get (bad region,
+	// missing window, lost connection mid-transfer) leaves dst untouched,
+	// so the retry/degrade machinery above can reuse the buffer without a
+	// consumer ever observing bytes from the failed attempt.
+	n, err := r.c.tr.Read(r.ID, target, name, regions, dst)
+	if err != nil {
+		return 0, err
 	}
 	r.counters.addOneSided(n, int64(len(regions)))
 	if record {
@@ -130,7 +106,9 @@ func (r *Rank) getIndexed(target int, name string, regions []Region, dst []float
 		// Recovery re-execution skips it too: post-fence charging must stay
 		// single-rank, or the charge's category on the target would depend
 		// on whether the target was still inside its own recovery phase.
-		if f := r.c.net.TargetContention; f > 0 && target != r.ID && !r.isRecovering() {
+		// Wall-clock transports skip it entirely: the target rank is a
+		// remote process whose ledger measures its own real time.
+		if f := r.c.net.TargetContention; f > 0 && target != r.ID && !r.c.wall && !r.isRecovering() {
 			r.c.ranks[target].ChargeOp(AsyncComm, "get.target_contention", f*r.c.net.OneSidedCost(len(regions), n))
 		}
 	}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// Satellite regression tests for the all-or-nothing guarantee of one-sided
+// reads: a get that fails validation — a region out of bounds, a destination
+// too small, a missing window — must leave the caller's dst untouched, no
+// matter how many of its regions were individually valid. Before the
+// transport seam, getIndexed copied region-by-region and returned mid-loop,
+// so a failing *second* region left the first region's bytes visible in dst;
+// once real sockets can fail mid-transfer this seam is load-bearing for the
+// retry/degrade path (the degraded re-fetch reuses the same buffer).
+
+const canary = -12345.5
+
+func canaryBuf(n int) []float64 {
+	dst := make([]float64, n)
+	for i := range dst {
+		dst[i] = canary
+	}
+	return dst
+}
+
+func assertUntouched(t *testing.T, dst []float64) {
+	t.Helper()
+	for i, v := range dst {
+		if v != canary {
+			t.Fatalf("dst[%d] = %v: failed get leaked bytes into the destination", i, v)
+		}
+	}
+}
+
+func windowFixture(t *testing.T) (*Cluster, *Rank) {
+	t.Helper()
+	c, err := New(2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	c.ranks[1].Expose("B", w)
+	return c, c.ranks[0]
+}
+
+func TestGetIndexedOOBSecondRegionLeavesDstUntouched(t *testing.T) {
+	_, r := windowFixture(t)
+	dst := canaryBuf(8)
+	// First region valid, second out of bounds: the old region-by-region
+	// copy would have written dst[0:4] before noticing.
+	_, err := r.GetIndexed(1, "B", []Region{{Off: 0, Elems: 4}, {Off: 6, Elems: 4}}, dst)
+	if !errors.Is(err, ErrRegionOOB) {
+		t.Fatalf("want ErrRegionOOB, got %v", err)
+	}
+	assertUntouched(t, dst)
+}
+
+func TestGetIndexedDstTooSmallLeavesDstUntouched(t *testing.T) {
+	_, r := windowFixture(t)
+	dst := canaryBuf(3)
+	// Two valid regions, but dst only has room for the first: the old code
+	// filled dst[0:2] from region one before rejecting region two.
+	_, err := r.GetIndexed(1, "B", []Region{{Off: 0, Elems: 2}, {Off: 4, Elems: 2}}, dst)
+	if !errors.Is(err, ErrDstTooSmall) {
+		t.Fatalf("want ErrDstTooSmall, got %v", err)
+	}
+	assertUntouched(t, dst)
+}
+
+func TestSyncFallbackPullFailureLeavesDstUntouched(t *testing.T) {
+	_, r := windowFixture(t)
+	dst := canaryBuf(8)
+	// The degrade path re-fetches through the collective substrate; a
+	// failing re-fetch must be as side-effect-free as a failing get.
+	_, err := r.SyncFallbackPull(1, "B", []Region{{Off: 2, Elems: 2}, {Off: -1, Elems: 2}}, dst)
+	if !errors.Is(err, ErrRegionOOB) {
+		t.Fatalf("want ErrRegionOOB, got %v", err)
+	}
+	assertUntouched(t, dst)
+
+	_, err = r.SyncFallbackPull(1, "missing", []Region{{Off: 0, Elems: 2}}, dst)
+	if !errors.Is(err, ErrWindowMissing) {
+		t.Fatalf("want ErrWindowMissing, got %v", err)
+	}
+	assertUntouched(t, dst)
+}
+
+func TestMemTransportReadAllOrNothing(t *testing.T) {
+	tr, err := NewMemTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Expose(1, "w", []float64{1, 2, 3, 4})
+	dst := canaryBuf(4)
+	if _, err := tr.Read(0, 1, "w", []Region{{Off: 0, Elems: 2}, {Off: 3, Elems: 2}}, dst); !errors.Is(err, ErrRegionOOB) {
+		t.Fatalf("want ErrRegionOOB, got %v", err)
+	}
+	assertUntouched(t, dst)
+	if _, err := tr.Read(0, 3, "w", nil, dst); !errors.Is(err, ErrWindowMissing) {
+		t.Fatalf("want ErrWindowMissing for target out of range, got %v", err)
+	}
+	n, err := tr.Read(0, 1, "w", []Region{{Off: 1, Elems: 2}}, dst)
+	if err != nil || n != 2 || dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("valid read: n=%d err=%v dst=%v", n, err, dst[:2])
+	}
+}
+
+// TestGetIndexedRetryExhaustedLeavesDstUntouched drives the chaos path: a
+// fault injector that always fails the get exhausts the retry budget, and
+// the exhausted get must not have leaked any bytes into dst — the caller
+// hands the very same buffer to SyncFallbackPull next.
+func TestGetIndexedRetryExhaustedLeavesDstUntouched(t *testing.T) {
+	c, r := windowFixture(t)
+	c.SetFaultInjector(alwaysFailInjector{})
+	dst := canaryBuf(8)
+	_, err := r.GetIndexed(1, "B", []Region{{Off: 0, Elems: 4}}, dst)
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("want ErrRetryExhausted, got %v", err)
+	}
+	assertUntouched(t, dst)
+	// The degraded re-fetch then fills the same buffer correctly.
+	n, err := r.SyncFallbackPull(1, "B", []Region{{Off: 0, Elems: 4}}, dst)
+	if err != nil || n != 4 {
+		t.Fatalf("fallback: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != float64(i+1) {
+			t.Fatalf("fallback dst[%d] = %v, want %v", i, dst[i], float64(i+1))
+		}
+	}
+}
+
+// alwaysFailInjector fails every one-sided attempt with no delay, leaving
+// collectives healthy — the minimal injector for exercising retry
+// exhaustion and degradation.
+type alwaysFailInjector struct{}
+
+func (alwaysFailInjector) ScaleCharge(rank int, cat Category) float64 { return 1 }
+func (alwaysFailInjector) GetAttempt(origin, target int, firstOff, elems int64, attempt int) AttemptOutcome {
+	return AttemptOutcome{Fail: true}
+}
+func (alwaysFailInjector) LegAttempt(origin, root int, off, elems int64, syncClock float64, attempt int) AttemptOutcome {
+	return AttemptOutcome{}
+}
+func (alwaysFailInjector) CrashTime(rank int) float64 { return 0 }
+func (alwaysFailInjector) Retry() RetryPolicy         { return RetryPolicy{} }

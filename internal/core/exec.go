@@ -100,8 +100,14 @@ type Result struct {
 	C *dense.Matrix
 	// Breakdowns holds each node's modeled time ledger (Figure 10).
 	Breakdowns []cluster.Breakdown
-	// ModeledSeconds is the cluster makespan under the virtual-time model.
+	// ModeledSeconds is the cluster makespan under the virtual-time model —
+	// or, when Measured is set, the maximum measured rank time.
 	ModeledSeconds float64
+	// Measured reports that the cluster ran on a wall-clock transport: the
+	// breakdown ledgers hold measured elapsed seconds (attributed to the
+	// same categories, best-effort under concurrency) instead of modeled
+	// virtual time, and only the transport's local ranks carry charges.
+	Measured bool
 	// Wall is the wall-clock duration of the simulated run. It measures
 	// this host, not the modeled machine.
 	Wall time.Duration
@@ -227,6 +233,7 @@ func Exec(prep *Prep, b *dense.Matrix, clu *cluster.Cluster, opts ExecOptions) (
 		Breakdowns:     clu.Breakdowns(),
 		ModeledSeconds: clu.TotalTime(),
 		Wall:           wall,
+		Measured:       clu.WallClock(),
 	}
 	for _, rc := range caches {
 		rc.mu.Lock()

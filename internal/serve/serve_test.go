@@ -278,8 +278,10 @@ func TestCoalescing(t *testing.T) {
 		code, _, mr, _ := postJSON(t, s.Addr(), leader)
 		leadCh <- result{mr, code}
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond) // leader is inside its hold window
+	// The leader owns its admission slot — and is therefore inside its hold
+	// window — once the inflight gauge ticks up; its flight was registered
+	// before it entered admission, so a duplicate arriving now coalesces.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	code, _, follower, raw := postJSON(t, s.Addr(), seedReq("alpha", 1))
 	if code != http.StatusOK {
@@ -313,7 +315,8 @@ func TestCoalescing(t *testing.T) {
 		leadCh <- result{nil, code}
 	}()
 	waitFor(t, func() bool { return metricRequests.Value() == 3 })
-	time.Sleep(20 * time.Millisecond)
+	// The new leader owns its slot (the earlier traffic has fully released).
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 	solo := seedReq("alpha", 1)
 	solo.NoCoalesce = true
 	if code, _, mr, _ := postJSON(t, s.Addr(), solo); code != http.StatusOK || mr.Coalesced {
@@ -341,8 +344,8 @@ func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), blocker)
 		blockCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+	// The blocker owns the lone slot once the inflight gauge ticks up.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	leader := seedReq("alpha", 1)
 	leadCh := make(chan int, 1)
@@ -350,8 +353,9 @@ func TestCoalescedFollowerSeesLeaderError(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), leader)
 		leadCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 2 })
-	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+	// The leader is parked in the admission queue once the depth gauge
+	// ticks up; its flight is already joinable.
+	waitFor(t, func() bool { return metricQueueDepth.Value() == 1 })
 
 	fCode, fHdr, _, fBody := postJSON(t, s.Addr(), seedReq("alpha", 1))
 	lCode := <-leadCh
@@ -389,8 +393,8 @@ func TestLeaderDeadlineReElection(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), blocker)
 		blockCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+	// The blocker owns the lone slot once the inflight gauge ticks up.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	leader := seedReq("alpha", 1)
 	leader.QueueTimeoutMillis = 200 // leader-only: shorter than the server's 2s
@@ -399,8 +403,9 @@ func TestLeaderDeadlineReElection(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), leader)
 		leadCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 2 })
-	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+	// The leader is parked in the admission queue once the depth gauge
+	// ticks up; its flight is already joinable.
+	waitFor(t, func() bool { return metricQueueDepth.Value() == 1 })
 
 	fCode, _, follower, fBody := postJSON(t, s.Addr(), seedReq("alpha", 1))
 	lCode := <-leadCh
@@ -441,8 +446,8 @@ func TestClientGoneLeaderReElection(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), blocker)
 		blockCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond) // blocker holds the slot
+	// The blocker owns the lone slot once the inflight gauge ticks up.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	ctx, cancel := context.WithCancel(context.Background())
 	body, _ := json.Marshal(seedReq("alpha", 1))
@@ -460,8 +465,9 @@ func TestClientGoneLeaderReElection(t *testing.T) {
 		}
 		leadCh <- err
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 2 })
-	time.Sleep(20 * time.Millisecond) // leader is queued on the slot
+	// The leader is parked in the admission queue once the depth gauge
+	// ticks up; its flight is already joinable.
+	waitFor(t, func() bool { return metricQueueDepth.Value() == 1 })
 
 	fCh := make(chan struct {
 		code int
@@ -529,8 +535,10 @@ func TestNearDuplicateDoesNotCoalesce(t *testing.T) {
 		_, _, mr, _ := postJSON(t, s.Addr(), lead)
 		leadCh <- mr
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond) // leader is inside its hold window
+	// The leader owns its admission slot — and is therefore inside its hold
+	// window — once the inflight gauge ticks up; its flight was registered
+	// before it entered admission, so a duplicate arriving now coalesces.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	code, _, near, raw := postJSON(t, s.Addr(), MultiplyRequest{Plan: "alpha", B: b2.Data, IncludeC: true})
 	if code != http.StatusOK {
@@ -693,8 +701,8 @@ func TestShutdownDrains(t *testing.T) {
 		_, _, mr, _ := postJSON(t, s.Addr(), inflight)
 		inCh <- mr
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 1 })
-	time.Sleep(20 * time.Millisecond)
+	// The in-flight multiply owns the lone slot.
+	waitFor(t, func() bool { return metricInflight.Value() == 1 })
 
 	queued := seedReq("beta", 2)
 	qCh := make(chan int, 1)
@@ -702,8 +710,9 @@ func TestShutdownDrains(t *testing.T) {
 		code, _, _, _ := postJSON(t, s.Addr(), queued)
 		qCh <- code
 	}()
-	waitFor(t, func() bool { return metricRequests.Value() == 2 })
-	time.Sleep(20 * time.Millisecond)
+	// The second request is parked in the admission queue; shutdown must
+	// answer it with 503, not strand it.
+	waitFor(t, func() bool { return metricQueueDepth.Value() == 1 })
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

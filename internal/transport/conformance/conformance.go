@@ -1,0 +1,287 @@
+// Package conformance is the executable contract of cluster.Transport: one
+// suite of semantic tests that every backend — the in-process virtual-time
+// simulator and the multi-process TCP transport alike — must pass. The
+// executor's correctness arguments (all-or-nothing gets feeding the
+// retry/degrade path, barrier/abort interplay, bit-identical floats across
+// backends) lean on exactly these properties, so a new backend passes this
+// suite before it is allowed under the executor.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twoface/internal/cluster"
+)
+
+// Backend describes one transport implementation under test. New returns
+// per-rank transport views for a p-rank cluster: the simulator returns the
+// same Transport p times (all ranks share the process), a multi-process
+// backend returns p distinct Transports (here: all in one test process,
+// each serving one rank over real sockets).
+type Backend struct {
+	Name string
+	New  func(t *testing.T, p int) []cluster.Transport
+}
+
+// Run drives the conformance suite against one backend.
+func Run(t *testing.T, b Backend) {
+	t.Run("GetSemantics", func(t *testing.T) { testGetSemantics(t, b) })
+	t.Run("GetAllOrNothing", func(t *testing.T) { testGetAllOrNothing(t, b) })
+	t.Run("DepositCollect", func(t *testing.T) { testDepositCollect(t, b) })
+	t.Run("BarrierOrdering", func(t *testing.T) { testBarrierOrdering(t, b) })
+	t.Run("AbortPropagation", func(t *testing.T) { testAbortPropagation(t, b) })
+	t.Run("ConcurrentReads", func(t *testing.T) { testConcurrentReads(t, b) })
+}
+
+// view returns the transport that serves rank r.
+func view(trs []cluster.Transport, r int) cluster.Transport {
+	if len(trs) == 1 {
+		return trs[0]
+	}
+	return trs[r]
+}
+
+func testGetSemantics(t *testing.T, b Backend) {
+	trs := b.New(t, 2)
+	w := make([]float64, 16)
+	for i := range w {
+		w[i] = float64(i) * 1.5
+	}
+	view(trs, 1).Expose(1, "B", w)
+
+	// Multi-region gets pack contiguously, preserving request order.
+	dst := make([]float64, 6)
+	n, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: 10, Elems: 2}, {Off: 0, Elems: 3}, {Off: 15, Elems: 1}}, dst)
+	if err != nil || n != 6 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	want := []float64{15, 16.5, 0, 1.5, 3, 22.5}
+	for i, v := range want {
+		if dst[i] != v {
+			t.Fatalf("dst[%d] = %v, want %v (bit-exact floats are part of the contract)", i, dst[i], v)
+		}
+	}
+
+	// Self-reads work: rank 1 reading its own window.
+	self := make([]float64, 2)
+	if n, err := view(trs, 1).Read(1, 1, "B", []cluster.Region{{Off: 4, Elems: 2}}, self); err != nil || n != 2 || self[0] != 6 {
+		t.Fatalf("self read: n=%d err=%v dst=%v", n, err, self)
+	}
+
+	// Zero regions is a valid empty get.
+	if n, err := view(trs, 0).Read(0, 1, "B", nil, nil); err != nil || n != 0 {
+		t.Fatalf("empty read: n=%d err=%v", n, err)
+	}
+
+	// Re-exposing a name replaces the window.
+	view(trs, 1).Expose(1, "B", []float64{-1, -2})
+	if _, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: 0, Elems: 2}}, dst); err != nil || dst[0] != -1 {
+		t.Fatalf("re-exposed read: err=%v dst=%v", err, dst[:2])
+	}
+}
+
+func testGetAllOrNothing(t *testing.T, b Backend) {
+	trs := b.New(t, 2)
+	view(trs, 1).Expose(1, "B", []float64{1, 2, 3, 4})
+
+	const canary = -777.25
+	fresh := func(n int) []float64 {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = canary
+		}
+		return d
+	}
+	untouched := func(d []float64, label string) {
+		t.Helper()
+		for i, v := range d {
+			if v != canary {
+				t.Fatalf("%s: dst[%d] = %v — failed get leaked bytes", label, i, v)
+			}
+		}
+	}
+
+	// Second region OOB: first region's bytes must not appear.
+	dst := fresh(4)
+	if _, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: 0, Elems: 2}, {Off: 3, Elems: 2}}, dst); !errors.Is(err, cluster.ErrRegionOOB) {
+		t.Fatalf("want ErrRegionOOB, got %v", err)
+	}
+	untouched(dst, "oob")
+
+	// Missing window.
+	if _, err := view(trs, 0).Read(0, 1, "nope", []cluster.Region{{Off: 0, Elems: 1}}, dst); !errors.Is(err, cluster.ErrWindowMissing) {
+		t.Fatalf("want ErrWindowMissing, got %v", err)
+	}
+	untouched(dst, "missing window")
+
+	// Target out of range.
+	if _, err := view(trs, 0).Read(0, 9, "B", []cluster.Region{{Off: 0, Elems: 1}}, dst); !errors.Is(err, cluster.ErrWindowMissing) {
+		t.Fatalf("want ErrWindowMissing for bad target, got %v", err)
+	}
+	untouched(dst, "bad target")
+
+	// Destination too small.
+	small := fresh(1)
+	if _, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: 0, Elems: 2}}, small); !errors.Is(err, cluster.ErrDstTooSmall) {
+		t.Fatalf("want ErrDstTooSmall, got %v", err)
+	}
+	untouched(small, "small dst")
+
+	// Negative offsets and lengths are OOB, not panics.
+	if _, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: -1, Elems: 2}}, dst); !errors.Is(err, cluster.ErrRegionOOB) {
+		t.Fatalf("want ErrRegionOOB for negative offset, got %v", err)
+	}
+	untouched(dst, "negative offset")
+}
+
+func testDepositCollect(t *testing.T, b Backend) {
+	trs := b.New(t, 3)
+	view(trs, 0).Deposit(0, []float64{1, 2})
+	view(trs, 2).Deposit(2, []float64{9})
+
+	got, err := view(trs, 1).Collect(1, 0)
+	if err != nil || len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("collect from 0: %v err=%v", got, err)
+	}
+	got, err = view(trs, 0).Collect(0, 2)
+	if err != nil || len(got) != 1 || got[0] != 9 {
+		t.Fatalf("collect from 2: %v err=%v", got, err)
+	}
+	// Nothing deposited → nil payload, no error.
+	if got, err := view(trs, 0).Collect(0, 1); err != nil || got != nil {
+		t.Fatalf("empty collect: %v err=%v", got, err)
+	}
+	// Out-of-range source is an error.
+	if _, err := view(trs, 0).Collect(0, 5); err == nil {
+		t.Fatal("collect from out-of-range rank should fail")
+	}
+}
+
+func testBarrierOrdering(t *testing.T, b Backend) {
+	const p, rounds = 3, 5
+	trs := b.New(t, p)
+	// A barrier separates phases: all increments of round i are visible to
+	// every rank before any rank starts round i+1.
+	var counter atomic.Int64
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				counter.Add(1)
+				if err := view(trs, r).Barrier(r); err != nil {
+					errs[r] = err
+					return
+				}
+				if got := counter.Load(); got < int64((round+1)*p) {
+					errs[r] = fmt.Errorf("rank %d after round %d: counter %d < %d", r, round, got, (round+1)*p)
+					return
+				}
+				if err := view(trs, r).Barrier(r); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func testAbortPropagation(t *testing.T, b Backend) {
+	trs := b.New(t, 2)
+
+	// Rank 1 blocks in a barrier; rank 0 aborts; the barrier must fail with
+	// ErrAborted rather than hang.
+	done := make(chan error, 1)
+	go func() { done <- view(trs, 1).Barrier(1) }()
+	time.Sleep(20 * time.Millisecond)
+
+	cause := errors.New("conformance boom")
+	if !view(trs, 0).Abort(cause) {
+		t.Fatal("first abort should report true")
+	}
+	if view(trs, 0).Abort(errors.New("second")) {
+		t.Fatal("second abort should lose")
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, cluster.ErrAborted) {
+			t.Fatalf("blocked barrier: want ErrAborted, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("abort did not release the blocked barrier")
+	}
+
+	// Every rank eventually observes the abort, and it unwraps to ErrAborted.
+	for r := 0; r < 2; r++ {
+		deadline := time.Now().Add(10 * time.Second)
+		for view(trs, r).AbortErr() == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d never observed the abort", r)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := view(trs, r).AbortErr(); !errors.Is(err, cluster.ErrAborted) {
+			t.Fatalf("rank %d: AbortErr = %v", r, err)
+		}
+	}
+
+	// New barrier entries fail immediately.
+	if err := view(trs, 0).Barrier(0); !errors.Is(err, cluster.ErrAborted) {
+		t.Fatalf("post-abort barrier: %v", err)
+	}
+}
+
+func testConcurrentReads(t *testing.T, b Backend) {
+	const p = 2
+	trs := b.New(t, p)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i)
+	}
+	view(trs, 1).Expose(1, "B", w)
+
+	// Many goroutines read overlapping regions while the owner re-exposes
+	// other windows: exercised under -race, this is the data-race half of
+	// the contract (windows are read-shared, the registry is locked).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float64, 64)
+			for i := 0; i < 50; i++ {
+				off := int64((g*37 + i*13) % 960)
+				n, err := view(trs, 0).Read(0, 1, "B", []cluster.Region{{Off: off, Elems: 64}}, dst)
+				if err != nil || n != 64 {
+					t.Errorf("goroutine %d read %d: n=%d err=%v", g, i, n, err)
+					return
+				}
+				if dst[0] != float64(off) {
+					t.Errorf("goroutine %d read %d: dst[0]=%v want %v", g, i, dst[0], float64(off))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			view(trs, 1).Expose(1, "scratch", []float64{float64(i)})
+		}
+	}()
+	wg.Wait()
+}

@@ -154,6 +154,31 @@ go run -race ./cmd/twoface-run -matrix web -scale 0.05 -algo twoface \
     -fault-plan "$tmp/legs.json" >"$tmp/chaos_legs.out"
 grep -Eq 'chaos: (bit-exact with|matches) the fault-free run' "$tmp/chaos_legs.out"
 
+echo "== two-process TCP smoke (real sockets, C bit-identical to the simulator)"
+# Two OS processes, one rank each, rendezvous on 127.0.0.1. Single-worker
+# execution pins the accumulation order, so the gathered C must be
+# bit-for-bit the simulator's C — any drift means the transport moved
+# wrong data. Both ranks must exit 0 (clean shutdown, no hung barrier).
+"$tmp/twoface-run" -matrix web -scale 0.1 -algo twoface -K 64 -p 2 \
+    -sync-workers 1 -async-workers 1 -write-c "$tmp/c_sim.bin" \
+    >"$tmp/tcp_sim.out"
+"$tmp/twoface-run" -matrix web -scale 0.1 -algo twoface -K 64 -p 2 \
+    -sync-workers 1 -async-workers 1 -rank 0 -rendezvous "$tmp/rv" \
+    -write-c "$tmp/c_tcp.bin" >"$tmp/tcp_rank0.out" &
+rank0_pid=$!
+"$tmp/twoface-run" -matrix web -scale 0.1 -algo twoface -K 64 -p 2 \
+    -sync-workers 1 -async-workers 1 -rank 1 -rendezvous "$tmp/rv" &
+rank1_pid=$!
+wait "$rank0_pid"
+wait "$rank1_pid"
+grep -q 'multi-process TCP' "$tmp/tcp_rank0.out"
+grep -q 'verified against the reference kernel' "$tmp/tcp_rank0.out"
+grep -q '^measured time: ' "$tmp/tcp_rank0.out"
+cmp "$tmp/c_tcp.bin" "$tmp/c_sim.bin" || {
+    echo "TCP-backend C differs from the simulator's C" >&2
+    exit 1
+}
+
 echo "== serve smoke (resident-plan daemon: multiply, coalesce, metrics, drain)"
 go build -o "$tmp/twoface-serve" ./cmd/twoface-serve
 go build -o "$tmp/twoface-loadgen" ./cmd/twoface-loadgen

@@ -100,7 +100,17 @@ type (
 	CriticalPath = obs.CriticalPath
 	// ReportDiff is a benchstat-style comparison of two run reports.
 	ReportDiff = obs.Diff
+	// Transport is the transfer-level backend seam (see Options.Transport):
+	// the in-process virtual-time simulator by default, or a wall-clock
+	// multi-process backend such as internal/transport/tcp.
+	Transport = cluster.Transport
 )
+
+// NewMemTransport returns the in-process simulator transport for p ranks —
+// the backend Options.Transport defaults to. Exported for conformance
+// testing and for embedding the simulator behind the same seam real
+// backends use.
+func NewMemTransport(p int) (Transport, error) { return cluster.NewMemTransport(p) }
 
 // NewTracer returns an empty virtual-time span tracer (per-rank span cap;
 // <= 0 uses the default). Attach it through Options.SpanRecorder.
